@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: disable Vdd gating (SWITCHOFF becomes a no-op; every
+ * component idles instead of being supply-gated). Quantifies what the
+ * paper's fine-grain power management buys at the idle floor — the regime
+ * that dominates multi-year monitoring deployments (§4.2.6).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace ulp;
+using namespace ulp::core;
+
+double
+runNode(bool gating_disabled, double duty)
+{
+    double rate = 800.0 * duty;
+    auto period = static_cast<std::uint32_t>(
+        std::max(125.0, 100'000.0 / rate));
+
+    sim::Simulation simulation;
+    NodeConfig cfg;
+    cfg.sensorSignal = [](sim::Tick) { return 200; };
+    cfg.gatingDisabled = gating_disabled;
+    SensorNode node(simulation, "node", cfg);
+
+    apps::AppParams params;
+    params.samplePeriodCycles = period;
+    params.threshold = 0;
+    apps::install(node, apps::buildApp2(params));
+
+    double seconds = std::max(4.0, 10.0 * period / 100'000.0);
+    simulation.runForSeconds(seconds);
+    return node.totalAverageWatts();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: Vdd gating disabled (components idle instead "
+                  "of gating off)");
+    std::printf("%-10s %14s %14s %10s\n", "duty", "gated", "no gating",
+                "overhead");
+    bench::rule();
+    for (double duty : {0.1, 0.01, 1e-3, 1e-4}) {
+        double gated = runNode(false, duty);
+        double ungated = runNode(true, duty);
+        std::printf("%-10.4g %14s %14s %9.1f%%\n", duty,
+                    bench::fmtWatts(gated).c_str(),
+                    bench::fmtWatts(ungated).c_str(),
+                    100.0 * (ungated - gated) / gated);
+    }
+    bench::rule();
+    std::printf(
+        "Notes: at the paper's operating point the Table 5 idle figures "
+        "are already small\n(0.25 um leakage), so gating buys tens of nW "
+        "here — but it is what keeps the idle\nfloor at ~0.07 uW, and in "
+        "the §5.1 deep-submicron nodes the same ungated leakage\ngrows by "
+        "1-2 orders of magnitude (see bench_fig3_technology).\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Host-side performance of the simulators (google-benchmark): how fast a
+ * simulated second runs for the event-driven node (nearly free between
+ * events), for the saturated node, and for the Mica2 baseline (which
+ * executes every CPU instruction), plus the raw event-queue rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/mica2_platform.hh"
+#include "baseline/minios.hh"
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+using namespace ulp::core;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    sim::EventQueue queue;
+    sim::EventFunctionWrapper event([] {}, "noop");
+    std::uint64_t processed = 0;
+    for (auto _ : state) {
+        queue.schedule(&event, queue.curTick() + 10);
+        queue.runOne();
+        ++processed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_NodeSimulatedSecond(benchmark::State &state)
+{
+    double duty = static_cast<double>(state.range(0)) / 1000.0;
+    auto period = static_cast<std::uint32_t>(
+        std::max(125.0, 100'000.0 / (800.0 * duty)));
+    for (auto _ : state) {
+        sim::Simulation simulation;
+        NodeConfig cfg;
+        cfg.sensorSignal = [](sim::Tick) { return 200; };
+        SensorNode node(simulation, "node", cfg);
+        apps::AppParams params;
+        params.samplePeriodCycles = period;
+        apps::install(node, apps::buildApp2(params));
+        simulation.runForSeconds(1.0);
+        benchmark::DoNotOptimize(node.radio().framesSent());
+    }
+}
+BENCHMARK(BM_NodeSimulatedSecond)
+    ->Arg(1000)  // duty 1.0 (saturated)
+    ->Arg(100)   // duty 0.1
+    ->Arg(1)     // duty 0.001
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Mica2SimulatedSecond(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation simulation;
+        baseline::Mica2Platform::Config cfg;
+        cfg.sensorSignal = [](sim::Tick) { return 200; };
+        baseline::Mica2Platform mica(simulation, "mica2", cfg);
+        baseline::Mica2App app = baseline::buildMica2App(
+            baseline::Mica2AppKind::SendNoFilter, {});
+        mica.loadProgram(app.image);
+        mica.start(app.entry);
+        simulation.runForSeconds(1.0);
+        benchmark::DoNotOptimize(mica.framesSent());
+    }
+}
+BENCHMARK(BM_Mica2SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    for (auto _ : state) {
+        apps::NodeApp app = apps::buildApp4({});
+        benchmark::DoNotOptimize(app.mcu.sizeBytes());
+    }
+}
+BENCHMARK(BM_Assembler);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces the §6.1.3 SNAP comparison: the blink and sense
+ * microbenchmarks on our architecture and on the Mica2 baseline, against
+ * the published SNAP (asynchronous event-driven processor, ASPLOS'04)
+ * cycle counts. SNAP's simulation environment is not available, so its
+ * column is the published constant — exactly as in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "compare/table4.hh"
+
+int
+main()
+{
+    using namespace ulp;
+    namespace m = compare;
+
+    bench::banner("SNAP comparison (published SNAP numbers; ours and Mica2 "
+                  "measured)");
+    std::printf("%-8s | %6s (%5s) | %6s | %6s (%5s)\n", "App", "Ours",
+                "paper", "SNAP", "Mica2", "paper");
+    bench::rule();
+
+    std::uint64_t ours_blink = m::oursBlinkCycles();
+    std::uint64_t ours_sense = m::oursSenseCycles();
+    std::uint64_t mica_blink = m::mica2BlinkCycles();
+    std::uint64_t mica_sense = m::mica2SenseCycles();
+
+    std::printf("%-8s | %6llu (%5llu) | %6llu | %6llu (%5llu)\n", "blink",
+                static_cast<unsigned long long>(ours_blink),
+                static_cast<unsigned long long>(m::paperOursBlinkCycles),
+                static_cast<unsigned long long>(m::snapBlinkCycles),
+                static_cast<unsigned long long>(mica_blink),
+                static_cast<unsigned long long>(m::paperMica2BlinkCycles));
+    std::printf("%-8s | %6llu (%5llu) | %6llu | %6llu (%5llu)\n", "sense",
+                static_cast<unsigned long long>(ours_sense),
+                static_cast<unsigned long long>(m::paperOursSenseCycles),
+                static_cast<unsigned long long>(m::snapSenseCycles),
+                static_cast<unsigned long long>(mica_sense),
+                static_cast<unsigned long long>(m::paperMica2SenseCycles));
+
+    bench::rule();
+    std::printf("Expected ordering (paper): ours < SNAP < Mica2 on both "
+                "microbenchmarks.\n");
+    bool ok = ours_blink < m::snapBlinkCycles &&
+              m::snapBlinkCycles < mica_blink &&
+              ours_sense < m::snapSenseCycles &&
+              m::snapSenseCycles < mica_sense;
+    std::printf("Ordering holds: %s\n", ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

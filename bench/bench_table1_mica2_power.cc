@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Table 1: Mica2 platform current draw measured with a 3 V
+ * supply (from PowerTOSSIM measurements). The rows drive the baseline
+ * power models; this bench prints them alongside the derived watt values
+ * the comparisons use.
+ */
+
+#include <cstdio>
+
+#include "baseline/mica2_power.hh"
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace ulp;
+
+    bench::banner("Table 1: Mica2 platform current draw (3 V supply)");
+    std::printf("%-10s %-20s %10s %14s\n", "Device", "Mode", "Current",
+                "Power @3V");
+    bench::rule();
+    for (const auto &row : baseline::mica2CurrentTable()) {
+        std::printf("%-10s %-20s %7.3f mA %14s\n", row.device.c_str(),
+                    row.mode.c_str(), row.milliAmps,
+                    bench::fmtWatts(row.milliAmps * 1e-3 *
+                                    baseline::mica2SupplyVolts)
+                        .c_str());
+    }
+    bench::rule();
+    std::printf("Derived comparison models (paper §6.3):\n");
+    std::printf("  Atmel P(u) = u*%s + (1-u)*%s  (active / power-save)\n",
+                bench::fmtWatts(baseline::cpuActiveWatts).c_str(),
+                bench::fmtWatts(baseline::cpuPowerSaveWatts).c_str());
+    std::printf("  at u = 0.1:    %s\n",
+                bench::fmtWatts(baseline::atmelPowerAtUtilization(0.1))
+                    .c_str());
+    std::printf("  at u = 0.0001: %s\n",
+                bench::fmtWatts(baseline::atmelPowerAtUtilization(1e-4))
+                    .c_str());
+    return 0;
+}

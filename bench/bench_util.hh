@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared formatting for the reproduction benches: headers, rule lines,
+ * engineering-notation power values, and paper-vs-measured deltas.
+ */
+
+#ifndef ULP_BENCH_BENCH_UTIL_HH
+#define ULP_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace ulp::bench {
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================================\n");
+}
+
+inline void
+rule()
+{
+    std::printf("--------------------------------------------------------------------------------\n");
+}
+
+/** Format watts with an engineering prefix (pW..mW). */
+inline std::string
+fmtWatts(double watts)
+{
+    char buf[64];
+    double a = std::fabs(watts);
+    if (a >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%8.3f mW", watts * 1e3);
+    else if (a >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%8.3f uW", watts * 1e6);
+    else if (a >= 1e-9)
+        std::snprintf(buf, sizeof(buf), "%8.3f nW", watts * 1e9);
+    else
+        std::snprintf(buf, sizeof(buf), "%8.3f pW", watts * 1e12);
+    return buf;
+}
+
+/** Percentage delta of measured vs paper ("n/a" when no reference). */
+inline std::string
+fmtDelta(double measured, double paper)
+{
+    if (paper == 0.0)
+        return "   n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+5.1f%%",
+                  100.0 * (measured - paper) / paper);
+    return buf;
+}
+
+} // namespace ulp::bench
+
+#endif // ULP_BENCH_BENCH_UTIL_HH

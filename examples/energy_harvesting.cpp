@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The design target, closed end-to-end: "a truly untethered device that
+ * operates indefinitely off of energy scavenged from the ambient
+ * environment" (paper §1). Vibrational harvesting yields on the order of
+ * 100 uW for mote-sized devices (§2) — the reason the paper budgets the
+ * whole system at 100 uW.
+ *
+ * Scenario 1: a node running the monitoring application off a 100 uW
+ * vibration source and a small supercapacitor. At ~1.5-3 uW the store
+ * never runs dry.
+ *
+ * Scenario 2: the same source feeding a Mica2-class CPU draw (power-save
+ * floor 330 uW): the store empties and the node brown-outs.
+ *
+ * Scenario 3: solar day/night cycling — the capacitor carries the node
+ * through the dark half-cycle.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/mica2_power.hh"
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "power/harvest.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+using namespace ulp::core;
+
+namespace {
+
+void
+report(const char *title, const power::HarvestingSupply &supply)
+{
+    std::printf("%s\n", title);
+    std::printf("  harvested %.3f mJ, consumed %.3f mJ, store %.1f%% "
+                "full, brown-outs: %llu\n",
+                supply.harvestedJoules() * 1e3,
+                supply.consumedJoules() * 1e3,
+                100.0 * supply.store().level() / supply.store().capacity(),
+                static_cast<unsigned long long>(supply.brownOuts()));
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr double harvest_watts = 100e-6; // the paper's design target
+    constexpr double cap_joules = 0.1;       // small supercap (~20 mF @ 3V)
+    const sim::Tick poll = sim::secondsToTicks(0.1);
+
+    // --- Scenario 1: our node on vibration harvesting -----------------------
+    {
+        sim::Simulation simulation;
+        NodeConfig cfg;
+        cfg.sensorSignal = [](sim::Tick) { return 150; };
+        SensorNode node(simulation, "node", cfg);
+        apps::AppParams params;
+        params.samplePeriodCycles = 10'000; // 10 Hz monitoring
+        apps::install(node, apps::buildApp2(params));
+
+        power::HarvestingSupply supply(
+            simulation, "vibration",
+            std::make_unique<power::ConstantSource>(harvest_watts),
+            power::EnergyStore(cap_joules, cap_joules / 2),
+            [&node] { return node.totalAverageWatts(); }, poll);
+        supply.start();
+
+        simulation.runForSeconds(600.0);
+        report("Scenario 1: this node on a 100 uW vibration source "
+               "(10 minutes)", supply);
+        std::printf("  node draw: %.3f uW -> sustainable margin %.0fx\n\n",
+                    node.totalAverageWatts() * 1e6,
+                    harvest_watts / node.totalAverageWatts());
+    }
+
+    // --- Scenario 2: a Mica2-class draw on the same source ------------------
+    {
+        sim::Simulation simulation;
+        double mica_watts = baseline::atmelPowerAtUtilization(1e-3);
+        power::HarvestingSupply supply(
+            simulation, "vibrationMica",
+            std::make_unique<power::ConstantSource>(harvest_watts),
+            power::EnergyStore(cap_joules, cap_joules / 2),
+            [mica_watts] { return mica_watts; }, poll);
+        supply.start();
+
+        simulation.runForSeconds(600.0);
+        report("Scenario 2: Mica2-class CPU draw on the same source "
+               "(10 minutes)", supply);
+        std::printf("  draw %.0f uW exceeds the %.0f uW source: store "
+                    "drains in ~%.0f s\n\n",
+                    mica_watts * 1e6, harvest_watts * 1e6,
+                    (cap_joules / 2) / (mica_watts - harvest_watts));
+    }
+
+    // --- Scenario 3: solar day/night cycling --------------------------------
+    {
+        sim::Simulation simulation;
+        NodeConfig cfg;
+        cfg.sensorSignal = [](sim::Tick) { return 150; };
+        SensorNode node(simulation, "nodeSolar", cfg);
+        apps::AppParams params;
+        params.samplePeriodCycles = 100'000; // 1 Hz
+        apps::install(node, apps::buildApp2(params));
+
+        // A scaled 'day': 200 s period, 50 uW peak; dark half-cycles.
+        power::HarvestingSupply supply(
+            simulation, "solar",
+            std::make_unique<power::SinusoidalSource>(50e-6, 200.0),
+            power::EnergyStore(0.01, 0.005),
+            [&node] { return node.totalAverageWatts(); }, poll);
+        supply.start();
+
+        simulation.runForSeconds(1000.0);
+        report("Scenario 3: solar day/night cycling (5 'days')", supply);
+        std::printf("  the capacitor rides through every dark half-cycle; "
+                    "frames sent: %llu\n",
+                    static_cast<unsigned long long>(
+                        node.radio().framesSent()));
+    }
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The Great Duck Island habitat-monitoring deployment (paper §3): every
+ * node measures all sensors every 70 seconds and transmits a packet; the
+ * paper places this workload at a duty cycle of roughly 0.0001. This
+ * example builds a small network — four sensor nodes sharing a lossy
+ * channel with a base station — and runs a simulated hour. Distant nodes'
+ * packets reach the base station through the multi-hop forwarding of
+ * application version 3 (message-processor CAM deduplication keeps the
+ * flood bounded).
+ *
+ * The run reports delivery statistics, the per-node power (which the
+ * 70-second period pins near the idle floor), and a battery/harvesting
+ * lifetime estimate versus the Mica2.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/mica2_power.hh"
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "net/packet_sink.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+using namespace ulp::core;
+
+int
+main()
+{
+    sim::Simulation simulation;
+    net::Channel channel(simulation, "channel", net::Channel::defaultBitRate,
+                         /*seed=*/7);
+    channel.setLossProbability(0.02); // 2% i.i.d. frame loss per receiver
+    net::PacketSink baseStation(channel);
+
+    // Four nodes; staggered sampling phases avoid synchronized collisions
+    // (GDI nodes were not time-synchronized either).
+    constexpr unsigned numNodes = 4;
+    constexpr std::uint32_t periodCycles = 7'000'000; // 70 s at 100 kHz
+
+    std::vector<std::unique_ptr<SensorNode>> nodes;
+    for (unsigned i = 0; i < numNodes; ++i) {
+        NodeConfig cfg;
+        cfg.address = static_cast<std::uint16_t>(0x0010 + i);
+        cfg.seed = 100 + i;
+        // Real crystals differ by tens of ppm; that tolerance is what
+        // desynchronizes unsynchronized deployments (and keeps identical
+        // flooding nodes from transmitting in lock-step forever).
+        cfg.clockHz = 100'000.0 * (1.0 + 40e-6 * i);
+        // Burrow occupancy proxy: slow temperature-like drift per node.
+        cfg.sensorSignal = [i](sim::Tick now) -> std::uint8_t {
+            double hours = sim::ticksToSeconds(now) / 3600.0;
+            return static_cast<std::uint8_t>(90 + 10 * i +
+                                             20.0 * hours);
+        };
+        cfg.sensorNoiseStddev = 1.0;
+        nodes.push_back(std::make_unique<SensorNode>(
+            simulation, "gdi" + std::to_string(i), cfg, &channel));
+
+        apps::AppParams params;
+        // Stagger the sampling phase by half a chained-timer tick per
+        // node (the chained fast tick is 50,000 cycles, so the offsets
+        // below change the chained count, not just the phase).
+        params.samplePeriodCycles = periodCycles + 350'000 * i;
+        params.threshold = 0;
+        params.dest = 0x0000; // base station address
+        apps::install(*nodes[i], apps::buildApp3(params));
+    }
+
+    const double hours = 1.0;
+    simulation.runForSeconds(hours * 3600.0);
+
+    std::printf("Great Duck Island network, %.0f simulated hour(s), "
+                "%u nodes, 70 s sampling:\n\n",
+                hours, numNodes);
+    std::printf("%-8s %10s %10s %12s %12s %12s\n", "node", "sampled",
+                "sent", "forwards", "duplicates", "avg power");
+    for (unsigned i = 0; i < numNodes; ++i) {
+        SensorNode &node = *nodes[i];
+        std::printf("%-8s %10llu %10llu %12llu %12llu %9.3f uW\n",
+                    node.name().c_str(),
+                    static_cast<unsigned long long>(node.sensor().samples()),
+                    static_cast<unsigned long long>(
+                        node.radio().framesSent()),
+                    static_cast<unsigned long long>(
+                        node.msgProc().forwarded()),
+                    static_cast<unsigned long long>(
+                        node.msgProc().duplicatesDropped()),
+                    node.totalAverageWatts() * 1e6);
+    }
+
+    std::printf("\nBase station: %llu unique packets (%llu duplicate "
+                "copies suppressed, %llu corrupted)\n",
+                static_cast<unsigned long long>(
+                    baseStation.uniqueDeliveries()),
+                static_cast<unsigned long long>(baseStation.duplicates()),
+                static_cast<unsigned long long>(baseStation.corrupted()));
+    for (unsigned i = 0; i < numNodes; ++i) {
+        std::printf("  from %s: %llu/%.0f readings delivered\n",
+                    nodes[i]->name().c_str(),
+                    static_cast<unsigned long long>(
+                        baseStation.deliveriesFrom(0x0010 + i)),
+                    hours * 3600.0 / 70.0);
+    }
+    std::printf("  channel collisions: %llu\n",
+                static_cast<unsigned long long>(channel.collisions()));
+
+    // Lifetime arithmetic: 2xAA ~ 2850 mAh at 3 V ~ 30.8 kJ.
+    double node_watts = nodes[0]->totalAverageWatts();
+    double battery_joules = 2.850 * 3.0 * 3600.0;
+    double our_years = battery_joules / node_watts / 3.15e7;
+    double mica_watts = baseline::atmelPowerAtUtilization(1e-4);
+    double mica_years = battery_joules / mica_watts / 3.15e7;
+    std::printf("\nLifetime on 2xAA (30.8 kJ), computation only "
+                "(battery shelf life would dominate ours):\n");
+    std::printf("  this architecture: %7.1f years at %.3f uW "
+                "(harvesting-sustainable: < 100 uW)\n",
+                our_years, node_watts * 1e6);
+    std::printf("  Mica2 CPU:         %7.1f years at %.0f uW (power-save "
+                "floor dominates)\n",
+                mica_years, mica_watts * 1e6);
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Remote reconfiguration over a multi-hop network (application version 4,
+ * the paper's most complex test application): three nodes run
+ * sample-filter-send with forwarding; the base station broadcasts
+ * reconfiguration commands (irregular messages) that wake each node's
+ * microcontroller to change the sampling period and the filter threshold
+ * at runtime. Regular traffic keeps flowing through the event processor
+ * alone the whole time.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "net/packet_sink.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+using namespace ulp::core;
+
+namespace {
+
+net::Frame
+reconfigCommand(std::uint16_t target_node, std::uint8_t kind,
+                std::uint16_t value, std::uint8_t seq)
+{
+    net::Frame cmd;
+    cmd.type = net::Frame::Type::Command;
+    cmd.seq = seq;
+    cmd.src = 0x0042; // the authorised reconfigurer (apps.cc ACL)
+    cmd.dest = target_node;
+    cmd.destPan = NodeConfig{}.pan;
+    cmd.payload = {kind, static_cast<std::uint8_t>(value >> 8),
+                   static_cast<std::uint8_t>(value & 0xFF)};
+    return cmd;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::Simulation simulation;
+    net::Channel channel(simulation, "channel");
+    net::PacketSink baseStation(channel);
+
+    constexpr unsigned numNodes = 3;
+    std::vector<std::unique_ptr<SensorNode>> nodes;
+    for (unsigned i = 0; i < numNodes; ++i) {
+        NodeConfig cfg;
+        cfg.address = static_cast<std::uint16_t>(0x0001 + i);
+        cfg.seed = 500 + i;
+        cfg.clockHz = 100'000.0 * (1.0 + 40e-6 * i); // crystal tolerance
+        cfg.sensorSignal = [](sim::Tick) { return 180; };
+        nodes.push_back(std::make_unique<SensorNode>(
+            simulation, "node" + std::to_string(i), cfg, &channel));
+
+        apps::AppParams params;
+        params.samplePeriodCycles = 50'000 + 5'000 * i; // ~2 Hz staggered
+        params.threshold = 100;
+        apps::install(*nodes[i], apps::buildApp4(params));
+    }
+
+    simulation.runForSeconds(20.0);
+    std::uint64_t sent_before = nodes[1]->radio().framesSent();
+    std::printf("Phase 1 (20 s, ~2 Hz sampling, threshold 100):\n");
+    for (auto &node : nodes) {
+        std::printf("  %s: %llu frames sent, uC wakeups %llu\n",
+                    node->name().c_str(),
+                    static_cast<unsigned long long>(
+                        node->radio().framesSent()),
+                    static_cast<unsigned long long>(
+                        node->micro().wakeups()));
+    }
+
+    // Change node 1 to a 0.4 s period via an over-the-air command. The other
+    // nodes forward it (dest mismatch), node 1 recognises the command
+    // frame as irregular and wakes its microcontroller.
+    std::printf("\nBroadcasting: node 0x0002 -> period 40000 cycles "
+                "(2.5 Hz -> 0.4 s)\n");
+    baseStation.send(reconfigCommand(0x0002, 0, 40'000, 1));
+    simulation.runForSeconds(20.0);
+
+    std::uint64_t sent_after = nodes[1]->radio().framesSent() - sent_before;
+    std::printf("Phase 2 (20 s): node1 sent %llu frames (expect ~%d at "
+                "the new 0.4 s period)\n",
+                static_cast<unsigned long long>(sent_after), 50);
+    std::printf("  node1 uC wakeups now: %llu (one more: the irregular "
+                "event)\n",
+                static_cast<unsigned long long>(
+                    nodes[1]->micro().wakeups()));
+
+    // Raise every node's threshold above the signal: traffic stops.
+    std::printf("\nBroadcasting threshold 250 to all nodes "
+                "(signal is 180):\n");
+    for (unsigned i = 0; i < numNodes; ++i) {
+        baseStation.send(reconfigCommand(
+            static_cast<std::uint16_t>(0x0001 + i), 1, 250 << 8,
+            static_cast<std::uint8_t>(10 + i)));
+        simulation.runForSeconds(1.0);
+    }
+    std::uint64_t sends[numNodes];
+    for (unsigned i = 0; i < numNodes; ++i)
+        sends[i] = nodes[i]->radio().framesSent();
+    simulation.runForSeconds(20.0);
+
+    std::printf("Phase 3 (20 s with threshold 250):\n");
+    for (unsigned i = 0; i < numNodes; ++i) {
+        std::printf("  %s: %llu new frames (expect 0), threshold now %u, "
+                    "filter decisions %llu\n",
+                    nodes[i]->name().c_str(),
+                    static_cast<unsigned long long>(
+                        nodes[i]->radio().framesSent() - sends[i]),
+                    nodes[i]->filter().threshold(),
+                    static_cast<unsigned long long>(
+                        nodes[i]->filter().decisions()));
+    }
+
+    std::printf("\nNetwork totals: %llu unique data packets at the base "
+                "station, %llu duplicates suppressed there,\n%llu "
+                "msgproc-level duplicate drops across nodes, %llu channel "
+                "collisions\n",
+                static_cast<unsigned long long>(
+                    baseStation.uniqueDeliveries()),
+                static_cast<unsigned long long>(baseStation.duplicates()),
+                static_cast<unsigned long long>(
+                    nodes[0]->msgProc().duplicatesDropped() +
+                    nodes[1]->msgProc().duplicatesDropped() +
+                    nodes[2]->msgProc().duplicatesDropped()),
+                static_cast<unsigned long long>(channel.collisions()));
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Memory map of the Mica2 baseline platform: an ATmega128-class CPU with
+ * 4 KiB of RAM and memory-mapped peripherals. The radio presents a
+ * CC2420-style packet interface (hardware framing/CRC), consistent with
+ * the paper's methodology of excluding TinyOS radio-stack cycles from the
+ * Table 4 comparison.
+ */
+
+#ifndef ULP_BASELINE_MICA2_MAP_HH
+#define ULP_BASELINE_MICA2_MAP_HH
+
+#include <cstdint>
+
+namespace ulp::baseline::map {
+
+using Addr = std::uint16_t;
+
+constexpr Addr ramBase = 0x0000;
+constexpr Addr ramSize = 0x1000;
+
+/** Interrupt vector table (2 B big-endian entries) inside RAM. */
+constexpr Addr vectorBase = 0x0040;
+
+/** MiniOS + application code region. */
+constexpr Addr codeBase = 0x0100;
+
+/** Stack grows down from the top of RAM. */
+constexpr Addr stackTop = 0x0FFF;
+
+/** Interrupt vector indices. */
+constexpr std::uint8_t irqTimer = 1;
+constexpr std::uint8_t irqAdc = 2;
+constexpr std::uint8_t irqRadioRx = 3;
+
+// --- Hardware timer (16-bit, /64 prescaler) -------------------------------
+constexpr Addr timerCtrl = 0x2000;   ///< bit0 enable, bit1 reload
+constexpr Addr timerLoadHi = 0x2001; ///< period in prescaled ticks
+constexpr Addr timerLoadLo = 0x2002;
+constexpr unsigned timerPrescale = 64;
+
+// --- ADC -------------------------------------------------------------------
+constexpr Addr adcCtrl = 0x2010;   ///< write 1: start conversion
+constexpr Addr adcStatus = 0x2011; ///< bit0: done
+constexpr Addr adcData = 0x2012;
+
+// --- LEDs (blink application) ----------------------------------------------
+constexpr Addr led = 0x2030;
+
+// --- Radio (packet interface, hardware CRC) ---------------------------------
+constexpr Addr radioCmd = 0x2020;    ///< 1 = TX, 2 = RX on, 3 = RX off,
+                                     ///< 4 = flush RX FIFO
+constexpr Addr radioStatus = 0x2021; ///< bit0 tx busy, bit2 rx ready
+constexpr Addr radioTxLen = 0x2022;
+constexpr Addr radioRxLen = 0x2023;
+constexpr Addr radioTxBuf = 0x2040;  ///< 32 B
+constexpr Addr radioRxBuf = 0x2060;  ///< 32 B
+
+} // namespace ulp::baseline::map
+
+#endif // ULP_BASELINE_MICA2_MAP_HH

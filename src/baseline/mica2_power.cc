@@ -1,0 +1,26 @@
+#include "baseline/mica2_power.hh"
+
+namespace ulp::baseline {
+
+const std::vector<CurrentDrawRow> &
+mica2CurrentTable()
+{
+    static const std::vector<CurrentDrawRow> rows = {
+        {"CPU", "Active", 8.0},
+        {"CPU", "Idle", 3.2},
+        {"CPU", "ADC Acquire", 1.0},
+        {"CPU", "Extended Standby", 0.223},
+        {"CPU", "Standby", 0.216},
+        {"CPU", "Power-save", 0.110},
+        {"CPU", "Power-down", 0.103},
+        {"Radio", "Rx", 7.0},
+        {"Radio", "Tx (-20 dBm)", 3.7},
+        {"Radio", "Tx (-8 dBm)", 6.5},
+        {"Radio", "Tx (0 dBm)", 8.5},
+        {"Radio", "Tx (10 dBm)", 21.5},
+        {"Sensors", "Typical Board", 0.7},
+    };
+    return rows;
+}
+
+} // namespace ulp::baseline

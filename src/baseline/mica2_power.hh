@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Mica2 platform's measured current draw (paper Table 1, measured by
+ * PowerTOSSIM with a 3 V supply) and the derived analytical power models
+ * the paper uses for its comparisons:
+ *
+ *  - the Atmel comparison of Figure 6 (§6.3): same per-sample work, CPU
+ *    utilization normalized to our event processor's, idling in
+ *    power-save mode between events;
+ *  - the TI MSP430 datapoint (§6.3): 616-693 uW active at 1 MHz / 2.2 V,
+ *    44-123 uW in its practical 32 kHz idle mode.
+ */
+
+#ifndef ULP_BASELINE_MICA2_POWER_HH
+#define ULP_BASELINE_MICA2_POWER_HH
+
+#include <string>
+#include <vector>
+
+namespace ulp::baseline {
+
+/** One row of Table 1. */
+struct CurrentDrawRow
+{
+    std::string device;
+    std::string mode;
+    double milliAmps;
+};
+
+/** Table 1 as published (3 V supply). */
+const std::vector<CurrentDrawRow> &mica2CurrentTable();
+
+constexpr double mica2SupplyVolts = 3.0;
+
+/** CPU currents (A). */
+constexpr double cpuActiveAmps = 8.0e-3;
+constexpr double cpuIdleAmps = 3.2e-3;
+constexpr double cpuAdcAcquireAmps = 1.0e-3;
+constexpr double cpuExtStandbyAmps = 0.223e-3;
+constexpr double cpuStandbyAmps = 0.216e-3;
+constexpr double cpuPowerSaveAmps = 0.110e-3;
+constexpr double cpuPowerDownAmps = 0.103e-3;
+
+/** Radio currents (A). */
+constexpr double radioRxAmps = 7.0e-3;
+constexpr double radioTxMinus20dBmAmps = 3.7e-3;
+constexpr double radioTxMinus8dBmAmps = 6.5e-3;
+constexpr double radioTx0dBmAmps = 8.5e-3;
+constexpr double radioTx10dBmAmps = 21.5e-3;
+
+/** Typical sensor board current (A). */
+constexpr double sensorBoardAmps = 0.7e-3;
+
+constexpr double cpuActiveWatts = cpuActiveAmps * mica2SupplyVolts;
+constexpr double cpuPowerSaveWatts = cpuPowerSaveAmps * mica2SupplyVolts;
+
+/**
+ * The Figure 6 Atmel curve: CPU power at utilization @p u, active while
+ * working and in power-save (the practical idle: a timer must keep
+ * running) otherwise.
+ */
+constexpr double
+atmelPowerAtUtilization(double u)
+{
+    return u * cpuActiveWatts + (1.0 - u) * cpuPowerSaveWatts;
+}
+
+/** MSP430 figures as reported in §6.3 (Telos-generation comparison). */
+constexpr double msp430ActiveLowWatts = 616e-6;
+constexpr double msp430ActiveHighWatts = 693e-6;
+constexpr double msp430IdleLowWatts = 44e-6;
+constexpr double msp430IdleHighWatts = 123e-6;
+
+constexpr double
+msp430PowerAtUtilizationLow(double u)
+{
+    return u * msp430ActiveLowWatts + (1.0 - u) * msp430IdleLowWatts;
+}
+
+constexpr double
+msp430PowerAtUtilizationHigh(double u)
+{
+    return u * msp430ActiveHighWatts + (1.0 - u) * msp430IdleHighWatts;
+}
+
+} // namespace ulp::baseline
+
+#endif // ULP_BASELINE_MICA2_POWER_HH

@@ -1,0 +1,861 @@
+#include "baseline/minios.hh"
+
+#include "baseline/mica2_map.hh"
+#include "sim/logging.hh"
+
+namespace ulp::baseline {
+
+namespace {
+
+/** Full context save: what avr-gcc's ISR prologue does on a Mica2. */
+std::string
+pushAll()
+{
+    std::string s;
+    for (int r = 0; r < 16; ++r)
+        s += sim::csprintf("    PUSH r%d\n", r);
+    return s;
+}
+
+std::string
+popAll()
+{
+    std::string s;
+    for (int r = 15; r >= 0; --r)
+        s += sim::csprintf("    POP r%d\n", r);
+    return s;
+}
+
+/** RAM data layout and platform registers. */
+std::string
+dataLayout(const MiniOsParams &p)
+{
+    std::string s = sim::csprintf(
+        "; --- platform registers ---\n"
+        ".equ TIMER_CTRL, %u\n"
+        ".equ TIMER_LOADHI, %u\n"
+        ".equ TIMER_LOADLO, %u\n"
+        ".equ ADC_CTRL, %u\n"
+        ".equ ADC_STATUS, %u\n"
+        ".equ ADC_DATA, %u\n"
+        ".equ LED, %u\n"
+        ".equ RADIO_CMD, %u\n"
+        ".equ RADIO_STATUS, %u\n"
+        ".equ RADIO_TXLEN, %u\n"
+        ".equ RADIO_RXLEN, %u\n"
+        ".equ RADIO_TXBUF, %u\n"
+        ".equ RADIO_RXBUF, %u\n",
+        map::timerCtrl, map::timerLoadHi, map::timerLoadLo, map::adcCtrl,
+        map::adcStatus, map::adcData, map::led, map::radioCmd,
+        map::radioStatus, map::radioTxLen, map::radioRxLen,
+        map::radioTxBuf, map::radioRxBuf);
+
+    s += "; --- MiniOS RAM layout ---\n"
+         ".equ Q_BASE, 0x0800\n"
+         ".equ Q_HEAD, 0x0810\n"
+         ".equ Q_TAIL, 0x0811\n"
+         ".equ Q_COUNT, 0x0812\n"
+         ".equ SOFT_BASE, 0x0820\n"   // 8 slots x 8 B
+         ".equ PKT_BUF, 0x0860\n"
+         ".equ SEQ_NO, 0x0880\n"
+         ".equ THRESH_VAL, 0x0881\n"
+         ".equ LED_SHADOW, 0x0882\n"
+         ".equ LOCAL_DATA, 0x0883\n"
+         ".equ SEEN_IDX, 0x0884\n"
+         ".equ AVG_IDX, 0x0885\n"
+         ".equ SUM_HI, 0x0886\n"
+         ".equ SUM_LO, 0x0887\n"
+         ".equ AVG_VAL, 0x0888\n"
+         ".equ BLINK_CNT, 0x0889\n"
+         ".equ MIN_VAL, 0x088A\n"
+         ".equ MAX_VAL, 0x088B\n"
+         ".equ UPTIME0, 0x0890\n"     // 32-bit system uptime
+         ".equ UPTIME1, 0x0891\n"
+         ".equ UPTIME2, 0x0892\n"
+         ".equ UPTIME3, 0x0893\n"
+         ".equ LAST_HI, 0x0894\n"     // elapsed-time bookkeeping
+         ".equ LAST_LO, 0x0895\n"
+         ".equ ELAPSED_HI, 0x0896\n"
+         ".equ ELAPSED_LO, 0x0897\n"
+         ".equ CMD_BUF, 0x0898\n"     // copied-out command payload
+         ".equ SEEN_CACHE, 0x08A0\n"  // 8 entries x 3 B
+         ".equ ROUTE_TBL, 0x08C0\n"   // 8 entries x 2 B
+         ".equ SAMPLES, 0x08E0\n";    // 16 B ring
+
+    s += sim::csprintf(
+        "; --- application parameters ---\n"
+        ".equ P_HWT_HI, %u\n"
+        ".equ P_HWT_LO, %u\n"
+        ".equ P_SOFT_HI, %u\n"
+        ".equ P_SOFT_LO, %u\n"
+        ".equ P_THRESH, %u\n"
+        ".equ P_SRC_HI, %u\n"
+        ".equ P_SRC_LO, %u\n"
+        ".equ P_DEST_HI, %u\n"
+        ".equ P_DEST_LO, %u\n"
+        ".equ P_PAN_HI, %u\n"
+        ".equ P_PAN_LO, %u\n",
+        p.hwTimerLoad >> 8, p.hwTimerLoad & 0xFF, p.softTimerCount >> 8,
+        p.softTimerCount & 0xFF, p.threshold, p.src >> 8, p.src & 0xFF,
+        p.dest >> 8, p.dest & 0xFF, p.pan >> 8, p.pan & 0xFF);
+    return s;
+}
+
+/** Interrupt vector table (preloaded into RAM by the image loader). */
+std::string
+vectorTable(bool have_adc, bool have_radio)
+{
+    std::string s = sim::csprintf(".org %u\n", map::vectorBase);
+    s += ".word 0\n.word timer_isr\n";
+    s += have_adc ? ".word adc_isr\n" : ".word isr_stub\n";
+    s += have_radio ? ".word radio_isr\n" : ".word isr_stub\n";
+    return s;
+}
+
+/**
+ * The OS core: task queue, scheduler, virtual-timer interrupt handler,
+ * and the timer dispatch task (TinyOS TimerM analogue).
+ */
+std::string
+osCore()
+{
+    std::string s;
+
+    // Scheduler: run tasks until the queue drains, then sleep.
+    s += R"(
+os_loop:
+    CLI
+    LDS r0, Q_COUNT
+    CPI r0, 0
+    JNZ os_run
+    SEI
+    SLEEP
+    JMP os_loop
+os_run:
+    LDS r2, Q_HEAD
+    MOV r3, r2
+    LSL r3
+    LDP p2, Q_BASE
+    ADD r5, r3
+    LDX r6, p2
+    INCP p2
+    LDX r7, p2
+    INC r2
+    ANDI r2, 7
+    STS Q_HEAD, r2
+    LDS r3, Q_COUNT
+    DEC r3
+    STS Q_COUNT, r3
+    SEI
+    ICALL p3
+    JMP os_loop
+
+; post the task whose address is in r0:r1 (clobbers r12..r15)
+os_post:
+    CLI
+    LDS r12, Q_TAIL
+    MOV r13, r12
+    LSL r13
+    LDP p7, Q_BASE
+    ADD r15, r13
+    STX p7, r0
+    INCP p7
+    STX p7, r1
+    INC r12
+    ANDI r12, 7
+    STS Q_TAIL, r12
+    LDS r13, Q_COUNT
+    INC r13
+    STS Q_COUNT, r13
+    SEI
+    RET
+
+isr_stub:
+    RETI
+)";
+
+    // Hardware timer ISR: scan the virtual timer slots; decrement running
+    // counts; on expiry reload, set the fired flag, and post the dispatch
+    // task. Slot record: [en, cntHi, cntLo, relHi, relLo, fired, hdlHi,
+    // hdlLo].
+    s += "\ntimer_isr:\n    MARK 10\n" + pushAll() + R"(
+    ; ClockC bookkeeping: 32-bit uptime and elapsed-time calculation
+    LDS r0, UPTIME0
+    INC r0
+    STS UPTIME0, r0
+    JNZ up_done
+    LDS r0, UPTIME1
+    INC r0
+    STS UPTIME1, r0
+    JNZ up_done
+    LDS r0, UPTIME2
+    INC r0
+    STS UPTIME2, r0
+    JNZ up_done
+    LDS r0, UPTIME3
+    INC r0
+    STS UPTIME3, r0
+up_done:
+    LDS r0, TIMER_LOADHI
+    LDS r1, TIMER_LOADLO
+    LDS r2, LAST_HI
+    LDS r3, LAST_LO
+    SUB r1, r3
+    SBC r0, r2
+    STS ELAPSED_HI, r0
+    STS ELAPSED_LO, r1
+    LDS r0, TIMER_LOADHI
+    STS LAST_HI, r0
+    LDS r1, TIMER_LOADLO
+    STS LAST_LO, r1
+    LDP p2, SOFT_BASE
+    LDI r8, 8
+tmr_slot:
+    LDX r9, p2
+    CPI r9, 0
+    JZ tmr_next
+    MOV r2, r4
+    MOV r3, r5
+    ADDI r3, 1
+    LDX r10, p1
+    ADDI r3, 1
+    LDX r11, p1
+    CPI r11, 0
+    JNZ tmr_declo
+    DEC r10
+tmr_declo:
+    DEC r11
+    STX p1, r11
+    MOV r12, r10
+    OR r12, r11
+    JZ tmr_fired
+    SUBI r3, 1
+    STX p1, r10
+    JMP tmr_next
+tmr_fired:
+    SUBI r3, 1
+    STX p1, r10
+    MOV r2, r4
+    MOV r3, r5
+    ADDI r3, 3
+    LDX r10, p1
+    ADDI r3, 1
+    LDX r11, p1
+    MOV r2, r4
+    MOV r3, r5
+    ADDI r3, 1
+    STX p1, r10
+    ADDI r3, 1
+    STX p1, r11
+    MOV r2, r4
+    MOV r3, r5
+    ADDI r3, 5
+    LDI r9, 1
+    STX p1, r9
+    LDP p0, timer_dispatch
+    CALL os_post
+tmr_next:
+    ADDI r5, 8
+    DEC r8
+    JNZ tmr_slot
+)" + popAll() + "    RETI\n";
+
+    // Timer dispatch task: call the handler of every fired slot.
+    s += R"(
+timer_dispatch:
+    LDP p2, SOFT_BASE
+    LDI r8, 8
+td_loop:
+    MOV r2, r4
+    MOV r3, r5
+    ADDI r3, 5
+    LDX r9, p1
+    CPI r9, 0
+    JZ td_next
+    LDI r9, 0
+    STX p1, r9
+    ADDI r3, 1
+    LDX r6, p1
+    ADDI r3, 1
+    LDX r7, p1
+    PUSH r4
+    PUSH r5
+    PUSH r8
+    ICALL p3
+    POP r8
+    POP r5
+    POP r4
+td_next:
+    ADDI r5, 8
+    DEC r8
+    JNZ td_loop
+    RET
+)";
+    return s;
+}
+
+/** ADC and radio interrupt handlers: save context, post the task. */
+std::string
+adcIsr()
+{
+    return "\nadc_isr:\n" + pushAll() +
+           "    LDP p0, adc_task\n    CALL os_post\n" + popAll() +
+           "    RETI\n";
+}
+
+std::string
+radioIsr()
+{
+    return "\nradio_isr:\n    MARK 12\n" + pushAll() +
+           "    LDP p0, rx_task\n    CALL os_post\n" + popAll() +
+           "    RETI\n";
+}
+
+/** Software packet preparation (header + software CRC-16 + copy). */
+std::string
+sendHelpers()
+{
+    return R"(
+; build an 802.15.4 data frame header + payload (r9 = sample) in PKT_BUF
+build_packet:
+    LDI r0, 0x01            ; FCF lo: data frame
+    STS PKT_BUF+0, r0
+    LDI r0, 0x88            ; FCF hi: 16-bit src+dest addressing
+    STS PKT_BUF+1, r0
+    LDS r0, SEQ_NO
+    STS PKT_BUF+2, r0
+    INC r0
+    STS SEQ_NO, r0
+    LDI r0, P_PAN_LO
+    STS PKT_BUF+3, r0
+    LDI r0, P_PAN_HI
+    STS PKT_BUF+4, r0
+    LDI r0, P_DEST_LO
+    STS PKT_BUF+5, r0
+    LDI r0, P_DEST_HI
+    STS PKT_BUF+6, r0
+    LDI r0, P_SRC_LO
+    STS PKT_BUF+7, r0
+    LDI r0, P_SRC_HI
+    STS PKT_BUF+8, r0
+    STS PKT_BUF+9, r9
+    RET
+
+; software CRC-16/CCITT over the 10 frame bytes; FCS appended LSB first
+crc_append:
+    LDI r10, 0
+    LDI r11, 0
+    LDP p1, PKT_BUF
+    LDI r8, 10
+crc_byte:
+    LDX r5, p1
+    XOR r10, r5
+    LDI r6, 8
+crc_bit:
+    MOV r7, r10
+    LSL r10
+    LSL r11
+    JNC crc_noc
+    ORI r10, 1
+crc_noc:
+    LSL r7
+    JNC crc_nopoly
+    XORI r10, 0x10
+    XORI r11, 0x21
+crc_nopoly:
+    DEC r6
+    JNZ crc_bit
+    INCP p1
+    DEC r8
+    JNZ crc_byte
+    STS PKT_BUF+10, r11
+    STS PKT_BUF+11, r10
+    RET
+
+; copy the 12-byte frame into the radio TX FIFO
+copy_to_radio:
+    LDP p1, PKT_BUF
+    LDP p2, RADIO_TXBUF
+    LDI r8, 12
+cp_loop:
+    LDX r0, p1
+    STX p2, r0
+    INCP p1
+    INCP p2
+    DEC r8
+    JNZ cp_loop
+    RET
+)";
+}
+
+/** The sampling pipeline: timer handler starts the ADC; the ADC interrupt
+ *  posts the send task, which filters, builds, checksums, and transmits. */
+std::string
+sendApp(bool filter)
+{
+    std::string s = R"(
+app_timer_handler:
+    LDI r0, 1
+    STS ADC_CTRL, r0
+    RET
+
+adc_task:
+send_task:
+    LDS r9, ADC_DATA
+)";
+    if (filter) {
+        s += R"(    LDS r10, THRESH_VAL
+    CP r9, r10
+    JNC send_go
+    RET
+send_go:
+)";
+    }
+    s += R"(    CALL build_packet
+    CALL crc_append
+    CALL copy_to_radio
+    LDI r0, 12
+    STS RADIO_TXLEN, r0
+    LDI r0, 1
+    STS RADIO_CMD, r0
+    MARK 11
+    RET
+)";
+    return s;
+}
+
+/** Receive path: parse, deduplicate, route, forward; optionally decode
+ *  irregular (command-frame) reconfigurations. */
+std::string
+rxApp(bool reconfig)
+{
+    std::string s = R"(
+rx_task:
+    LDS r9, RADIO_RXBUF+0
+    ANDI r9, 7
+    CPI r9, 3
+)";
+    s += reconfig ? "    JZ rx_irregular\n" : "    JZ rx_drop\n";
+    s += R"(    LDS r9, RADIO_RXBUF+3
+    CPI r9, P_PAN_LO
+    JNZ rx_drop
+    LDS r9, RADIO_RXBUF+4
+    CPI r9, P_PAN_HI
+    JNZ rx_drop
+    LDS r9, RADIO_RXBUF+5
+    CPI r9, P_SRC_LO
+    JNZ rx_fwd_check
+    LDS r9, RADIO_RXBUF+6
+    CPI r9, P_SRC_HI
+    JNZ rx_fwd_check
+    LDS r9, RADIO_RXBUF+9
+    STS LOCAL_DATA, r9
+    LDI r0, 4
+    STS RADIO_CMD, r0
+    MARK 20
+    RET
+rx_fwd_check:
+    LDS r9, RADIO_RXBUF+7
+    LDS r10, RADIO_RXBUF+8
+    LDS r11, RADIO_RXBUF+2
+)";
+    // Sequence-cache duplicate suppression, unrolled like the inlined
+    // compare chains nesC generates.
+    for (int i = 0; i < 8; ++i) {
+        s += sim::csprintf(
+            "    LDS r12, SEEN_CACHE+%d\n"
+            "    CP r12, r9\n"
+            "    JNZ rx_seen_%d\n"
+            "    LDS r12, SEEN_CACHE+%d\n"
+            "    CP r12, r10\n"
+            "    JNZ rx_seen_%d\n"
+            "    LDS r12, SEEN_CACHE+%d\n"
+            "    CP r12, r11\n"
+            "    JZ rx_dup\n"
+            "rx_seen_%d:\n",
+            3 * i, i, 3 * i + 1, i, 3 * i + 2, i);
+    }
+    s += R"(    LDS r12, SEEN_IDX
+    MOV r13, r12
+    LSL r13
+    ADD r13, r12
+    LDP p1, SEEN_CACHE
+    ADD r3, r13
+    STX p1, r9
+    INCP p1
+    STX p1, r10
+    INCP p1
+    STX p1, r11
+    INC r12
+    ANDI r12, 7
+    STS SEEN_IDX, r12
+    ; routing table lookup (linear search over 8 next-hop entries)
+    LDS r9, RADIO_RXBUF+5
+    LDP p1, ROUTE_TBL
+    LDI r8, 8
+rt_loop:
+    INCP p1
+    LDX r12, p1
+    CP r12, r9
+    JZ rt_found
+    INCP p1
+    DEC r8
+    JNZ rt_loop
+rt_found:
+    ; forward: copy the received frame into the TX FIFO verbatim
+    LDS r8, RADIO_RXLEN
+    STS RADIO_TXLEN, r8
+    LDP p1, RADIO_RXBUF
+    LDP p2, RADIO_TXBUF
+fw_loop:
+    LDX r0, p1
+    STX p2, r0
+    INCP p1
+    INCP p2
+    DEC r8
+    JNZ fw_loop
+    LDI r0, 1
+    STS RADIO_CMD, r0
+    MARK 13
+    RET
+rx_dup:
+    LDI r0, 4
+    STS RADIO_CMD, r0
+    MARK 20
+    RET
+rx_drop:
+    LDI r0, 4
+    STS RADIO_CMD, r0
+    MARK 20
+    RET
+)";
+    if (reconfig) {
+        s += R"(
+rx_irregular:
+    ; validate: length, PAN
+    LDS r9, RADIO_RXLEN
+    CPI r9, 12
+    JC rx_irr_done
+    LDS r9, RADIO_RXBUF+3
+    CPI r9, P_PAN_LO
+    JNZ rx_irr_done
+    LDS r9, RADIO_RXBUF+4
+    CPI r9, P_PAN_HI
+    JNZ rx_irr_done
+    ; copy the command payload out of the radio FIFO
+    LDP p1, RADIO_RXBUF+9
+    LDP p2, CMD_BUF
+    LDI r8, 6
+irr_copy:
+    LDX r0, p1
+    STX p2, r0
+    INCP p1
+    INCP p2
+    DEC r8
+    JNZ irr_copy
+    ; command dispatch: scan the handler id table
+    LDS r9, CMD_BUF
+    LDP p1, CMD_TBL
+    LDI r8, 4
+irr_scan:
+    LDX r12, p1
+    CP r12, r9
+    JZ irr_found
+    INCP p1
+    INCP p1
+    INCP p1
+    DEC r8
+    JNZ irr_scan
+    JMP rx_irr_done
+irr_found:
+    CPI r9, 0
+    JNZ rx_irr_thresh
+    MARK 14
+    MARK 15
+    LDS r10, CMD_BUF+1
+    LDS r11, CMD_BUF+2
+    STS SOFT_BASE+3, r10
+    STS SOFT_BASE+4, r11
+    STS SOFT_BASE+1, r10
+    STS SOFT_BASE+2, r11
+    MARK 16
+    LDI r0, 4
+    STS RADIO_CMD, r0
+    RET
+rx_irr_thresh:
+    CPI r9, 1
+    JNZ rx_irr_done
+    MARK 14
+    LDS r10, CMD_BUF+1
+    STS THRESH_VAL, r10
+    MARK 17
+rx_irr_done:
+    LDI r0, 4
+    STS RADIO_CMD, r0
+    RET
+)";
+    }
+    return s;
+}
+
+std::string
+blinkApp()
+{
+    // TinyOS Blink: a counter drives three LEDs, each set through its
+    // own Leds-component call.
+    return R"(
+app_timer_handler:
+    LDS r9, BLINK_CNT
+    INC r9
+    ANDI r9, 7
+    STS BLINK_CNT, r9
+    MOV r10, r9
+    ANDI r10, 1
+    CALL led_set0
+    MOV r10, r9
+    LSR r10
+    ANDI r10, 1
+    CALL led_set1
+    MOV r10, r9
+    LSR r10
+    LSR r10
+    CALL led_set2
+    MARK 18
+    RET
+
+led_set0:
+    LDS r0, LED
+    ANDI r0, 0xFE
+    OR r0, r10
+    STS LED, r0
+    RET
+led_set1:
+    MOV r11, r10
+    LSL r11
+    LDS r0, LED
+    ANDI r0, 0xFD
+    OR r0, r11
+    STS LED, r0
+    RET
+led_set2:
+    MOV r11, r10
+    LSL r11
+    LSL r11
+    LDS r0, LED
+    ANDI r0, 0xFB
+    OR r0, r11
+    STS LED, r0
+    RET
+)";
+}
+
+std::string
+senseApp()
+{
+    return R"(
+app_timer_handler:
+    LDI r0, 1
+    STS ADC_CTRL, r0
+    RET
+
+adc_task:
+sense_task:
+    LDS r9, ADC_DATA
+    ; store into the 16-sample ring
+    LDS r10, AVG_IDX
+    LDP p1, SAMPLES
+    ADD r3, r10
+    STX p1, r9
+    INC r10
+    ANDI r10, 15
+    STS AVG_IDX, r10
+    ; 16-bit sum over the window
+    LDI r11, 0
+    LDI r12, 0
+    LDP p1, SAMPLES
+    LDI r8, 16
+sense_sum:
+    LDX r13, p1
+    ADD r12, r13
+    JNC sense_nc
+    INC r11
+sense_nc:
+    INCP p1
+    DEC r8
+    JNZ sense_sum
+    ; min/max statistics over the window
+    LDI r13, 255
+    LDI r14, 0
+    LDP p1, SAMPLES
+    LDI r8, 16
+sense_mm:
+    LDX r15, p1
+    CP r15, r13
+    JNC sense_mm1
+    MOV r13, r15
+sense_mm1:
+    CP r14, r15
+    JNC sense_mm2
+    MOV r14, r15
+sense_mm2:
+    INCP p1
+    DEC r8
+    JNZ sense_mm
+    STS MIN_VAL, r13
+    STS MAX_VAL, r14
+    ; average = sum >> 4
+    LDI r8, 4
+sense_shift:
+    LSR r11
+    JNC sense_sh1
+    LSR r12
+    ORI r12, 0x80
+    JMP sense_sh2
+sense_sh1:
+    LSR r12
+sense_sh2:
+    DEC r8
+    JNZ sense_shift
+    STS AVG_VAL, r12
+    MARK 19
+    RET
+)";
+}
+
+std::string
+initCode(bool radio_rx)
+{
+    std::string s = R"(
+init:
+    LDI r0, 0
+    STS Q_HEAD, r0
+    STS Q_TAIL, r0
+    STS Q_COUNT, r0
+    STS SEEN_IDX, r0
+    STS SEQ_NO, r0
+    STS LED_SHADOW, r0
+    STS AVG_IDX, r0
+    LDI r0, P_THRESH
+    STS THRESH_VAL, r0
+    ; virtual timer slot 0: enabled, bound to the application handler
+    LDI r0, 1
+    STS SOFT_BASE+0, r0
+    LDI r0, P_SOFT_HI
+    STS SOFT_BASE+1, r0
+    STS SOFT_BASE+3, r0
+    LDI r0, P_SOFT_LO
+    STS SOFT_BASE+2, r0
+    STS SOFT_BASE+4, r0
+    LDI r0, 0
+    STS SOFT_BASE+5, r0
+    LDI r0, hi(app_timer_handler)
+    STS SOFT_BASE+6, r0
+    LDI r0, lo(app_timer_handler)
+    STS SOFT_BASE+7, r0
+    LDI r0, 0
+    STS SOFT_BASE+8, r0
+    STS SOFT_BASE+16, r0
+    STS SOFT_BASE+24, r0
+    STS SOFT_BASE+32, r0
+    STS SOFT_BASE+40, r0
+    STS SOFT_BASE+48, r0
+    STS SOFT_BASE+56, r0
+    STS UPTIME0, r0
+    STS UPTIME1, r0
+    STS UPTIME2, r0
+    STS UPTIME3, r0
+    STS BLINK_CNT, r0
+)";
+    if (radio_rx) {
+        s += "    LDI r0, 2\n"
+             "    STS RADIO_CMD, r0\n";
+    }
+    s += R"(    LDI r0, P_HWT_HI
+    STS TIMER_LOADHI, r0
+    LDI r0, P_HWT_LO
+    STS TIMER_LOADLO, r0
+    LDI r0, 3
+    STS TIMER_CTRL, r0
+    SEI
+    JMP os_loop
+)";
+    return s;
+}
+
+std::string
+routeTableData()
+{
+    return "\n.org ROUTE_TBL\n"
+           ".word 0x0002, 0x0003, 0x0004, 0x0005\n"
+           ".word 0x0006, 0x0007, 0x0008, 0x0000\n";
+}
+
+/** Command-dispatch table: 4 entries of [id, handler hi, handler lo]. */
+std::string
+commandTableData()
+{
+    return "\n.equ CMD_TBL, 0x08D0\n"
+           ".org CMD_TBL\n"
+           ".byte 0, 0, 0\n"
+           ".byte 1, 0, 0\n"
+           ".byte 2, 0, 0\n"
+           ".byte 3, 0, 0\n";
+}
+
+} // namespace
+
+std::string
+miniOsSource(Mica2AppKind kind, const MiniOsParams &params)
+{
+    bool send = kind == Mica2AppKind::SendNoFilter ||
+                kind == Mica2AppKind::SendFilter ||
+                kind == Mica2AppKind::Multihop ||
+                kind == Mica2AppKind::Reconfigurable;
+    bool filter = kind != Mica2AppKind::SendNoFilter && send;
+    bool rx = kind == Mica2AppKind::Multihop ||
+              kind == Mica2AppKind::Reconfigurable;
+    bool reconfig = kind == Mica2AppKind::Reconfigurable;
+    bool adc = send || kind == Mica2AppKind::Sense;
+
+    std::string s = dataLayout(params);
+    s += vectorTable(adc, rx);
+    s += sim::csprintf("\n.org %u\n", map::codeBase);
+    s += initCode(rx);
+    s += osCore();
+    if (adc)
+        s += adcIsr();
+    if (rx)
+        s += radioIsr();
+    if (send) {
+        s += sendApp(filter);
+        s += sendHelpers();
+    }
+    if (rx)
+        s += rxApp(reconfig);
+    if (kind == Mica2AppKind::Blink)
+        s += blinkApp();
+    if (kind == Mica2AppKind::Sense)
+        s += senseApp();
+    if (rx)
+        s += routeTableData();
+    if (reconfig)
+        s += commandTableData();
+    return s;
+}
+
+Mica2App
+buildMica2App(Mica2AppKind kind, const MiniOsParams &params)
+{
+    static const char *names[] = {
+        "mica2-app1-sample-send", "mica2-app2-sample-filter-send",
+        "mica2-app3-multihop", "mica2-app4-reconfigurable",
+        "mica2-blink", "mica2-sense",
+    };
+    Mica2App app;
+    app.name = names[static_cast<int>(kind)];
+    app.image = mcu::assemble(miniOsSource(kind, params));
+    app.entry = app.image.symbol("init");
+    return app;
+}
+
+} // namespace ulp::baseline

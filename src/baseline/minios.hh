@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MiniOS: a TinyOS-like event-driven runtime for the Mica2 baseline,
+ * hand-written in U8 assembly. It reproduces the software structure whose
+ * overhead the paper measures on the commodity platform (§6.1.3):
+ *
+ *  - a FIFO task queue with post/dispatch (TinyOS's TOS_post/scheduler);
+ *  - full-context-save interrupt handlers;
+ *  - a virtual-timer layer: the hardware timer interrupt scans software
+ *    timer slots, marks fired ones, and posts a dispatch task that calls
+ *    the bound handler (TinyOS ClockC/TimerM);
+ *  - interrupt-driven ADC sampling;
+ *  - software packet preparation: header build, software CRC-16 over the
+ *    frame (the commodity radio leaves the FCS to software), buffer copy
+ *    to the radio;
+ *  - software receive handling: type/dest parsing, a sequence cache for
+ *    duplicate suppression, a linear routing-table search, forwarding.
+ *
+ * MARK instructions delimit the Table 4 measurement segments.
+ */
+
+#ifndef ULP_BASELINE_MINIOS_HH
+#define ULP_BASELINE_MINIOS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mcu/assembler.hh"
+
+namespace ulp::baseline {
+
+/** MARK ids used by the runtime (Table 4 segment boundaries). */
+namespace mark {
+constexpr std::uint8_t timerIsrEntry = 10; ///< hardware timer ISR entry
+constexpr std::uint8_t sendDone = 11;      ///< radio TX command issued
+constexpr std::uint8_t radioIsrEntry = 12; ///< radio RX ISR entry
+constexpr std::uint8_t forwardDone = 13;   ///< forward TX command issued
+constexpr std::uint8_t irregularDecoded = 14; ///< reconfig decoded
+constexpr std::uint8_t timerChangeStart = 15;
+constexpr std::uint8_t timerChangeEnd = 16;
+constexpr std::uint8_t threshChangeEnd = 17;
+constexpr std::uint8_t blinkDone = 18;
+constexpr std::uint8_t senseDone = 19;
+constexpr std::uint8_t dropDone = 20;      ///< duplicate/local handled
+} // namespace mark
+
+struct MiniOsParams
+{
+    /** Hardware timer load (prescaled ticks; one tick = 64 CPU cycles). */
+    std::uint16_t hwTimerLoad = 1152; ///< ~10 ms at 7.3728 MHz
+    /** Software timer slot 0 reload (hardware fires per decrement). */
+    std::uint16_t softTimerCount = 10; ///< ~100 ms sampling
+    std::uint8_t threshold = 0;
+    std::uint16_t src = 0x0001;
+    std::uint16_t dest = 0x0000;
+    std::uint16_t pan = 0x0022;
+};
+
+enum class Mica2AppKind {
+    SendNoFilter,   ///< application version 1
+    SendFilter,     ///< application version 2
+    Multihop,       ///< application version 3 (adds receive/forward)
+    Reconfigurable, ///< application version 4 (adds irregular handling)
+    Blink,          ///< SNAP-comparison microbenchmark
+    Sense,          ///< SNAP-comparison microbenchmark
+};
+
+struct Mica2App
+{
+    std::string name;
+    mcu::Image image;
+    std::uint16_t entry;
+};
+
+/** Assemble MiniOS plus the selected application. */
+Mica2App buildMica2App(Mica2AppKind kind, const MiniOsParams &params = {});
+
+/** The full runtime+application assembly source (inspection/tests). */
+std::string miniOsSource(Mica2AppKind kind, const MiniOsParams &params);
+
+} // namespace ulp::baseline
+
+#endif // ULP_BASELINE_MINIOS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Figure 6 workload sweep (paper §6.3): the sample-filter-transmit
+ * application (version 2) run across node duty cycles, with per-component
+ * power obtained from measured component utilizations and the Table 5 /
+ * Table 3 circuit estimates. A duty cycle of 1.0 is roughly 800 tasks per
+ * second (the event processor saturated); the conservative case is
+ * modelled, in which every sample passes the threshold and is
+ * transmitted.
+ *
+ * The same sweep evaluates the Atmel comparison (utilization-normalized
+ * Mica2 CPU power, idling in power-save) and the MSP430 datapoint.
+ */
+
+#ifndef ULP_COMPARE_FIG6_HH
+#define ULP_COMPARE_FIG6_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ulp::compare {
+
+struct Fig6Point
+{
+    double dutyCycle;        ///< requested EP duty cycle (1.0 ~ 800/s)
+    double sampleRateHz;     ///< resulting sampling rate
+    double epUtilization;    ///< measured EP active fraction
+
+    // Per-component average power in watts (Figure 6 series).
+    double epWatts;
+    double timerWatts;
+    double msgProcWatts;
+    double filterWatts;
+    double memoryWatts;
+    double mcuWatts;
+    double totalWatts;
+
+    // Comparison models at the same utilization (§6.3).
+    double atmelWatts;
+    double msp430LowWatts;
+    double msp430HighWatts;
+
+    std::uint64_t samplesSent;
+    std::uint64_t eventsDropped;
+};
+
+/** The duty-cycle grid the bench sweeps (1.0 down to 1e-4). */
+std::vector<double> fig6DefaultDuties();
+
+/**
+ * Run the version-2 application at @p duty_cycle for at least
+ * @p min_seconds (and at least eight samples) and report the power
+ * breakdown.
+ */
+Fig6Point runFig6Point(double duty_cycle, double min_seconds = 1.0);
+
+/** Sweep a list of duty cycles. */
+std::vector<Fig6Point> sweepFig6(const std::vector<double> &duties,
+                                 double min_seconds = 1.0);
+
+/** Maximum sample rate: the §6.1.3 ~800 samples/s headline. */
+double maxSampleRateHz();
+
+} // namespace ulp::compare
+
+#endif // ULP_COMPARE_FIG6_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cycle-count measurement harness reproducing the paper's Table 4 and
+ * §6.1.3 methodology: each scenario builds a fresh single-node system,
+ * drives one event through it, and reads the cycle distance between two
+ * probes (our architecture) or two MARKs (the Mica2 baseline).
+ *
+ * Published reference values are included so benches and tests can report
+ * measured-vs-paper deltas.
+ */
+
+#ifndef ULP_COMPARE_TABLE4_HH
+#define ULP_COMPARE_TABLE4_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ulp::compare {
+
+struct Table4Row
+{
+    std::string name;
+    std::uint64_t mica2Cycles;
+    std::uint64_t ourCycles;
+    double paperMica2;   ///< 0 when the paper does not report it
+    double paperOurs;
+    double speedup() const
+    {
+        return ourCycles ? static_cast<double>(mica2Cycles) / ourCycles
+                         : 0.0;
+    }
+};
+
+// --- our architecture -------------------------------------------------------
+std::uint64_t oursSendPathCycles(bool with_filter);
+std::uint64_t oursRegularMsgCycles();
+std::uint64_t oursIrregularMsgCycles();
+std::uint64_t oursTimerChangeCycles();
+std::uint64_t oursThresholdChangeCycles();
+std::uint64_t oursBlinkCycles();
+std::uint64_t oursSenseCycles();
+
+/** Memory footprint of the full v4 application (code + tables). */
+std::size_t oursFootprintBytes();
+
+// --- Mica2 baseline ----------------------------------------------------------
+std::uint64_t mica2SendPathCycles(bool with_filter);
+std::uint64_t mica2RegularMsgCycles();
+std::uint64_t mica2IrregularMsgCycles();
+std::uint64_t mica2TimerChangeCycles();
+std::uint64_t mica2ThresholdChangeCycles();
+std::uint64_t mica2BlinkCycles();
+std::uint64_t mica2SenseCycles();
+std::size_t mica2FootprintBytes();
+
+/** The full Table 4 with paper reference values attached. */
+std::vector<Table4Row> table4();
+
+/** Published SNAP cycle counts (§6.1.3) for the comparison bench. */
+constexpr std::uint64_t snapBlinkCycles = 41;
+constexpr std::uint64_t snapSenseCycles = 261;
+constexpr std::uint64_t paperOursBlinkCycles = 12;
+constexpr std::uint64_t paperOursSenseCycles = 24;
+constexpr std::uint64_t paperMica2BlinkCycles = 523;
+constexpr std::uint64_t paperMica2SenseCycles = 1118;
+constexpr std::size_t paperMica2FootprintBytes = 11558;
+constexpr std::size_t paperOursFootprintBytes = 180;
+
+} // namespace ulp::compare
+
+#endif // ULP_COMPARE_TABLE4_HH

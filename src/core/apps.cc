@@ -1,0 +1,449 @@
+#include "core/apps.hh"
+
+#include "core/memory_map.hh"
+#include "sim/logging.hh"
+
+namespace ulp::core::apps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Event processor ISR fragments. These mirror the paper's Figure 5 code;
+// comments name the pipeline stage each ISR implements.
+// ---------------------------------------------------------------------------
+
+/** v1 send path: timer alarm -> sample -> message processor. */
+const char *epTimerIsrNoFilter = R"(
+; Timer interrupt: collect sensor data, stage it for packet preparation
+timer_isr:
+    SWITCHON SENSOR
+    READ SENSOR_DATA            ; reg <- sample
+    SWITCHOFF SENSOR
+    SWITCHON MSGPROC
+    WRITE MSG_PAYLOAD           ; payload[0] <- reg
+    WRITEI MSG_PAYLOAD_LEN, 1
+    WRITEI MSG_CTRL, 1          ; CMD_PREPARE
+    TERMINATE
+)";
+
+/** v2 send path: the sample goes through the threshold filter first. */
+const char *epTimerIsrFilter = R"(
+; Timer interrupt: collect sensor data, pass it to the threshold filter
+timer_isr:
+    SWITCHON SENSOR
+    READ SENSOR_DATA            ; reg <- sample
+    SWITCHOFF SENSOR
+    SWITCHON FILTER
+    WRITE FILTER_DATA           ; starts the comparison (3 cycles)
+    TERMINATE
+
+; Sample met the threshold: stage it for packet preparation
+filter_pass_isr:
+    READ FILTER_RESULT          ; confirm the decision word
+    READ FILTER_DATA            ; reg <- the filtered sample
+    SWITCHON MSGPROC
+    WRITE MSG_PAYLOAD
+    WRITEI MSG_PAYLOAD_LEN, 1
+    WRITEI MSG_CTRL, 1          ; CMD_PREPARE
+    WRITEI FILTER_CTRL, 1       ; re-arm interrupt mode for the next sample
+    SWITCHOFF FILTER
+    TERMINATE
+
+; Sample below threshold: nothing to send
+filter_fail_isr:
+    SWITCHOFF FILTER
+    TERMINATE
+)";
+
+/** Message prepared: move the frame to the radio and transmit. */
+const char *epTxReadyIsr = R"(
+; Prepared message: move it into the radio TX FIFO and fire
+txready_isr:
+    SWITCHON RADIO
+    WRITEI RADIO_TXLEN, 12
+    TRANSFER MSG_OUTBUF, RADIO_TXFIFO, 12
+    SWITCHOFF MSGPROC
+    WRITEI RADIO_CTRL, 1        ; CMD_TX
+    TERMINATE
+)";
+
+/** TX complete: gate the radio (send-only apps v1/v2). */
+const char *epTxDoneGateRadio = R"(
+txdone_isr:
+    SWITCHOFF RADIO
+    TERMINATE
+)";
+
+/** TX complete on a listening node: the radio must stay on. */
+const char *epTxDoneKeepRadio = R"(
+txdone_isr:
+    TERMINATE
+)";
+
+/** v3 receive path: move the frame to the message processor. */
+const char *epRxIsrs = R"(
+; Radio received a frame: hand it to the message processor to classify
+rxdone_isr:
+    SWITCHON MSGPROC
+    READ RADIO_RXLEN
+    WRITE MSG_IN_LEN
+    TRANSFER RADIO_RXFIFO, MSG_INBUF, 16
+    WRITEI MSG_CTRL, 2          ; CMD_PROCESS_RX
+    TERMINATE
+
+; Regular message: forward it
+forward_isr:
+    WRITEI RADIO_TXLEN, 12
+    TRANSFER MSG_OUTBUF, RADIO_TXFIFO, 12
+    SWITCHOFF MSGPROC
+    WRITEI RADIO_CTRL, 1        ; CMD_TX
+    TERMINATE
+
+; Duplicate or local delivery: just clean up
+drop_isr:
+    SWITCHOFF MSGPROC
+    TERMINATE
+)";
+
+/** v4 irregular path: only the uC knows what to do. */
+const char *epIrregularIsr = R"(
+; Irregular message: wake the microcontroller at vector 0
+irregular_isr:
+    WAKEUP 0
+)";
+
+/** A fast chained tick needs only acknowledgement, no work. */
+const char *epNullIsr = R"(
+null_isr:
+    TERMINATE
+)";
+
+std::string
+epIsrBindingsV1(bool chained)
+{
+    std::string s;
+    if (chained) {
+        s += ".isr Timer0, null_isr\n"
+             ".isr Timer1, timer_isr\n";
+    } else {
+        s += ".isr Timer0, timer_isr\n";
+    }
+    s += ".isr MsgTxReady, txready_isr\n"
+         ".isr RadioTxDone, txdone_isr\n";
+    return s;
+}
+
+const char *epIsrBindingsFilter = R"(
+.isr FilterPass, filter_pass_isr
+.isr FilterFail, filter_fail_isr
+)";
+
+const char *epIsrBindingsRx = R"(
+.isr RadioRxDone, rxdone_isr
+.isr MsgRxForward, forward_isr
+.isr MsgRxDrop, drop_isr
+.isr MsgRxLocal, drop_isr
+)";
+
+const char *epIsrBindingsIrregular = R"(
+.isr MsgRxIrregular, irregular_isr
+)";
+
+// ---------------------------------------------------------------------------
+// Microcontroller code.
+// ---------------------------------------------------------------------------
+
+/**
+ * Split the 32-bit sampling period into timer loads. Short periods use
+ * timer 0 alone; longer ones run timer 0 as a fast periodic tick chained
+ * into timer 1, which counts tick completions.
+ */
+struct TimerPlan
+{
+    bool chained;
+    std::uint16_t load0;
+    std::uint16_t load1;
+};
+
+TimerPlan
+planTimers(std::uint32_t period_cycles)
+{
+    if (period_cycles == 0)
+        period_cycles = 1;
+    if (period_cycles <= 0xFFFF)
+        return {false, static_cast<std::uint16_t>(period_cycles), 0};
+    std::uint32_t tick = 50'000;
+    std::uint32_t count = (period_cycles + tick - 1) / tick;
+    if (count > 0xFFFF)
+        sim::fatal("sampling period %u cycles exceeds the chained range",
+                   period_cycles);
+    return {true, static_cast<std::uint16_t>(tick),
+            static_cast<std::uint16_t>(count)};
+}
+
+std::string
+mcuParamHeader(const AppParams &params)
+{
+    TimerPlan plan = planTimers(params.samplePeriodCycles);
+    return sim::csprintf(
+        ".equ P_CHAINED, %u\n"
+        ".equ P_PERIOD1_HI, %u\n"
+        ".equ P_PERIOD1_LO, %u\n"
+        ".equ P_PERIOD_HI, %u\n"
+        ".equ P_PERIOD_LO, %u\n"
+        ".equ P_THRESH, %u\n"
+        ".equ P_DEST_HI, %u\n"
+        ".equ P_DEST_LO, %u\n"
+        ".equ MCU_CODE, %u\n"
+        ".equ MSG_INBUF_CMD, %u\n"
+        ".equ MSG_INBUF_VHI, %u\n"
+        ".equ MSG_INBUF_VLO, %u\n"
+        ".equ MSG_INBUF_SRC_LO, %u\n"
+        ".equ MSG_INBUF_SRC_HI, %u\n"
+        ".equ ACL_HI, %u\n"
+        ".equ ACL_LO, %u\n"
+        ".equ SCRATCH, %u\n",
+        plan.chained ? 1 : 0, plan.load1 >> 8, plan.load1 & 0xFF,
+        plan.load0 >> 8, plan.load0 & 0xFF,
+        params.threshold, params.dest >> 8, params.dest & 0xFF,
+        map::mcuCodeBase,
+        map::msgBase + map::msgInBuf + cmdTargetOffset,
+        map::msgBase + map::msgInBuf + cmdValueHiOffset,
+        map::msgBase + map::msgInBuf + cmdValueLoOffset,
+        map::msgBase + map::msgInBuf + 7,
+        map::msgBase + map::msgInBuf + 8,
+        0x00, 0x42,
+        map::mcuCodeBase - 2);
+}
+
+/**
+ * System initialization (an irregular task by definition): configure the
+ * slaves for the application, then go to sleep forever (regular operation
+ * is entirely the EP's business).
+ */
+std::string
+mcuInit(bool use_filter, bool radio_rx, bool enable_timer,
+        bool chained = false)
+{
+    std::string s = "\n.org MCU_CODE\ninit:\n"
+                    "    LDI r0, P_DEST_HI\n"
+                    "    STS MSG_DEST_HI, r0\n"
+                    "    LDI r0, P_DEST_LO\n"
+                    "    STS MSG_DEST_LO, r0\n"
+                    "    LDI r0, 1\n"
+                    "    STS MSG_PAYLOAD_LEN, r0\n";
+    if (use_filter) {
+        s += "    LDI r0, P_THRESH\n"
+             "    STS FILTER_THRESH, r0\n"
+             "    LDI r0, 1\n"
+             "    STS FILTER_CTRL, r0\n";
+    }
+    if (radio_rx) {
+        s += "    LDI r0, 2\n"
+             "    STS RADIO_CTRL, r0\n"; // RX on
+    }
+    if (enable_timer) {
+        s += "    LDI r0, P_PERIOD_HI\n"
+             "    STS TIMER0_LOADHI, r0\n"
+             "    LDI r0, P_PERIOD_LO\n"
+             "    STS TIMER0_LOADLO, r0\n";
+        if (chained) {
+            s += "    LDI r0, P_PERIOD1_HI\n"
+                 "    STS TIMER1_LOADHI, r0\n"
+                 "    LDI r0, P_PERIOD1_LO\n"
+                 "    STS TIMER1_LOADLO, r0\n"
+                 "    LDI r0, 7\n"          // enable | reload | chain
+                 "    STS TIMER1_CTRL, r0\n";
+        }
+        s += "    LDI r0, 3\n"              // enable | reload
+             "    STS TIMER0_CTRL, r0\n";
+    }
+    s += "    SLEEP\n";
+    return s;
+}
+
+/**
+ * v4 irregular-event handler: decode a reconfiguration command from the
+ * message processor's IN buffer and apply it. MARK 1 fires after a timer
+ * change, MARK 2 after a threshold change (measurement hooks).
+ */
+const char *mcuReconfigHandler = R"(
+reconfig:
+    LDS r0, MSG_IN_LEN          ; sanity: a command frame is >= 12 bytes
+    CPI r0, 12
+    JC rc_invalid
+    LDS r0, MSG_INBUF           ; FCF: really a command frame?
+    ANDI r0, 7
+    CPI r0, 3
+    JNZ rc_invalid
+    LDS r0, MSG_INBUF_SRC_HI    ; authorised reconfigurer only
+    CPI r0, ACL_HI
+    JNZ rc_invalid
+    LDS r0, MSG_INBUF_SRC_LO
+    CPI r0, ACL_LO
+    JNZ rc_invalid
+    LDS r0, MSG_INBUF_CMD
+    CPI r0, 0
+    JNZ rc_not_timer
+    ; --- timer period change ---
+    LDS r1, MSG_INBUF_VHI
+    LDS r2, MSG_INBUF_VLO
+    MOV r3, r1                  ; reject a zero period
+    OR r3, r2
+    JZ rc_invalid
+    LDI r3, 0                   ; pause while rewriting
+    STS TIMER0_CTRL, r3
+    STS TIMER0_LOADHI, r1
+    STS TIMER0_LOADLO, r2
+    LDI r3, 3                   ; restart periodic
+    STS TIMER0_CTRL, r3
+    MARK 1
+    LDS r4, SCRATCH             ; applied-reconfigurations counter
+    INC r4
+    STS SCRATCH, r4
+    SLEEP
+rc_not_timer:
+    CPI r0, 1
+    JNZ rc_invalid
+    ; --- filter threshold change ---
+    LDS r1, MSG_INBUF_VHI
+    STS FILTER_THRESH, r1
+    MARK 2
+    LDS r4, SCRATCH
+    INC r4
+    STS SCRATCH, r4
+    SLEEP
+rc_invalid:
+    MARK 3
+    SLEEP
+)";
+
+// ---------------------------------------------------------------------------
+// Assembly of complete applications.
+// ---------------------------------------------------------------------------
+
+NodeApp
+finish(std::string name, const std::string &ep_source,
+       const std::string &mcu_source)
+{
+    NodeApp app;
+    app.name = std::move(name);
+    app.ep = epAssemble(ep_source);
+    app.mcu = mcu::assemble(mcu_source, epDefaultSymbols());
+    app.initEntry = app.mcu.symbol("init");
+    if (app.mcu.hasSymbol("reconfig"))
+        app.vectors[0] = app.mcu.symbol("reconfig");
+    return app;
+}
+
+} // namespace
+
+NodeApp
+buildApp1(const AppParams &params)
+{
+    bool chained = params.samplePeriodCycles > 0xFFFF;
+    std::string ep = std::string(epTimerIsrNoFilter) + epTxReadyIsr +
+                     epTxDoneGateRadio + epNullIsr +
+                     epIsrBindingsV1(chained);
+    std::string mc = mcuParamHeader(params) +
+                     mcuInit(false, false, true, chained);
+    return finish("app1-sample-send", ep, mc);
+}
+
+NodeApp
+buildApp2(const AppParams &params)
+{
+    bool chained = params.samplePeriodCycles > 0xFFFF;
+    std::string ep = std::string(epTimerIsrFilter) + epTxReadyIsr +
+                     epTxDoneGateRadio + epNullIsr +
+                     epIsrBindingsV1(chained) + epIsrBindingsFilter;
+    std::string mc = mcuParamHeader(params) +
+                     mcuInit(true, false, true, chained);
+    return finish("app2-sample-filter-send", ep, mc);
+}
+
+NodeApp
+buildApp3(const AppParams &params)
+{
+    bool chained = params.samplePeriodCycles > 0xFFFF;
+    std::string ep = std::string(epTimerIsrFilter) + epTxReadyIsr +
+                     epTxDoneKeepRadio + epRxIsrs + epNullIsr +
+                     epIsrBindingsV1(chained) + epIsrBindingsFilter +
+                     epIsrBindingsRx;
+    std::string mc = mcuParamHeader(params) +
+                     mcuInit(true, true, true, chained);
+    return finish("app3-multihop", ep, mc);
+}
+
+NodeApp
+buildApp4(const AppParams &params)
+{
+    bool chained = params.samplePeriodCycles > 0xFFFF;
+    std::string ep = std::string(epTimerIsrFilter) + epTxReadyIsr +
+                     epTxDoneKeepRadio + epRxIsrs + epIrregularIsr +
+                     epNullIsr + epIsrBindingsV1(chained) +
+                     epIsrBindingsFilter + epIsrBindingsRx +
+                     epIsrBindingsIrregular;
+    std::string mc = mcuParamHeader(params) +
+                     mcuInit(true, true, true, chained) +
+                     mcuReconfigHandler;
+    return finish("app4-reconfigurable", ep, mc);
+}
+
+NodeApp
+buildBlink(const AppParams &params)
+{
+    // SNAP comparison: a timer interrupt toggles an LED. The "LED" is a
+    // scratch byte; the EP writes alternating values from two tiny ISRs
+    // is overkill, a single WRITEI models the set-LED operation.
+    const char *ep = R"(
+blink_isr:
+    WRITEI 0x0700, 1            ; LED register in scratch space
+    TERMINATE
+.isr Timer0, blink_isr
+)";
+    std::string mc = mcuParamHeader(params) +
+                     mcuInit(false, false, true);
+    return finish("blink", ep, mc);
+}
+
+NodeApp
+buildSense(const AppParams &params)
+{
+    // SNAP comparison: periodically sample the ADC and feed a running
+    // statistic. The threshold filter block plays the accumulator role
+    // (data-processing slave), with interrupts disabled.
+    const char *ep = R"(
+sense_isr:
+    SWITCHON SENSOR
+    READ SENSOR_DATA
+    SWITCHOFF SENSOR
+    WRITE FILTER_DATA
+    TERMINATE
+.isr Timer0, sense_isr
+)";
+    std::string mc = mcuParamHeader(params) +
+                     "\n.org MCU_CODE\ninit:\n"
+                     "    LDI r0, 0\n"
+                     "    STS FILTER_CTRL, r0\n" // statistic mode: no irqs
+                     "    LDI r0, P_PERIOD_HI\n"
+                     "    STS TIMER0_LOADHI, r0\n"
+                     "    LDI r0, P_PERIOD_LO\n"
+                     "    STS TIMER0_LOADLO, r0\n"
+                     "    LDI r0, 3\n"
+                     "    STS TIMER0_CTRL, r0\n"
+                     "    SLEEP\n";
+    return finish("sense", ep, mc);
+}
+
+void
+install(SensorNode &node, const NodeApp &app)
+{
+    node.loadEpProgram(app.ep);
+    node.loadMcuProgram(app.mcu);
+    for (const auto &[index, handler] : app.vectors)
+        node.setMcuVector(index, handler);
+    node.boot(app.initEntry);
+}
+
+} // namespace ulp::core::apps

@@ -1,0 +1,72 @@
+#include "core/bus.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace ulp::core {
+
+DataBus::DataBus(sim::Simulation &simulation, const std::string &name,
+                 sim::SimObject *parent)
+    : sim::SimObject(simulation, name, parent),
+      statReads(this, "reads", "read transactions"),
+      statWrites(this, "writes", "write transactions"),
+      statUnmapped(this, "unmapped", "accesses no slave claimed")
+{
+}
+
+void
+DataBus::addSlave(BusSlave *slave)
+{
+    AddrRange range = slave->addrRange();
+    for (BusSlave *existing : slaves) {
+        AddrRange other = existing->addrRange();
+        bool overlap = range.base < other.base + other.size &&
+                       other.base < range.base + range.size;
+        if (overlap) {
+            sim::fatal("bus slave range [%#x,+%u) overlaps [%#x,+%u)",
+                       range.base, range.size, other.base, other.size);
+        }
+    }
+    slaves.push_back(slave);
+}
+
+BusSlave *
+DataBus::findSlave(map::Addr addr) const
+{
+    for (BusSlave *slave : slaves) {
+        if (slave->addrRange().contains(addr))
+            return slave;
+    }
+    return nullptr;
+}
+
+std::uint8_t
+DataBus::read(map::Addr addr)
+{
+    ++statReads;
+    BusSlave *slave = findSlave(addr);
+    if (!slave) {
+        ++statUnmapped;
+        ULP_TRACE("Bus", this, "read of unmapped address %#06x", addr);
+        return 0xFF;
+    }
+    std::uint8_t value = slave->busRead(addr - slave->addrRange().base);
+    ULP_TRACE("Bus", this, "read  %#06x -> %#04x", addr, value);
+    return value;
+}
+
+void
+DataBus::write(map::Addr addr, std::uint8_t value)
+{
+    ++statWrites;
+    BusSlave *slave = findSlave(addr);
+    if (!slave) {
+        ++statUnmapped;
+        ULP_TRACE("Bus", this, "write of unmapped address %#06x", addr);
+        return;
+    }
+    ULP_TRACE("Bus", this, "write %#06x <- %#04x", addr, value);
+    slave->busWrite(addr - slave->addrRange().base, value);
+}
+
+} // namespace ulp::core

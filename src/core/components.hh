@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Power-gateable component identifiers used by the SWITCHON/SWITCHOFF
+ * instructions and the power control division of the system bus
+ * (paper §4.2.6). The 5-bit operand field of the EP ISA allows 32 ids.
+ */
+
+#ifndef ULP_CORE_COMPONENTS_HH
+#define ULP_CORE_COMPONENTS_HH
+
+#include <cstdint>
+
+namespace ulp::core {
+
+enum class ComponentId : std::uint8_t {
+    Microcontroller = 0,
+    Timers = 1,
+    Filter = 2,
+    MsgProc = 3,
+    Radio = 4,
+    Sensor = 5,
+    Compressor = 6,
+    // 8..15: main memory banks 0..7
+    MemBank0 = 8,
+    MemBank7 = 15,
+};
+
+constexpr unsigned numComponentIds = 32;
+
+constexpr bool
+isMemBank(ComponentId id)
+{
+    auto v = static_cast<std::uint8_t>(id);
+    return v >= 8 && v <= 15;
+}
+
+constexpr unsigned
+memBankIndex(ComponentId id)
+{
+    return static_cast<std::uint8_t>(id) - 8;
+}
+
+constexpr const char *
+componentName(ComponentId id)
+{
+    switch (id) {
+      case ComponentId::Microcontroller: return "uController";
+      case ComponentId::Timers: return "Timers";
+      case ComponentId::Filter: return "Filter";
+      case ComponentId::MsgProc: return "MsgProc";
+      case ComponentId::Radio: return "Radio";
+      case ComponentId::Sensor: return "Sensor";
+      case ComponentId::Compressor: return "Compressor";
+      default:
+        return isMemBank(id) ? "MemBank" : "Unknown";
+    }
+}
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_COMPONENTS_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The event processor (paper §4.3.3): a programmable state machine that
+ * performs the repetitive work of interrupt handling while the
+ * microcontroller stays powered down — an "intelligent DMA controller".
+ *
+ * State machine (Figure 2): the EP idles in READY until the interrupt bus
+ * has work; if the data bus is available it LOOKUPs the ISR address in
+ * the in-memory table, then alternates FETCH (one cycle per instruction
+ * word over the byte-serial bus) and EXECUTE until a TERMINATE or WAKEUP
+ * instruction returns it to READY. When the bus is held by an awake
+ * microcontroller the EP parks in WAIT_BUS.
+ *
+ * The model is event-driven: each state transition schedules the next one
+ * at its cycle cost; in READY with nothing pending the EP keeps no events
+ * in the queue (its tracker sits at the 18 nW idle figure of Table 5).
+ */
+
+#ifndef ULP_CORE_EVENT_PROCESSOR_HH
+#define ULP_CORE_EVENT_PROCESSOR_HH
+
+#include <functional>
+
+#include "core/bus.hh"
+#include "core/ep_isa.hh"
+#include "core/interrupt_bus.hh"
+#include "core/power_controller.hh"
+#include "core/probes.hh"
+#include "power/energy_tracker.hh"
+#include "sim/clock.hh"
+
+namespace ulp::core {
+
+class EventProcessor : public sim::SimObject
+{
+  public:
+    enum class State { Ready, WaitBus, Lookup, Fetch, Execute };
+
+    /** Cycle costs of the EP microarchitecture (tunable; see DESIGN.md). */
+    struct Timing
+    {
+        sim::Cycles lookup = 3;        ///< 2 table bytes + dispatch
+        sim::Cycles fetchPerWord = 1;
+        sim::Cycles read = 1;          ///< one data-bus transaction
+        sim::Cycles write = 1;
+        sim::Cycles writei = 1;
+        sim::Cycles switchOn = 1;      ///< plus the component's wakeup ack
+        sim::Cycles switchOff = 1;
+        sim::Cycles terminate = 1;
+        sim::Cycles wakeup = 3;        ///< 2 vector bytes + handoff
+        sim::Cycles transferPerByte = 2; ///< one read + one write per byte
+    };
+
+    EventProcessor(sim::Simulation &simulation, const std::string &name,
+                   sim::SimObject *parent, DataBus &bus,
+                   InterruptBus &irq_bus, PowerController &power_ctrl,
+                   ProbeRecorder *probes, const sim::ClockDomain &clock,
+                   const power::PowerModel &model,
+                   const Timing &timing);
+
+    /**
+     * The node installs this: wake the microcontroller at a handler
+     * address (the EP has already read the vector table).
+     */
+    void setWakeMcu(std::function<void(std::uint16_t)> fn)
+    {
+        wakeMcu = std::move(fn);
+    }
+
+    /** The microcontroller wrapper calls this when it releases the bus. */
+    void busReleased();
+
+    State state() const { return _state; }
+    std::uint8_t dataRegister() const { return reg; }
+
+    std::uint64_t isrsExecuted() const
+    {
+        return static_cast<std::uint64_t>(statIsrs.value());
+    }
+    std::uint64_t instructionsExecuted() const
+    {
+        return static_cast<std::uint64_t>(statInstructions.value());
+    }
+    sim::Cycles busyCycles() const
+    {
+        return static_cast<sim::Cycles>(statBusyCycles.value());
+    }
+
+    const power::EnergyTracker &energyTracker() const { return tracker; }
+    double averagePowerWatts() const
+    {
+        return tracker.averagePowerWatts();
+    }
+    double utilization() const { return tracker.utilization(); }
+
+    const Timing &timing() const { return _timing; }
+
+  private:
+    void wakeup();            ///< interrupt-bus listener
+    void advance();           ///< one state-machine step
+    void consume(sim::Cycles cycles, sim::Tick extra_ticks = 0);
+    void enterReady();
+    void beginService();
+    sim::Cycles executeCurrent();
+
+    DataBus &bus;
+    InterruptBus &irqBus;
+    PowerController &powerCtrl;
+    ProbeRecorder *probes;
+    const sim::ClockDomain &clock;
+    Timing _timing;
+    std::function<void(std::uint16_t)> wakeMcu;
+
+    State _state = State::Ready;
+    std::uint8_t reg = 0;       ///< the single temporary data register
+    std::uint16_t pc = 0;
+    EpInstruction current;
+    Irq servicing = Irq::None;
+    bool wakeupPending = false; ///< WAKEUP executed; hand off in advance()
+    std::uint16_t wakeupHandler = 0;
+
+    power::EnergyTracker tracker;
+    sim::EventFunctionWrapper advanceEvent;
+
+    sim::stats::Scalar statIsrs;
+    sim::stats::Scalar statInstructions;
+    sim::stats::Scalar statBusyCycles;
+    sim::stats::Scalar statBusWaits;
+    sim::stats::Scalar statWakeups;
+};
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_EVENT_PROCESSOR_HH

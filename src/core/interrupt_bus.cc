@@ -1,0 +1,62 @@
+#include "core/interrupt_bus.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace ulp::core {
+
+InterruptBus::InterruptBus(sim::Simulation &simulation,
+                           const std::string &name, sim::SimObject *parent)
+    : sim::SimObject(simulation, name, parent),
+      statPosted(this, "posted", "interrupt assertions accepted"),
+      statDropped(this, "dropped",
+                  "events lost because the code was already asserted"),
+      statTaken(this, "taken", "interrupts granted to the event processor")
+{
+}
+
+void
+InterruptBus::post(Irq irq)
+{
+    auto code = static_cast<unsigned>(irq);
+    if (code == 0 || code >= numIrqCodes)
+        sim::panic("interrupt code %u out of range", code);
+
+    if (asserted.test(code)) {
+        ++statDropped;
+        ULP_TRACE("IrqBus", this, "dropped %s (already asserted)",
+                  irqName(irq));
+        return;
+    }
+    asserted.set(code);
+    ++statPosted;
+    ULP_TRACE("IrqBus", this, "posted %s", irqName(irq));
+    if (listener)
+        listener();
+}
+
+std::optional<Irq>
+InterruptBus::peek() const
+{
+    if (!asserted.any())
+        return std::nullopt;
+    for (unsigned code = 1; code < numIrqCodes; ++code) {
+        if (asserted.test(code))
+            return static_cast<Irq>(code);
+    }
+    return std::nullopt;
+}
+
+std::optional<Irq>
+InterruptBus::take()
+{
+    std::optional<Irq> irq = peek();
+    if (irq) {
+        asserted.reset(static_cast<unsigned>(*irq));
+        ++statTaken;
+        ULP_TRACE("IrqBus", this, "granted %s", irqName(*irq));
+    }
+    return irq;
+}
+
+} // namespace ulp::core

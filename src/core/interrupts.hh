@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interrupt codes on the 6-line interrupt bus (64 codes, paper §4.3.1).
+ * To the master components there is no distinction between external
+ * events (radio packet start) and internal ones (accelerator completion);
+ * all are interrupts (§4.2.1). Lower codes win arbitration.
+ */
+
+#ifndef ULP_CORE_INTERRUPTS_HH
+#define ULP_CORE_INTERRUPTS_HH
+
+#include <cstdint>
+
+namespace ulp::core {
+
+enum class Irq : std::uint8_t {
+    None = 0,
+
+    Timer0 = 1,        ///< timer 0 alarm
+    Timer1 = 2,
+    Timer2 = 3,
+    Timer3 = 4,
+
+    AdcDone = 8,       ///< asynchronous acquisition complete
+
+    FilterPass = 10,   ///< datum >= threshold
+    FilterFail = 11,   ///< datum < threshold
+
+    CompDone = 12,     ///< compressor finished encoding a block
+
+    MsgBatchFull = 15, ///< staged payload reached the configured batch
+    MsgTxReady = 16,   ///< outgoing frame prepared in msgproc OUT buffer
+    MsgRxForward = 17, ///< received frame should be forwarded
+    MsgRxDrop = 18,    ///< received frame is a duplicate: clean up
+    MsgRxLocal = 19,   ///< received data frame addressed to this node
+    MsgRxIrregular = 20, ///< irregular message: wake the microcontroller
+
+    RadioTxDone = 24,  ///< last byte left the antenna
+    RadioRxDone = 25,  ///< intact frame sits in the radio RX FIFO
+};
+
+constexpr unsigned numIrqCodes = 64;
+
+constexpr const char *
+irqName(Irq irq)
+{
+    switch (irq) {
+      case Irq::None: return "None";
+      case Irq::Timer0: return "Timer0";
+      case Irq::Timer1: return "Timer1";
+      case Irq::Timer2: return "Timer2";
+      case Irq::Timer3: return "Timer3";
+      case Irq::AdcDone: return "AdcDone";
+      case Irq::FilterPass: return "FilterPass";
+      case Irq::FilterFail: return "FilterFail";
+      case Irq::CompDone: return "CompDone";
+      case Irq::MsgBatchFull: return "MsgBatchFull";
+      case Irq::MsgTxReady: return "MsgTxReady";
+      case Irq::MsgRxForward: return "MsgRxForward";
+      case Irq::MsgRxDrop: return "MsgRxDrop";
+      case Irq::MsgRxLocal: return "MsgRxLocal";
+      case Irq::MsgRxIrregular: return "MsgRxIrregular";
+      case Irq::RadioTxDone: return "RadioTxDone";
+      case Irq::RadioRxDone: return "RadioRxDone";
+    }
+    return "Unknown";
+}
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_INTERRUPTS_HH

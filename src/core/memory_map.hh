@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The node's 64 KiB memory-mapped address space (paper §4.2.5, §4.3.1).
+ * All slaves live behind the 16-bit-address / 8-bit-data system bus; both
+ * control and data are communicated by reading and writing these
+ * addresses, which is what makes the architecture modular.
+ */
+
+#ifndef ULP_CORE_MEMORY_MAP_HH
+#define ULP_CORE_MEMORY_MAP_HH
+
+#include <cstdint>
+
+namespace ulp::core::map {
+
+using Addr = std::uint16_t;
+
+// --- Main SRAM (2 KiB, 8 x 256 B gateable banks) -------------------------
+constexpr Addr sramBase = 0x0000;
+constexpr Addr sramSize = 0x0800;
+
+/** EP interrupt -> ISR lookup table: 64 entries x 2 B (big-endian). */
+constexpr Addr isrTableBase = 0x0000;
+constexpr Addr isrTableSize = 0x0080;
+
+/** uC wakeup vector table: 8 entries x 2 B (big-endian). */
+constexpr Addr mcuVectorBase = 0x0080;
+constexpr Addr mcuVectorSize = 0x0010;
+
+/** Convention: EP ISR code. */
+constexpr Addr epIsrBase = 0x0090;
+
+/** Convention: uC code. */
+constexpr Addr mcuCodeBase = 0x0200;
+
+/** Convention: uC stack top (grows down inside bank 3). */
+constexpr Addr mcuStackTop = 0x03FF;
+
+// --- Timer subsystem (4 x 16-bit chainable countdown timers) --------------
+constexpr Addr timerBase = 0x1000;
+constexpr Addr timerSize = 0x0020;
+constexpr Addr timerStride = 0x08;
+// Per-timer registers (offset within a timer's window):
+constexpr Addr timerCtrl = 0x0;   ///< bit0 enable, bit1 reload, bit2 chain
+constexpr Addr timerLoadHi = 0x1;
+constexpr Addr timerLoadLo = 0x2;
+constexpr Addr timerCountHi = 0x3;
+constexpr Addr timerCountLo = 0x4;
+
+// --- Threshold filter ------------------------------------------------------
+constexpr Addr filterBase = 0x1100;
+constexpr Addr filterSize = 0x0008;
+constexpr Addr filterThresh = 0x0;  ///< programmable threshold
+constexpr Addr filterData = 0x1;    ///< writing starts a comparison
+constexpr Addr filterResult = 0x2;  ///< 1 = last datum passed
+constexpr Addr filterCtrl = 0x3;    ///< bit0: fire pass/fail interrupts
+
+// --- Message processor -----------------------------------------------------
+constexpr Addr msgBase = 0x1200;
+constexpr Addr msgSize = 0x0080;
+constexpr Addr msgCtrl = 0x00;      ///< command register (MsgCommand)
+constexpr Addr msgStatus = 0x01;    ///< MsgStatus
+constexpr Addr msgSeq = 0x02;       ///< next sequence number
+constexpr Addr msgSrcHi = 0x03;     ///< node short address
+constexpr Addr msgSrcLo = 0x04;
+constexpr Addr msgDestHi = 0x05;    ///< data-message destination
+constexpr Addr msgDestLo = 0x06;
+constexpr Addr msgPanHi = 0x07;
+constexpr Addr msgPanLo = 0x08;
+constexpr Addr msgPayloadLen = 0x09; ///< staged payload length
+constexpr Addr msgOutLen = 0x0A;    ///< prepared frame length (read)
+constexpr Addr msgInLen = 0x0B;     ///< received frame length (write by EP)
+constexpr Addr msgAppend = 0x0C;    ///< write: append a byte to the payload
+constexpr Addr msgBatch = 0x0D;     ///< samples per packet (0 = no batching)
+constexpr Addr msgPayload = 0x10;   ///< staged payload area (21 B)
+constexpr Addr msgOutBuf = 0x28;    ///< prepared frame buffer (32 B)
+constexpr Addr msgInBuf = 0x48;     ///< incoming frame buffer (32 B)
+
+// --- Radio (CC2420-class) ---------------------------------------------------
+constexpr Addr radioBase = 0x1400;
+constexpr Addr radioSize = 0x0080;
+constexpr Addr radioCtrl = 0x00;    ///< command register (RadioCommand)
+constexpr Addr radioStatus = 0x01;  ///< RadioStatus bits
+constexpr Addr radioTxLen = 0x02;   ///< frame length to transmit
+constexpr Addr radioRxLen = 0x03;   ///< received frame length (read)
+constexpr Addr radioTxFifo = 0x20;  ///< TX FIFO window (32 B)
+constexpr Addr radioRxFifo = 0x40;  ///< RX FIFO window (32 B)
+
+// --- Sensor / ADC block -----------------------------------------------------
+constexpr Addr sensorBase = 0x1500;
+constexpr Addr sensorSize = 0x0008;
+constexpr Addr sensorCtrl = 0x0;    ///< write 1: start acquisition (async)
+constexpr Addr sensorData = 0x1;    ///< sample-and-hold value (read samples)
+constexpr Addr sensorStatus = 0x2;  ///< bit0: acquisition done
+
+// --- Power controller status (read-only observation for the uC) -------------
+constexpr Addr powerBase = 0x1600;
+constexpr Addr powerSize = 0x0020;
+
+} // namespace ulp::core::map
+
+#endif // ULP_CORE_MEMORY_MAP_HH

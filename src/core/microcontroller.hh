@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The node's general-purpose microcontroller (paper §4.3.2): the "last
+ * resort" for computation. It is power-gated whenever idle; the event
+ * processor's WAKEUP instruction powers it up at a vectored handler
+ * address, it owns the data bus while awake (the EP waits), and executing
+ * SLEEP powers it back down and releases the bus.
+ *
+ * The core is the shared U8 model configured for byte-serial bus fetch
+ * (fetchCostPerByte = 1) at the 100 kHz system clock.
+ */
+
+#ifndef ULP_CORE_MICROCONTROLLER_HH
+#define ULP_CORE_MICROCONTROLLER_HH
+
+#include "core/bus.hh"
+#include "core/event_processor.hh"
+#include "core/memory_map.hh"
+#include "core/power_controller.hh"
+#include "core/probes.hh"
+#include "mcu/mcu.hh"
+#include "power/energy_tracker.hh"
+
+namespace ulp::core {
+
+class Microcontroller : public sim::SimObject,
+                        public PowerControllable,
+                        public mcu::McuBus
+{
+  public:
+    Microcontroller(sim::Simulation &simulation, const std::string &name,
+                    sim::SimObject *parent, DataBus &bus,
+                    EventProcessor &ep, ProbeRecorder *probes,
+                    double clock_hz, const power::PowerModel &model,
+                    std::uint16_t stack_top = map::mcuStackTop);
+
+    // mcu::McuBus: every access is a system-bus transaction.
+    std::uint8_t read(std::uint16_t addr) override
+    {
+        return bus.read(addr);
+    }
+    void write(std::uint16_t addr, std::uint8_t value) override
+    {
+        bus.write(addr, value);
+    }
+
+    // PowerControllable
+    sim::Tick powerOn() override;
+    void powerOff() override;
+    bool powered() const override { return _powered; }
+
+    /** EP WAKEUP path: power up and run the handler, holding the bus. */
+    void wake(std::uint16_t handler);
+
+    /** Run initialization code at boot (system reset), holding the bus. */
+    void boot(std::uint16_t entry);
+
+    bool awake() const { return _powered && !core.sleeping(); }
+
+    mcu::Mcu &mcuCore() { return core; }
+    const mcu::Mcu &mcuCore() const { return core; }
+
+    const power::EnergyTracker &energyTracker() const { return tracker; }
+    double averagePowerWatts() const
+    {
+        return tracker.averagePowerWatts();
+    }
+    double utilization() const { return tracker.utilization(); }
+
+    std::uint64_t wakeups() const
+    {
+        return static_cast<std::uint64_t>(statWakeups.value());
+    }
+
+  private:
+    void wentToSleep();
+
+    DataBus &bus;
+    EventProcessor &ep;
+    ProbeRecorder *probes;
+    std::uint16_t stackTop;
+    bool _powered = false;
+
+    mcu::Mcu core;
+    power::EnergyTracker tracker;
+
+    sim::stats::Scalar statWakeups;
+};
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_MICROCONTROLLER_HH

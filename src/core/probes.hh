@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Measurement probes. Devices report named milestones (timer alarm
+ * posted, TX command accepted, uC went back to sleep, ...) to the node's
+ * ProbeRecorder; benches and tests turn pairs of probe ticks into the
+ * cycle counts the paper reports in Table 4 and §6.1.3.
+ */
+
+#ifndef ULP_CORE_PROBES_HH
+#define ULP_CORE_PROBES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace ulp::core {
+
+enum class Probe : unsigned {
+    TimerAlarm = 0,       ///< a timer posted its alarm interrupt
+    AdcSampled,           ///< the ADC data register was read
+    FilterDecision,       ///< the threshold filter produced a result
+    MsgPrepared,          ///< msgproc finished preparing an outgoing frame
+    MsgRxProcessed,       ///< msgproc finished classifying a received frame
+    RadioTxCmd,           ///< the radio accepted a transmit command
+    RadioTxDone,          ///< the radio finished transmitting
+    RadioRxDone,          ///< the radio posted a received frame
+    McuWoken,             ///< the EP woke the microcontroller
+    McuSlept,             ///< the microcontroller went back to sleep
+    TimerReconfigured,    ///< a timer load register was rewritten
+    FilterReconfigured,   ///< the filter threshold was rewritten
+    EpIsrStart,           ///< the EP left READY to service an interrupt
+    EpIsrEnd,             ///< the EP returned to READY
+    NumProbes,
+};
+
+class ProbeRecorder : public sim::SimObject
+{
+  public:
+    ProbeRecorder(sim::Simulation &simulation, const std::string &name,
+                  sim::SimObject *parent = nullptr)
+        : sim::SimObject(simulation, name, parent)
+    {
+        lastTicks.fill(sim::maxTick);
+        counts.fill(0);
+    }
+
+    void
+    record(Probe probe)
+    {
+        auto idx = static_cast<unsigned>(probe);
+        lastTicks[idx] = curTick();
+        ++counts[idx];
+        if (keepHistory)
+            history[idx].push_back(curTick());
+    }
+
+    /** Last tick the probe fired, or maxTick if never. */
+    sim::Tick last(Probe probe) const
+    {
+        return lastTicks[static_cast<unsigned>(probe)];
+    }
+
+    std::uint64_t count(Probe probe) const
+    {
+        return counts[static_cast<unsigned>(probe)];
+    }
+
+    /** Record full tick history per probe (off by default). */
+    void
+    setKeepHistory(bool keep)
+    {
+        keepHistory = keep;
+    }
+
+    const std::vector<sim::Tick> &
+    ticks(Probe probe) const
+    {
+        return history[static_cast<unsigned>(probe)];
+    }
+
+  private:
+    static constexpr unsigned n = static_cast<unsigned>(Probe::NumProbes);
+    std::array<sim::Tick, n> lastTicks;
+    std::array<std::uint64_t, n> counts;
+    std::array<std::vector<sim::Tick>, n> history;
+    bool keepHistory = false;
+};
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_PROBES_HH

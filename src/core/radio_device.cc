@@ -1,0 +1,205 @@
+#include "core/radio_device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace ulp::core {
+
+RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
+                         sim::SimObject *parent, InterruptBus &irq_bus,
+                         ProbeRecorder *probes,
+                         const sim::ClockDomain &clock,
+                         const power::PowerModel &model,
+                         sim::Tick wakeup_ticks, net::Channel *channel)
+    : SlaveDevice(simulation, name, parent,
+                  {map::radioBase, map::radioSize}, irq_bus, probes, clock,
+                  model, wakeup_ticks, true),
+      channel(channel),
+      txDoneEvent([this] { txDone(); }, name + ".txDone"),
+      statTx(this, "framesSent", "frames transmitted"),
+      statRx(this, "framesReceived", "intact frames received"),
+      statCrcErrors(this, "crcErrors",
+                    "corrupted frames rejected by hardware CRC"),
+      statMissed(this, "framesMissed",
+                 "frames on the air while powered off / RX disabled"),
+      statTxMalformed(this, "txMalformed",
+                      "TX commands with an undecodable FIFO image"),
+      statRxOverruns(this, "rxOverruns",
+                     "frames lost because the RX FIFO was still full")
+{
+    if (channel)
+        channel->attach(this);
+}
+
+RadioDevice::~RadioDevice()
+{
+    if (channel)
+        channel->detach(this);
+}
+
+std::uint8_t
+RadioDevice::busRead(map::Addr offset)
+{
+    using namespace map;
+    switch (offset) {
+      case radioCtrl:
+        return 0;
+      case radioStatus:
+        return static_cast<std::uint8_t>((txBusy ? statusTxBusy : 0) |
+                                         (rxEnabled ? statusRxOn : 0) |
+                                         (rxReady ? statusRxReady : 0));
+      case radioTxLen:
+        return txLen;
+      case radioRxLen:
+        return rxLen;
+      default:
+        if (offset >= radioTxFifo && offset < radioTxFifo + fifoBytes)
+            return txFifo[offset - radioTxFifo];
+        if (offset >= radioRxFifo && offset < radioRxFifo + fifoBytes) {
+            // Reading the last RX byte frees the FIFO, like the CC2420's
+            // FIFO drain; we approximate by freeing on length re-read
+            // from the EP transfer of the final byte.
+            if (offset - radioRxFifo + 1 == rxLen)
+                rxReady = false;
+            return rxFifo[offset - radioRxFifo];
+        }
+        return 0xFF;
+    }
+}
+
+void
+RadioDevice::busWrite(map::Addr offset, std::uint8_t value)
+{
+    using namespace map;
+    switch (offset) {
+      case radioCtrl:
+        if (value == cmdTx)
+            startTx();
+        else if (value == cmdRxOn)
+            rxEnabled = true;
+        else if (value == cmdRxOff)
+            rxEnabled = false;
+        return;
+      case radioTxLen:
+        txLen = std::min<std::uint8_t>(value, fifoBytes);
+        return;
+      default:
+        if (offset >= radioTxFifo && offset < radioTxFifo + fifoBytes)
+            txFifo[offset - radioTxFifo] = value;
+        return;
+    }
+}
+
+void
+RadioDevice::startTx()
+{
+    if (txBusy) {
+        sim::warn("%s: TX command while transmitting ignored",
+                  name().c_str());
+        return;
+    }
+    recordProbe(Probe::RadioTxCmd);
+
+    auto frame = net::Frame::deserialize(
+        std::span<const std::uint8_t>(txFifo.data(), txLen));
+    if (!frame) {
+        ++statTxMalformed;
+        // The hardware would still clock the bytes out; model the timing
+        // but nothing intelligible reaches the channel.
+        txBusy = true;
+        sim::Tick air = sim::secondsToTicks(
+            static_cast<double>(txLen) * 8.0 / net::Channel::defaultBitRate);
+        beActiveFor(clock.ticksToCycles(air) + 1);
+        scheduleRel(&txDoneEvent, air);
+        return;
+    }
+
+    lastTx = *frame;
+    txBusy = true;
+    sim::Tick end;
+    if (channel) {
+        end = channel->transmit(this, *frame);
+    } else {
+        end = curTick() + sim::secondsToTicks(
+            static_cast<double>(frame->sizeBytes()) * 8.0 /
+            net::Channel::defaultBitRate);
+    }
+    beActiveFor(clock.ticksToCycles(end - curTick()) + 1);
+    eventq().schedule(&txDoneEvent, end);
+    ULP_TRACE("Radio", this, "TX started: %zu bytes, seq %u",
+              frame->sizeBytes(), frame->seq);
+}
+
+void
+RadioDevice::txDone()
+{
+    txBusy = false;
+    ++statTx;
+    recordProbe(Probe::RadioTxDone);
+    postIrq(Irq::RadioTxDone);
+    ULP_TRACE("Radio", this, "TX done");
+}
+
+void
+RadioDevice::frameStarted(sim::Tick)
+{
+    // Start-symbol detection would wake RX circuitry here; the model
+    // needs no action, delivery happens at frame end.
+}
+
+void
+RadioDevice::frameArrived(const net::Frame &frame, bool corrupted)
+{
+    if (!powered() || !rxEnabled) {
+        ++statMissed;
+        return;
+    }
+    if (corrupted) {
+        ++statCrcErrors;
+        return;
+    }
+    injectFrame(frame);
+}
+
+void
+RadioDevice::injectFrame(const net::Frame &frame)
+{
+    if (!powered())
+        return;
+    if (rxReady) {
+        ++statRxOverruns;
+        return;
+    }
+    std::vector<std::uint8_t> wire = frame.serialize();
+    if (wire.size() > fifoBytes) {
+        ++statRxOverruns;
+        return;
+    }
+    std::copy(wire.begin(), wire.end(), rxFifo.begin());
+    rxLen = static_cast<std::uint8_t>(wire.size());
+    rxReady = true;
+    ++statRx;
+    recordProbe(Probe::RadioRxDone);
+    postIrq(Irq::RadioRxDone);
+    ULP_TRACE("Radio", this, "RX frame: %zu bytes, seq %u src %u",
+              wire.size(), frame.seq, frame.src);
+}
+
+void
+RadioDevice::onPowerOff()
+{
+    if (txDoneEvent.scheduled())
+        eventq().deschedule(&txDoneEvent);
+    txBusy = false;
+    rxReady = false;
+    rxLen = 0;
+    txLen = 0;
+    txFifo.fill(0);
+    rxFifo.fill(0);
+    // rxEnabled persists as configuration so forwarding nodes return to
+    // listening when the ISR powers the radio back on.
+}
+
+} // namespace ulp::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CC2420-class 802.15.4 radio device (paper §4.3.6). Like the real chip
+ * it provides hardware start-symbol detection and error detection: frames
+ * that arrive corrupted fail the hardware CRC and are silently counted,
+ * never bothering the masters. TX and RX move whole frames through
+ * 32-byte FIFOs at 250 kbit/s (32 us per byte).
+ *
+ * The paper's evaluation uses "a simple radio model" without a physical
+ * transceiver and excludes radio power from its estimates; we do the
+ * same by default (a zero PowerModel) but optionally attach to a
+ * net::Channel for real multi-node exchange, and accept a CC2420-like
+ * power model for whole-platform studies.
+ */
+
+#ifndef ULP_CORE_RADIO_DEVICE_HH
+#define ULP_CORE_RADIO_DEVICE_HH
+
+#include <array>
+
+#include "core/slave_device.hh"
+#include "net/channel.hh"
+#include "net/frame.hh"
+
+namespace ulp::core {
+
+class RadioDevice : public SlaveDevice, public net::Transceiver
+{
+  public:
+    static constexpr std::uint8_t cmdTx = 1;
+    static constexpr std::uint8_t cmdRxOn = 2;
+    static constexpr std::uint8_t cmdRxOff = 3;
+
+    static constexpr std::uint8_t statusTxBusy = 0x1;
+    static constexpr std::uint8_t statusRxOn = 0x2;
+    static constexpr std::uint8_t statusRxReady = 0x4;
+
+    static constexpr std::size_t fifoBytes = 32;
+
+    RadioDevice(sim::Simulation &simulation, const std::string &name,
+                sim::SimObject *parent, InterruptBus &irq_bus,
+                ProbeRecorder *probes, const sim::ClockDomain &clock,
+                const power::PowerModel &model, sim::Tick wakeup_ticks,
+                net::Channel *channel);
+
+    ~RadioDevice() override;
+
+    std::uint8_t busRead(map::Addr offset) override;
+    void busWrite(map::Addr offset, std::uint8_t value) override;
+
+    // net::Transceiver
+    void frameArrived(const net::Frame &frame, bool corrupted) override;
+    void frameStarted(sim::Tick end_tick) override;
+
+    /** Deliver a frame as if it arrived over the air (single-node tests). */
+    void injectFrame(const net::Frame &frame);
+
+    std::uint64_t framesSent() const
+    {
+        return static_cast<std::uint64_t>(statTx.value());
+    }
+    std::uint64_t framesReceived() const
+    {
+        return static_cast<std::uint64_t>(statRx.value());
+    }
+    std::uint64_t crcErrors() const
+    {
+        return static_cast<std::uint64_t>(statCrcErrors.value());
+    }
+    std::uint64_t framesMissed() const
+    {
+        return static_cast<std::uint64_t>(statMissed.value());
+    }
+
+    /** The last frame handed to the channel (tests/benches). */
+    const net::Frame &lastTxFrame() const { return lastTx; }
+
+  protected:
+    void onPowerOff() override;
+
+  private:
+    void startTx();
+    void txDone();
+
+    net::Channel *channel;
+    bool rxEnabled = false;
+    bool txBusy = false;
+    std::uint8_t txLen = 0;
+    std::uint8_t rxLen = 0;
+    bool rxReady = false;
+    std::array<std::uint8_t, fifoBytes> txFifo{};
+    std::array<std::uint8_t, fifoBytes> rxFifo{};
+    net::Frame lastTx;
+    sim::EventFunctionWrapper txDoneEvent;
+
+    sim::stats::Scalar statTx;
+    sim::stats::Scalar statRx;
+    sim::stats::Scalar statCrcErrors;
+    sim::stats::Scalar statMissed;
+    sim::stats::Scalar statTxMalformed;
+    sim::stats::Scalar statRxOverruns;
+};
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_RADIO_DEVICE_HH

@@ -1,0 +1,207 @@
+#include "core/sensor_node.hh"
+
+#include "sim/logging.hh"
+
+namespace ulp::core {
+
+SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
+                       const NodeConfig &config, net::Channel *channel)
+    : sim::SimObject(simulation, name),
+      cfg(config), clockDomain(config.clockHz)
+{
+    probeRecorder =
+        std::make_unique<ProbeRecorder>(simulation, "probes", this);
+    bus = std::make_unique<DataBus>(simulation, "bus", this);
+    interruptBus = std::make_unique<InterruptBus>(simulation, "irqBus",
+                                                  this);
+    powerController =
+        std::make_unique<PowerController>(simulation, "powerCtrl", this);
+    powerController->setGatingDisabled(cfg.gatingDisabled);
+
+    // Main memory: align the per-access active window to one system cycle.
+    memory::Sram::Config sram_cfg = cfg.sram;
+    sram_cfg.accessTicks = clockDomain.period();
+    sram = std::make_unique<memory::Sram>(simulation, "sram", sram_cfg,
+                                          this);
+    mainMemory = std::make_unique<MainMemory>(*sram);
+    bus->addSlave(mainMemory.get());
+    for (unsigned bank = 0; bank < sram->numBanks() && bank < 8; ++bank) {
+        bankPower.push_back(std::make_unique<MemBankPower>(*sram, bank));
+        powerController->registerComponent(
+            static_cast<ComponentId>(static_cast<unsigned>(
+                ComponentId::MemBank0) + bank),
+            bankPower.back().get());
+    }
+
+    timerUnit = std::make_unique<TimerUnit>(
+        simulation, "timers", this, *interruptBus, probeRecorder.get(),
+        clockDomain, cfg.timerPower, cfg.slaveWakeupTicks);
+    bus->addSlave(timerUnit.get());
+    powerController->registerComponent(ComponentId::Timers,
+                                       timerUnit.get());
+
+    thresholdFilter = std::make_unique<ThresholdFilter>(
+        simulation, "filter", this, *interruptBus, probeRecorder.get(),
+        clockDomain, cfg.filterPower, cfg.slaveWakeupTicks,
+        cfg.filterCompareCycles);
+    bus->addSlave(thresholdFilter.get());
+    powerController->registerComponent(ComponentId::Filter,
+                                       thresholdFilter.get());
+
+    messageProcessor = std::make_unique<MessageProcessor>(
+        simulation, "msgProc", this, *interruptBus, probeRecorder.get(),
+        clockDomain, cfg.msgPower, cfg.slaveWakeupTicks, cfg.msgTiming);
+    bus->addSlave(messageProcessor.get());
+    powerController->registerComponent(ComponentId::MsgProc,
+                                       messageProcessor.get());
+
+    compressorDev = std::make_unique<Compressor>(
+        simulation, "compressor", this, *interruptBus,
+        probeRecorder.get(), clockDomain, cfg.compressorPower,
+        cfg.slaveWakeupTicks, Compressor::Timing{});
+    bus->addSlave(compressorDev.get());
+    powerController->registerComponent(ComponentId::Compressor,
+                                       compressorDev.get());
+
+    radioDevice = std::make_unique<RadioDevice>(
+        simulation, "radio", this, *interruptBus, probeRecorder.get(),
+        clockDomain, cfg.radioPower, cfg.slaveWakeupTicks, channel);
+    bus->addSlave(radioDevice.get());
+    powerController->registerComponent(ComponentId::Radio,
+                                       radioDevice.get());
+
+    sensorAdc = std::make_unique<SensorAdc>(
+        simulation, "sensor", this, *interruptBus, probeRecorder.get(),
+        clockDomain, cfg.sensorPower, cfg.slaveWakeupTicks,
+        cfg.sensorSignal, cfg.sensorNoiseStddev, cfg.seed);
+    bus->addSlave(sensorAdc.get());
+    powerController->registerComponent(ComponentId::Sensor,
+                                       sensorAdc.get());
+
+    eventProcessor = std::make_unique<EventProcessor>(
+        simulation, "ep", this, *bus, *interruptBus, *powerController,
+        probeRecorder.get(), clockDomain, cfg.epPower, cfg.epTiming);
+
+    microcontroller = std::make_unique<Microcontroller>(
+        simulation, "uC", this, *bus, *eventProcessor,
+        probeRecorder.get(), cfg.clockHz, cfg.mcuPower);
+    powerController->registerComponent(ComponentId::Microcontroller,
+                                       microcontroller.get());
+    eventProcessor->setWakeMcu(
+        [this](std::uint16_t handler) { microcontroller->wake(handler); });
+
+    // Pre-configure the message processor's identity so even EP-only
+    // programs produce well-formed frames; uC init code may overwrite.
+    messageProcessor->busWrite(map::msgSrcHi,
+                               static_cast<std::uint8_t>(cfg.address >> 8));
+    messageProcessor->busWrite(map::msgSrcLo,
+                               static_cast<std::uint8_t>(cfg.address));
+    messageProcessor->busWrite(map::msgPanHi,
+                               static_cast<std::uint8_t>(cfg.pan >> 8));
+    messageProcessor->busWrite(map::msgPanLo,
+                               static_cast<std::uint8_t>(cfg.pan));
+}
+
+void
+SensorNode::loadEpProgram(const EpProgram &program)
+{
+    if (program.base + program.code.size() > sram->sizeBytes()) {
+        sim::fatal("EP program (%zu bytes at %#x) exceeds main memory",
+                   program.code.size(), program.base);
+    }
+    sram->loadImage(program.base,
+                    std::span<const std::uint8_t>(program.code));
+    for (const auto &[irq, handler] : program.isrBindings)
+        setEpIsr(irq, handler);
+}
+
+void
+SensorNode::loadMcuProgram(const mcu::Image &image)
+{
+    for (const mcu::ImageChunk &chunk : image.chunks) {
+        if (chunk.base + chunk.bytes.size() > sram->sizeBytes()) {
+            sim::fatal("uC chunk (%zu bytes at %#x) exceeds main memory",
+                       chunk.bytes.size(), chunk.base);
+        }
+        sram->loadImage(chunk.base,
+                        std::span<const std::uint8_t>(chunk.bytes));
+    }
+}
+
+void
+SensorNode::setMcuVector(std::uint8_t index, std::uint16_t handler)
+{
+    if (index >= 8)
+        sim::fatal("uC vector index %u out of range", index);
+    map::Addr entry =
+        static_cast<map::Addr>(map::mcuVectorBase + 2 * index);
+    sram->poke(entry, static_cast<std::uint8_t>(handler >> 8));
+    sram->poke(entry + 1, static_cast<std::uint8_t>(handler & 0xFF));
+}
+
+void
+SensorNode::setEpIsr(Irq irq, std::uint16_t handler)
+{
+    map::Addr entry = static_cast<map::Addr>(
+        map::isrTableBase + 2 * static_cast<unsigned>(irq));
+    sram->poke(entry, static_cast<std::uint8_t>(handler >> 8));
+    sram->poke(entry + 1, static_cast<std::uint8_t>(handler & 0xFF));
+}
+
+void
+SensorNode::boot(std::uint16_t init_entry)
+{
+    microcontroller->boot(init_entry);
+}
+
+std::vector<ComponentPower>
+SensorNode::powerReport() const
+{
+    std::vector<ComponentPower> report;
+    report.push_back({"Event Processor",
+                      eventProcessor->averagePowerWatts(),
+                      eventProcessor->utilization(),
+                      eventProcessor->energyTracker().energyJoules()});
+    report.push_back({"Timer", timerUnit->averagePowerWatts(),
+                      static_cast<double>(timerUnit->runningTimers()) /
+                          TimerUnit::numTimers,
+                      timerUnit->energyJoules()});
+    report.push_back({"Message Processor",
+                      messageProcessor->averagePowerWatts(),
+                      messageProcessor->utilization(),
+                      messageProcessor->energyJoules()});
+    report.push_back({"Threshold Filter",
+                      thresholdFilter->averagePowerWatts(),
+                      thresholdFilter->utilization(),
+                      thresholdFilter->energyJoules()});
+    report.push_back({"Compressor", compressorDev->averagePowerWatts(),
+                      compressorDev->utilization(),
+                      compressorDev->energyJoules()});
+    report.push_back({"Memory", sram->averagePowerWatts(), 0.0,
+                      sram->energyJoules()});
+    report.push_back({"uController", microcontroller->averagePowerWatts(),
+                      microcontroller->utilization(),
+                      microcontroller->energyTracker().energyJoules()});
+    report.push_back({"Radio", radioDevice->averagePowerWatts(),
+                      radioDevice->utilization(),
+                      radioDevice->energyJoules()});
+    report.push_back({"Sensor", sensorAdc->averagePowerWatts(),
+                      sensorAdc->utilization(), sensorAdc->energyJoules()});
+    return report;
+}
+
+double
+SensorNode::totalAverageWatts() const
+{
+    return eventProcessor->averagePowerWatts() +
+           timerUnit->averagePowerWatts() +
+           messageProcessor->averagePowerWatts() +
+           thresholdFilter->averagePowerWatts() +
+           compressorDev->averagePowerWatts() +
+           sram->averagePowerWatts() +
+           microcontroller->averagePowerWatts() +
+           radioDevice->averagePowerWatts() +
+           sensorAdc->averagePowerWatts();
+}
+
+} // namespace ulp::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The complete sensor node: the Figure 1 block diagram assembled. Masters
+ * (event processor, microcontroller) and slaves (timers, filter, message
+ * processor, radio, sensor/ADC, banked main memory) hang off the system
+ * bus's data, interrupt, and power-control divisions. Several nodes may
+ * share one Simulation and one net::Channel to form a network.
+ */
+
+#ifndef ULP_CORE_SENSOR_NODE_HH
+#define ULP_CORE_SENSOR_NODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/bus.hh"
+#include "core/compressor.hh"
+#include "core/ep_assembler.hh"
+#include "core/event_processor.hh"
+#include "core/interrupt_bus.hh"
+#include "core/main_memory.hh"
+#include "core/message_processor.hh"
+#include "core/microcontroller.hh"
+#include "core/node_config.hh"
+#include "core/power_controller.hh"
+#include "core/probes.hh"
+#include "core/radio_device.hh"
+#include "core/sensor_adc.hh"
+#include "core/threshold_filter.hh"
+#include "core/timer_unit.hh"
+#include "mcu/assembler.hh"
+#include "net/channel.hh"
+
+namespace ulp::core {
+
+/** Per-component slice of a node power report (Figure 6 rows). */
+struct ComponentPower
+{
+    std::string component;
+    double averageWatts;
+    double utilization;
+    double energyJoules;
+};
+
+class SensorNode : public sim::SimObject
+{
+  public:
+    SensorNode(sim::Simulation &simulation, const std::string &name,
+               const NodeConfig &config, net::Channel *channel = nullptr);
+
+    // --- program loading -------------------------------------------------
+    /** Load EP ISR code and bind its .isr entries in the lookup table. */
+    void loadEpProgram(const EpProgram &program);
+
+    /** Load a uC image (code + .word tables) into main memory. */
+    void loadMcuProgram(const mcu::Image &image);
+
+    /** Point uC wakeup vector @p index at @p handler. */
+    void setMcuVector(std::uint8_t index, std::uint16_t handler);
+
+    /** Bind one EP ISR table entry directly. */
+    void setEpIsr(Irq irq, std::uint16_t handler);
+
+    /** Run the uC initialization entry point (system reset). */
+    void boot(std::uint16_t init_entry);
+
+    // --- component access -------------------------------------------------
+    EventProcessor &ep() { return *eventProcessor; }
+    Microcontroller &micro() { return *microcontroller; }
+    TimerUnit &timers() { return *timerUnit; }
+    ThresholdFilter &filter() { return *thresholdFilter; }
+    MessageProcessor &msgProc() { return *messageProcessor; }
+    Compressor &compressor() { return *compressorDev; }
+    RadioDevice &radio() { return *radioDevice; }
+    SensorAdc &sensor() { return *sensorAdc; }
+    memory::Sram &memory() { return *sram; }
+    DataBus &dataBus() { return *bus; }
+    InterruptBus &irqBus() { return *interruptBus; }
+    PowerController &powerCtrl() { return *powerController; }
+    ProbeRecorder &probes() { return *probeRecorder; }
+
+    const NodeConfig &config() const { return cfg; }
+    const sim::ClockDomain &clock() const { return clockDomain; }
+
+    /** Convert a tick delta to system clock cycles. */
+    sim::Cycles
+    cyclesBetween(sim::Tick from, sim::Tick to) const
+    {
+        return clockDomain.ticksToCycles(to - from);
+    }
+
+    // --- power reporting (Figure 6) ---------------------------------------
+    /** Per-component average power over the run so far. */
+    std::vector<ComponentPower> powerReport() const;
+
+    /** Whole-node average power (paper scope: EP + timers + msgproc +
+     *  filter + memory + uC; radio/sensor excluded unless modelled). */
+    double totalAverageWatts() const;
+
+  private:
+    NodeConfig cfg;
+    sim::ClockDomain clockDomain;
+
+    std::unique_ptr<ProbeRecorder> probeRecorder;
+    std::unique_ptr<DataBus> bus;
+    std::unique_ptr<InterruptBus> interruptBus;
+    std::unique_ptr<PowerController> powerController;
+
+    std::unique_ptr<memory::Sram> sram;
+    std::unique_ptr<MainMemory> mainMemory;
+    std::vector<std::unique_ptr<MemBankPower>> bankPower;
+
+    std::unique_ptr<TimerUnit> timerUnit;
+    std::unique_ptr<ThresholdFilter> thresholdFilter;
+    std::unique_ptr<MessageProcessor> messageProcessor;
+    std::unique_ptr<Compressor> compressorDev;
+    std::unique_ptr<RadioDevice> radioDevice;
+    std::unique_ptr<SensorAdc> sensorAdc;
+
+    std::unique_ptr<EventProcessor> eventProcessor;
+    std::unique_ptr<Microcontroller> microcontroller;
+};
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_SENSOR_NODE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Common behaviour of the memory-mapped slave accelerators: an address
+ * range on the data bus, an interrupt request line, a power enable
+ * handshake, and active/idle/gated energy accounting. Every slave is
+ * "nearly invisible during the entire lifetime of the application" when
+ * gated (paper §4.2.6).
+ */
+
+#ifndef ULP_CORE_SLAVE_DEVICE_HH
+#define ULP_CORE_SLAVE_DEVICE_HH
+
+#include "core/bus.hh"
+#include "core/interrupt_bus.hh"
+#include "core/power_controller.hh"
+#include "core/probes.hh"
+#include "power/energy_tracker.hh"
+#include "sim/clock.hh"
+
+namespace ulp::core {
+
+class SlaveDevice : public sim::SimObject,
+                    public BusSlave,
+                    public PowerControllable
+{
+  public:
+    SlaveDevice(sim::Simulation &simulation, const std::string &name,
+                sim::SimObject *parent, AddrRange range,
+                InterruptBus &irq_bus, ProbeRecorder *probes,
+                const sim::ClockDomain &clock,
+                const power::PowerModel &model, sim::Tick wakeup_ticks,
+                bool initially_powered);
+
+    // BusSlave
+    AddrRange addrRange() const override { return range; }
+
+    // PowerControllable
+    sim::Tick powerOn() override;
+    void powerOff() override;
+    bool powered() const override { return _powered; }
+
+    /** Average power including all of this device's trackers. */
+    virtual double averagePowerWatts() const
+    {
+        return tracker.averagePowerWatts();
+    }
+
+    virtual double energyJoules() const { return tracker.energyJoules(); }
+
+    /** Fraction of time spent switching. */
+    virtual double utilization() const { return tracker.utilization(); }
+
+    const power::EnergyTracker &energyTracker() const { return tracker; }
+
+    /** Replace the power model (ablations). */
+    void setPowerModel(const power::PowerModel &m) { tracker.setModel(m); }
+
+  protected:
+    /** State lost on gating / restored work on power-up. */
+    virtual void onPowerOn() {}
+    virtual void onPowerOff() {}
+
+    void postIrq(Irq irq) { irqBus.post(irq); }
+
+    void
+    recordProbe(Probe probe)
+    {
+        if (probes)
+            probes->record(probe);
+    }
+
+    /**
+     * Account the device as ACTIVE for @p cycles system cycles starting
+     * now (extends any ongoing active stint).
+     */
+    void beActiveFor(sim::Cycles cycles);
+
+    sim::Tick cyclesToTicks(sim::Cycles c) const
+    {
+        return clock.cyclesToTicks(c);
+    }
+
+    const sim::ClockDomain &clock;
+    power::EnergyTracker tracker;
+
+  private:
+    void becomeIdle();
+
+    AddrRange range;
+    InterruptBus &irqBus;
+    ProbeRecorder *probes;
+    sim::Tick wakeupTicks;
+    bool _powered;
+    sim::Tick activeUntil = 0;
+    sim::EventFunctionWrapper idleEvent;
+};
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_SLAVE_DEVICE_HH

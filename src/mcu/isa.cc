@@ -1,0 +1,91 @@
+#include "mcu/isa.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace ulp::mcu {
+
+namespace {
+
+// Lengths follow the Format; base cycles are AVR-like for an 8-bit
+// non-pipelined core with prefetched instruction fetch. Cores that fetch
+// over a byte-serial bus add fetchCostPerByte * lengthBytes (Mcu::Config).
+constexpr std::array<InstrInfo, 46> instrTable = {{
+    {Opcode::NOP, "NOP", Format::None, 1, 1, 0},
+    {Opcode::HALT, "HALT", Format::None, 1, 1, 0},
+    {Opcode::SLEEP, "SLEEP", Format::None, 1, 1, 0},
+    {Opcode::SEI, "SEI", Format::None, 1, 1, 0},
+    {Opcode::CLI, "CLI", Format::None, 1, 1, 0},
+    {Opcode::RET, "RET", Format::None, 1, 4, 0},
+    {Opcode::RETI, "RETI", Format::None, 1, 5, 0},
+    {Opcode::MARK, "MARK", Format::Imm, 2, 0, 0},
+
+    {Opcode::LDI, "LDI", Format::RdImm, 3, 1, 0},
+    {Opcode::MOV, "MOV", Format::RdRs, 2, 1, 0},
+    {Opcode::LDS, "LDS", Format::RdAddr, 4, 2, 0},
+    {Opcode::STS, "STS", Format::AddrRs, 4, 2, 0},
+    {Opcode::LDX, "LDX", Format::RdPair, 2, 2, 0},
+    {Opcode::STX, "STX", Format::PairRs, 2, 2, 0},
+    {Opcode::LDP, "LDP", Format::PairAddr, 4, 2, 0},
+    {Opcode::PUSH, "PUSH", Format::Rd, 2, 2, 0},
+    {Opcode::POP, "POP", Format::Rd, 2, 2, 0},
+
+    {Opcode::ADD, "ADD", Format::RdRs, 2, 1, 0},
+    {Opcode::ADC, "ADC", Format::RdRs, 2, 1, 0},
+    {Opcode::SUB, "SUB", Format::RdRs, 2, 1, 0},
+    {Opcode::SBC, "SBC", Format::RdRs, 2, 1, 0},
+    {Opcode::AND, "AND", Format::RdRs, 2, 1, 0},
+    {Opcode::OR, "OR", Format::RdRs, 2, 1, 0},
+    {Opcode::XOR, "XOR", Format::RdRs, 2, 1, 0},
+    {Opcode::CP, "CP", Format::RdRs, 2, 1, 0},
+    {Opcode::ADDI, "ADDI", Format::RdImm, 3, 1, 0},
+    {Opcode::SUBI, "SUBI", Format::RdImm, 3, 1, 0},
+    {Opcode::ANDI, "ANDI", Format::RdImm, 3, 1, 0},
+    {Opcode::ORI, "ORI", Format::RdImm, 3, 1, 0},
+    {Opcode::XORI, "XORI", Format::RdImm, 3, 1, 0},
+    {Opcode::CPI, "CPI", Format::RdImm, 3, 1, 0},
+    {Opcode::INC, "INC", Format::Rd, 2, 1, 0},
+    {Opcode::DEC, "DEC", Format::Rd, 2, 1, 0},
+    {Opcode::LSL, "LSL", Format::Rd, 2, 1, 0},
+    {Opcode::LSR, "LSR", Format::Rd, 2, 1, 0},
+    {Opcode::INCP, "INCP", Format::Pair, 2, 2, 0},
+    {Opcode::DECP, "DECP", Format::Pair, 2, 2, 0},
+
+    {Opcode::JMP, "JMP", Format::Addr, 3, 2, 0},
+    {Opcode::JZ, "JZ", Format::Addr, 3, 1, 1},
+    {Opcode::JNZ, "JNZ", Format::Addr, 3, 1, 1},
+    {Opcode::JC, "JC", Format::Addr, 3, 1, 1},
+    {Opcode::JNC, "JNC", Format::Addr, 3, 1, 1},
+    {Opcode::JN, "JN", Format::Addr, 3, 1, 1},
+    {Opcode::CALL, "CALL", Format::Addr, 3, 4, 0},
+    {Opcode::ICALL, "ICALL", Format::Pair, 2, 4, 0},
+    {Opcode::IJMP, "IJMP", Format::Pair, 2, 2, 0},
+}};
+
+} // namespace
+
+const InstrInfo *
+instrInfo(Opcode opcode)
+{
+    for (const InstrInfo &info : instrTable) {
+        if (info.opcode == opcode)
+            return &info;
+    }
+    return nullptr;
+}
+
+const InstrInfo *
+instrInfoByMnemonic(const std::string &mnemonic)
+{
+    std::string upper(mnemonic);
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    for (const InstrInfo &info : instrTable) {
+        if (upper == info.mnemonic)
+            return &info;
+    }
+    return nullptr;
+}
+
+} // namespace ulp::mcu

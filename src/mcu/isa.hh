@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The U8 instruction set: an AVR-class 8-bit ISA.
+ *
+ * The paper's microcontroller is "a simple non-pipelined microcontroller
+ * [implementing] an 8-bit ISA" (§4.3.2) based on an existing computational
+ * core; the Mica2 baseline's ATmega128 is likewise an 8-bit machine. Both
+ * are modelled with this ISA so the two platforms differ only in the
+ * things the paper is about: the event-driven fabric versus a software
+ * operating system, and fetch bandwidth (the baseline's Harvard-style
+ * prefetched fetch versus the node uC's byte-serial bus fetch), selected
+ * by Mcu::Config::fetchCostPerByte.
+ *
+ * Architectural state: R0..R15 (8-bit), eight 16-bit pointer pairs
+ * P0..P7 (Pn = R2n:R2n+1, high byte first), PC, SP, flags Z/N/C, and a
+ * global interrupt-enable bit. Multi-byte operands are big-endian.
+ */
+
+#ifndef ULP_MCU_ISA_HH
+#define ULP_MCU_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ulp::mcu {
+
+enum class Opcode : std::uint8_t {
+    NOP = 0x00,
+    HALT = 0x01,  ///< stop the core permanently
+    SLEEP = 0x02, ///< stop until the next interrupt / external wake
+    SEI = 0x03,
+    CLI = 0x04,
+    RET = 0x05,
+    RETI = 0x06,
+    MARK = 0x07,  ///< simulator instrumentation (m5ops-style); free
+
+    LDI = 0x10,   ///< Rd <- imm8
+    MOV = 0x11,   ///< Rd <- Rs
+    LDS = 0x12,   ///< Rd <- mem[addr16]
+    STS = 0x13,   ///< mem[addr16] <- Rs
+    LDX = 0x14,   ///< Rd <- mem[Pn]
+    STX = 0x15,   ///< mem[Pn] <- Rs
+    LDP = 0x16,   ///< Pn <- addr16
+    PUSH = 0x17,
+    POP = 0x18,
+
+    ADD = 0x20,
+    ADC = 0x21,
+    SUB = 0x22,
+    SBC = 0x23,
+    AND = 0x24,
+    OR = 0x25,
+    XOR = 0x26,
+    CP = 0x27,    ///< compare Rd, Rs (flags only)
+    ADDI = 0x28,
+    SUBI = 0x29,
+    ANDI = 0x2A,
+    ORI = 0x2B,
+    XORI = 0x2C,
+    CPI = 0x2D,   ///< compare Rd, imm8
+    INC = 0x2E,
+    DEC = 0x2F,
+    LSL = 0x30,
+    LSR = 0x31,
+    INCP = 0x32,  ///< 16-bit increment of a pair
+    DECP = 0x33,
+
+    JMP = 0x40,
+    JZ = 0x41,
+    JNZ = 0x42,
+    JC = 0x43,
+    JNC = 0x44,
+    JN = 0x45,    ///< jump if negative
+    CALL = 0x46,
+    ICALL = 0x47, ///< call through a pointer pair (task dispatch)
+    IJMP = 0x48,  ///< jump through a pointer pair
+};
+
+/** Operand encoding shapes. */
+enum class Format : std::uint8_t {
+    None,     ///< [op]
+    Rd,       ///< [op][rd<<4]
+    RdRs,     ///< [op][rd<<4|rs]
+    RdImm,    ///< [op][rd<<4][imm]
+    RdAddr,   ///< [op][rd<<4][hi][lo]
+    AddrRs,   ///< [op][rs<<4][hi][lo]   (STS)
+    RdPair,   ///< [op][rd<<4|pn]        (LDX)
+    PairRs,   ///< [op][pn<<4|rs]        (STX)
+    PairAddr, ///< [op][pn<<4][hi][lo]   (LDP)
+    Pair,     ///< [op][pn<<4]
+    Addr,     ///< [op][hi][lo]
+    Imm,      ///< [op][imm]
+};
+
+struct InstrInfo
+{
+    Opcode opcode;
+    const char *mnemonic;
+    Format format;
+    std::uint8_t lengthBytes;
+    std::uint8_t baseCycles;       ///< cost when not taken (branches) / always
+    std::uint8_t takenExtraCycles; ///< extra cost for taken branches
+};
+
+/** Lookup by opcode; nullptr for undefined encodings. */
+const InstrInfo *instrInfo(Opcode opcode);
+
+/** Lookup by mnemonic (case-insensitive); nullptr when unknown. */
+const InstrInfo *instrInfoByMnemonic(const std::string &mnemonic);
+
+/** Cycle cost of taking an interrupt (push PC+flags, vector fetch). */
+constexpr unsigned irqEntryCycles = 6;
+
+} // namespace ulp::mcu
+
+#endif // ULP_MCU_ISA_HH

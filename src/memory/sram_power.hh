@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Circuit-level power model of the paper's custom 2 KiB banked SRAM
+ * (§5.2, Table 3, Figure 4). Laid out in 0.25 um, simulated with Nanosim
+ * on the extracted netlist; we encode the published numbers and the
+ * published decomposition:
+ *
+ *  - per 256 B bank + its control circuitry at Vdd = 1.2 V:
+ *      active 1.93 uW, idle 409 pW, Vdd-gated 342 pW
+ *  - the bank cell array alone draws 66.5 pW ungated vs < 1 pW gated
+ *    (the ">98 % reduction" claim)
+ *  - bank wakeup after ungating takes 950 ns (< 1 cycle at 100 kHz)
+ *  - bitline precharge dominates active power; the projected intelligent
+ *    precharge scheme cuts total active power by ~35 %
+ *  - the full 2 KiB array draws 2.07 uW at 100 kHz / 1.2 V (one bank
+ *    active, the rest idle, plus global decode/clock overhead)
+ */
+
+#ifndef ULP_MEMORY_SRAM_POWER_HH
+#define ULP_MEMORY_SRAM_POWER_HH
+
+namespace ulp::memory {
+
+struct SramPowerModel
+{
+    // Per-bank figures (256 B bank + associated control), Table 3.
+    double bankActiveWatts = 1.93e-6;
+    double bankIdleWatts = 409e-12;
+    double bankGatedWatts = 342e-12;
+
+    // Cell-array-only figures backing the >98 % gating claim.
+    double cellArrayIdleWatts = 66.5e-12;
+    double cellArrayGatedWatts = 0.9e-12;
+
+    // Global decoders/precharge/misc control circuits (Figure 4 marks them
+    // as active-power consumers). Counted only while the array is being
+    // accessed, so that one-active-bank totals match the published 2.07 uW
+    // while the all-idle array still draws just the 8 x 409 pW ~= 3 nW of
+    // Table 5's memory idle row.
+    double globalActiveOverheadWatts = 137e-9;
+
+    // Time from ungating a bank until it is usable.
+    double wakeupSeconds = 950e-9;
+
+    // Projected intelligent-precharge saving (fraction of active power).
+    double prechargeSavingFraction = 0.35;
+
+    /** Active bank power with/without the intelligent precharge scheme. */
+    double
+    effectiveBankActiveWatts(bool intelligent_precharge) const
+    {
+        if (intelligent_precharge)
+            return bankActiveWatts * (1.0 - prechargeSavingFraction);
+        return bankActiveWatts;
+    }
+
+    /**
+     * Steady-state power of an array of @p total_banks banks with
+     * @p active_banks continuously active, @p gated_banks gated, and the
+     * remainder idle. Reproduces the paper's 2.07 uW whole-array figure
+     * with (8, 1, 0) and its ~3 nW idle figure with (8, 0, 0).
+     */
+    double
+    arrayWatts(unsigned total_banks, unsigned active_banks,
+               unsigned gated_banks,
+               bool intelligent_precharge = false) const
+    {
+        unsigned idle_banks = total_banks - active_banks - gated_banks;
+        double overhead =
+            active_banks > 0 ? globalActiveOverheadWatts : 0.0;
+        return overhead +
+               active_banks * effectiveBankActiveWatts(intelligent_precharge)
+               + idle_banks * bankIdleWatts + gated_banks * bankGatedWatts;
+    }
+};
+
+} // namespace ulp::memory
+
+#endif // ULP_MEMORY_SRAM_POWER_HH

@@ -1,0 +1,109 @@
+#include "net/channel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace ulp::net {
+
+Channel::Channel(sim::Simulation &simulation, const std::string &name,
+                 double bit_rate, std::uint64_t seed)
+    : sim::SimObject(simulation, name),
+      bitRate(bit_rate), random(seed),
+      statFramesSent(this, "framesSent", "frames put on the air"),
+      statFramesDelivered(this, "framesDelivered",
+                          "frame deliveries to receivers (intact)"),
+      statFramesLost(this, "framesLost",
+                     "per-receiver deliveries dropped by the loss model"),
+      statFramesCorrupted(this, "framesCorrupted",
+                          "per-receiver deliveries corrupted by collision"),
+      statCollisions(this, "collisions",
+                     "transmissions that overlapped another")
+{
+    if (bit_rate <= 0.0)
+        sim::fatal("channel bit rate must be positive");
+}
+
+void
+Channel::attach(Transceiver *transceiver)
+{
+    transceivers.push_back(transceiver);
+}
+
+void
+Channel::detach(Transceiver *transceiver)
+{
+    std::erase(transceivers, transceiver);
+}
+
+sim::Tick
+Channel::frameAirTicks(const Frame &frame) const
+{
+    double seconds = static_cast<double>(frame.sizeBytes()) * 8.0 / bitRate;
+    return sim::secondsToTicks(seconds);
+}
+
+sim::Tick
+Channel::transmit(Transceiver *sender, const Frame &frame)
+{
+    sim::Tick end = curTick() + frameAirTicks(frame);
+
+    auto flight = std::make_unique<InFlight>();
+    flight->sender = sender;
+    flight->frame = frame;
+    flight->corrupted = false;
+
+    if (collisionsEnabled && activeTransmissions > 0) {
+        ++statCollisions;
+        flight->corrupted = true;
+        for (auto &other : inFlight)
+            other->corrupted = true;
+        ULP_TRACE("Channel", this, "collision: %u transmissions overlap",
+                  activeTransmissions + 1);
+    }
+
+    InFlight *raw = flight.get();
+    flight->endEvent = std::make_unique<sim::EventFunctionWrapper>(
+        [this, raw] { deliver(*raw); }, name() + ".frameEnd");
+    eventq().schedule(flight->endEvent.get(), end);
+
+    ++activeTransmissions;
+    ++statFramesSent;
+    inFlight.push_back(std::move(flight));
+
+    for (Transceiver *t : transceivers) {
+        if (t != sender)
+            t->frameStarted(end);
+    }
+
+    return end;
+}
+
+void
+Channel::deliver(const InFlight &flight)
+{
+    for (Transceiver *t : transceivers) {
+        if (t == flight.sender)
+            continue;
+        bool corrupted = flight.corrupted;
+        if (!corrupted && lossProbability > 0.0 &&
+            random.chance(lossProbability)) {
+            ++statFramesLost;
+            continue;
+        }
+        if (corrupted)
+            ++statFramesCorrupted;
+        else
+            ++statFramesDelivered;
+        t->frameArrived(flight.frame, corrupted);
+    }
+
+    --activeTransmissions;
+    auto it = std::find_if(inFlight.begin(), inFlight.end(),
+                           [&](const auto &p) { return p.get() == &flight; });
+    if (it != inFlight.end())
+        inFlight.erase(it);
+}
+
+} // namespace ulp::net

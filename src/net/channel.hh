@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared radio medium connecting the transceivers of a simulated network.
+ *
+ * The paper evaluates a single node against a simple radio model; we
+ * additionally support multi-node topologies so the multi-hop forwarding
+ * path (application versions 3 and 4) can be exercised end to end. The
+ * channel is a single broadcast domain with 802.15.4 timing
+ * (250 kbit/s => 32 us per byte), optional i.i.d. frame loss, and a
+ * collision model: any temporal overlap of two transmissions corrupts
+ * both frames for every receiver.
+ */
+
+#ifndef ULP_NET_CHANNEL_HH
+#define ULP_NET_CHANNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/frame.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+
+namespace ulp::net {
+
+/** Callback interface a radio device implements to hear the channel. */
+class Transceiver
+{
+  public:
+    virtual ~Transceiver() = default;
+
+    /**
+     * A frame addressed through the air has fully arrived.
+     * @param frame the frame (header-valid; FCS already applied)
+     * @param corrupted true when loss/collision damaged the frame; a real
+     *        radio would fail the FCS check
+     */
+    virtual void frameArrived(const Frame &frame, bool corrupted) = 0;
+
+    /** The first symbol of a frame is on the air (start-symbol detect). */
+    virtual void frameStarted(sim::Tick end_tick) { (void)end_tick; }
+};
+
+class Channel : public sim::SimObject
+{
+  public:
+    /** 802.15.4: 250 kbit/s. */
+    static constexpr double defaultBitRate = 250'000.0;
+
+    Channel(sim::Simulation &simulation, const std::string &name,
+            double bit_rate = defaultBitRate, std::uint64_t seed = 1);
+
+    void attach(Transceiver *transceiver);
+    void detach(Transceiver *transceiver);
+
+    /** Per-receiver independent frame-loss probability. */
+    void setLossProbability(double p) { lossProbability = p; }
+
+    /** Enable/disable the collision model (enabled by default). */
+    void setCollisionsEnabled(bool enabled) { collisionsEnabled = enabled; }
+
+    /**
+     * Begin transmitting @p frame from @p sender. Delivery to every other
+     * attached transceiver happens when the last byte has been sent.
+     * @return the tick at which transmission completes.
+     */
+    sim::Tick transmit(Transceiver *sender, const Frame &frame);
+
+    /** Frame airtime at the channel bit rate. */
+    sim::Tick frameAirTicks(const Frame &frame) const;
+
+    /** True while any transmission is in flight. */
+    bool busy() const { return activeTransmissions > 0; }
+
+    std::uint64_t framesSent() const
+    {
+        return static_cast<std::uint64_t>(statFramesSent.value());
+    }
+    std::uint64_t framesDelivered() const
+    {
+        return static_cast<std::uint64_t>(statFramesDelivered.value());
+    }
+    std::uint64_t collisions() const
+    {
+        return static_cast<std::uint64_t>(statCollisions.value());
+    }
+
+  private:
+    struct InFlight;
+    void deliver(const InFlight &flight);
+
+    struct InFlight
+    {
+        Transceiver *sender;
+        Frame frame;
+        bool corrupted;
+        std::unique_ptr<sim::EventFunctionWrapper> endEvent;
+    };
+
+    double bitRate;
+    double lossProbability = 0.0;
+    bool collisionsEnabled = true;
+    sim::Random random;
+    std::vector<Transceiver *> transceivers;
+    std::vector<std::unique_ptr<InFlight>> inFlight;
+    unsigned activeTransmissions = 0;
+
+    sim::stats::Scalar statFramesSent;
+    sim::stats::Scalar statFramesDelivered;
+    sim::stats::Scalar statFramesLost;
+    sim::stats::Scalar statFramesCorrupted;
+    sim::stats::Scalar statCollisions;
+};
+
+} // namespace ulp::net
+
+#endif // ULP_NET_CHANNEL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A host-controlled station on the radio channel: receives everything
+ * (the base station of a monitoring deployment) and can transmit frames
+ * built by the host (e.g. reconfiguration commands). Used by the
+ * multi-node examples and integration tests.
+ */
+
+#ifndef ULP_NET_PACKET_SINK_HH
+#define ULP_NET_PACKET_SINK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/frame.hh"
+
+namespace ulp::net {
+
+class PacketSink : public Transceiver
+{
+  public:
+    explicit PacketSink(Channel &channel) : channel(channel)
+    {
+        channel.attach(this);
+    }
+
+    ~PacketSink() override { channel.detach(this); }
+
+    void
+    frameArrived(const Frame &frame, bool corrupted) override
+    {
+        if (corrupted) {
+            ++_corrupted;
+            return;
+        }
+        // Duplicate-suppress per (src, seq) over a bounded window so
+        // flooding networks report unique deliveries; the window lets
+        // 8-bit sequence numbers wrap on long runs.
+        std::uint32_t key =
+            (static_cast<std::uint32_t>(frame.src) << 8) | frame.seq;
+        if (std::find(window.begin(), window.end(), key) != window.end()) {
+            ++_duplicates;
+            return;
+        }
+        window.push_back(key);
+        if (window.size() > windowEntries)
+            window.pop_front();
+        frames.push_back(frame);
+    }
+
+    /** Transmit @p frame from this station. */
+    void send(const Frame &frame) { channel.transmit(this, frame); }
+
+    const std::vector<Frame> &received() const { return frames; }
+    std::uint64_t uniqueDeliveries() const { return frames.size(); }
+    std::uint64_t duplicates() const { return _duplicates; }
+    std::uint64_t corrupted() const { return _corrupted; }
+
+    /** Unique deliveries originated by @p src. */
+    std::uint64_t
+    deliveriesFrom(std::uint16_t src) const
+    {
+        std::uint64_t n = 0;
+        for (const Frame &frame : frames)
+            n += frame.src == src ? 1 : 0;
+        return n;
+    }
+
+  private:
+    static constexpr std::size_t windowEntries = 64;
+
+    Channel &channel;
+    std::vector<Frame> frames;
+    std::deque<std::uint32_t> window;
+    std::uint64_t _duplicates = 0;
+    std::uint64_t _corrupted = 0;
+};
+
+} // namespace ulp::net
+
+#endif // ULP_NET_PACKET_SINK_HH

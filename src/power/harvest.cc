@@ -1,0 +1,96 @@
+#include "power/harvest.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ulp::power {
+
+double
+SinusoidalSource::powerAt(sim::Tick when) const
+{
+    double t = sim::ticksToSeconds(when);
+    double phase = 2.0 * std::numbers::pi * t / periodSeconds;
+    return std::max(0.0, peakWatts * std::sin(phase));
+}
+
+double
+EnergyStore::deposit(double joules)
+{
+    double accepted = std::min(joules, capacityJoules - levelJoules);
+    accepted = std::max(accepted, 0.0);
+    levelJoules += accepted;
+    return accepted;
+}
+
+double
+EnergyStore::withdraw(double joules)
+{
+    double delivered = std::min(joules, levelJoules);
+    delivered = std::max(delivered, 0.0);
+    levelJoules -= delivered;
+    return delivered;
+}
+
+HarvestingSupply::HarvestingSupply(sim::Simulation &simulation,
+                                   const std::string &name,
+                                   std::unique_ptr<HarvestSource> source,
+                                   EnergyStore store,
+                                   std::function<double()> load,
+                                   sim::Tick interval)
+    : sim::SimObject(simulation, name),
+      source(std::move(source)), _store(store), load(std::move(load)),
+      interval(interval),
+      pollEvent([this] { poll(); }, name + ".poll"),
+      statHarvested(this, "harvestedJoules",
+                    "energy harvested into the store"),
+      statConsumed(this, "consumedJoules", "energy delivered to the node"),
+      statBrownOuts(this, "brownOuts",
+                    "transitions into an exhausted-store state"),
+      statBrownOutTicks(this, "brownOutTicks", "ticks spent browned out")
+{
+}
+
+void
+HarvestingSupply::start()
+{
+    if (!pollEvent.scheduled())
+        scheduleRel(&pollEvent, interval);
+}
+
+void
+HarvestingSupply::stop()
+{
+    if (pollEvent.scheduled())
+        eventq().deschedule(&pollEvent);
+}
+
+void
+HarvestingSupply::poll()
+{
+    double dt = sim::ticksToSeconds(interval);
+
+    double harvested = source->powerAt(curTick()) * dt;
+    statHarvested += _store.deposit(harvested);
+
+    double needed = load() * dt;
+    double got = _store.withdraw(needed);
+    statConsumed += got;
+
+    bool starved = got + 1e-18 < needed;
+    if (starved) {
+        statBrownOutTicks += static_cast<double>(interval);
+        if (!inBrownOut) {
+            ++statBrownOuts;
+            inBrownOut = true;
+            if (brownOutCb)
+                brownOutCb();
+        }
+    } else {
+        inBrownOut = false;
+    }
+
+    scheduleRel(&pollEvent, interval);
+}
+
+} // namespace ulp::power

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Component power states. The architecture distinguishes three states
+ * (paper §4.2.6, §6.2): ACTIVE (switching), IDLE (clock-gated but powered,
+ * leaking), and GATED (supply voltage gated off via SWITCHOFF / power
+ * enable lines; near-zero draw).
+ */
+
+#ifndef ULP_POWER_POWER_STATE_HH
+#define ULP_POWER_POWER_STATE_HH
+
+#include <cstddef>
+
+namespace ulp::power {
+
+enum class PowerState : unsigned {
+    Gated = 0,  ///< Vdd-gated off; only residual gated leakage.
+    Idle = 1,   ///< Powered but not switching; leakage only.
+    Active = 2, ///< Switching; full dynamic + leakage power.
+};
+
+constexpr std::size_t numPowerStates = 3;
+
+/** Human-readable state name. */
+constexpr const char *
+powerStateName(PowerState state)
+{
+    switch (state) {
+      case PowerState::Gated:
+        return "gated";
+      case PowerState::Idle:
+        return "idle";
+      case PowerState::Active:
+        return "active";
+    }
+    return "unknown";
+}
+
+/**
+ * Per-component power draw in each state, in watts. The paper's Table 5
+ * values (1.2 V, 100 kHz) populate these for each architecture component;
+ * Table 1 currents x 3 V populate the Mica2 baseline devices.
+ */
+struct PowerModel
+{
+    double activeWatts = 0.0;
+    double idleWatts = 0.0;
+    double gatedWatts = 0.0;
+
+    constexpr double
+    watts(PowerState state) const
+    {
+        switch (state) {
+          case PowerState::Gated:
+            return gatedWatts;
+          case PowerState::Idle:
+            return idleWatts;
+          case PowerState::Active:
+            return activeWatts;
+        }
+        return 0.0;
+    }
+};
+
+} // namespace ulp::power
+
+#endif // ULP_POWER_POWER_STATE_HH

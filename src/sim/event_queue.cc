@@ -1,0 +1,102 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace ulp::sim {
+
+Event::~Event()
+{
+    if (_scheduled && _queue)
+        _queue->deschedule(this);
+}
+
+EventQueue::~EventQueue()
+{
+    // Orphan any events still pending so their destructors do not try to
+    // deschedule themselves from a dead queue.
+    for (Event *event : events) {
+        event->_scheduled = false;
+        event->_queue = nullptr;
+    }
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    if (event->_scheduled) {
+        panic("schedule: event '%s' is already scheduled at %llu",
+              event->description().c_str(),
+              static_cast<unsigned long long>(event->_when));
+    }
+    if (when < _curTick) {
+        panic("schedule: event '%s' into the past (%llu < %llu)",
+              event->description().c_str(),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    }
+    event->_when = when;
+    event->_seq = nextSeq++;
+    event->_scheduled = true;
+    event->_queue = this;
+    events.insert(event);
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    if (!event->_scheduled || event->_queue != this) {
+        panic("deschedule: event '%s' is not scheduled on this queue",
+              event->description().c_str());
+    }
+    events.erase(event);
+    event->_scheduled = false;
+    event->_queue = nullptr;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->_scheduled)
+        deschedule(event);
+    schedule(event, when);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    if (events.empty())
+        return maxTick;
+    return (*events.begin())->_when;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events.empty())
+        return false;
+    auto it = events.begin();
+    Event *event = *it;
+    events.erase(it);
+    _curTick = event->_when;
+    event->_scheduled = false;
+    event->_queue = nullptr;
+    ++_numProcessed;
+    event->process();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t processed = 0;
+    while (!events.empty() && (*events.begin())->_when <= limit) {
+        runOne();
+        ++processed;
+    }
+    // Advance time to the limit so subsequent scheduling is relative to it.
+    if (_curTick < limit)
+        _curTick = limit;
+    return processed;
+}
+
+} // namespace ulp::sim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Discrete-event simulation queue.
+ *
+ * Events are ordered by (when, priority, insertion sequence). Components
+ * schedule events on a shared EventQueue; the queue's service loop advances
+ * simulated time to each event's tick and processes it. Clocked components
+ * only keep events in the queue while they have work to do, so an idle
+ * sensor node consumes no host cycles between events — mirroring the
+ * event-driven idle behaviour of the architecture being modelled.
+ */
+
+#ifndef ULP_SIM_EVENT_QUEUE_HH
+#define ULP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ulp::sim {
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled at a simulated tick. Subclasses implement
+ * process(); alternatively use EventFunctionWrapper for lambda callbacks.
+ */
+class Event
+{
+  public:
+    /** Lower value = processed earlier among same-tick events. */
+    using Priority = std::int8_t;
+
+    static constexpr Priority defaultPriority = 0;
+    /** Interrupt delivery precedes CPU ticks scheduled at the same tick. */
+    static constexpr Priority interruptPriority = -10;
+    /** Stats/termination events run after everything else at a tick. */
+    static constexpr Priority maxPriority = 100;
+
+    explicit Event(Priority priority = defaultPriority)
+        : _priority(priority)
+    {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the event queue when simulated time reaches when(). */
+    virtual void process() = 0;
+
+    /** Human-readable description for tracing. */
+    virtual std::string description() const { return "generic event"; }
+
+    bool scheduled() const { return _scheduled; }
+    Tick when() const { return _when; }
+    Priority priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    std::uint64_t _seq = 0;
+    Priority _priority;
+    bool _scheduled = false;
+    EventQueue *_queue = nullptr;
+};
+
+/** An Event that invokes a bound callable; the common case. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback, std::string name,
+                         Priority priority = defaultPriority)
+        : Event(priority), callback(std::move(callback)),
+          _name(std::move(name))
+    {}
+
+    void process() override { callback(); }
+    std::string description() const override { return _name; }
+
+  private:
+    std::function<void()> callback;
+    std::string _name;
+};
+
+/**
+ * The global event queue for one simulation. Not thread-safe; one queue
+ * per simulated system (all nodes of a network share a queue).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p event at absolute tick @p when.
+     * It is a bug (panic) to schedule into the past or to schedule an
+     * already-scheduled event; use reschedule() for the latter.
+     */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *event);
+
+    /** Move an already-scheduled (or unscheduled) event to @p when. */
+    void reschedule(Event *event, Tick when);
+
+    /** True when no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /** Tick of the next pending event; maxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Process events until the queue is empty or simulated time would
+     * exceed @p limit. Events scheduled exactly at @p limit are processed.
+     * @return the number of events processed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Process a single event if one is pending. @return true if one ran. */
+    bool runOne();
+
+    /** Total events processed since construction. */
+    std::uint64_t numProcessed() const { return _numProcessed; }
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->_when != b->_when)
+                return a->_when < b->_when;
+            if (a->_priority != b->_priority)
+                return a->_priority < b->_priority;
+            return a->_seq < b->_seq;
+        }
+    };
+
+    std::set<Event *, Compare> events;
+    Tick _curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t _numProcessed = 0;
+};
+
+} // namespace ulp::sim
+
+#endif // ULP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,86 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace ulp::sim {
+
+namespace {
+bool quietMode = false;
+} // namespace
+
+std::string
+vcsprintf(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vcsprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace ulp::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error reporting and status messages, following the gem5 conventions:
+ *
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does, i.e. a simulator bug.
+ *  - fatal():  the simulation cannot continue due to a user error (bad
+ *              configuration, malformed assembly, invalid arguments).
+ *  - warn()/inform(): status messages; never stop the simulation.
+ *
+ * Unlike gem5, panic() and fatal() throw (PanicError / FatalError) rather
+ * than abort()/exit(1) so that unit tests can assert on them; main()
+ * wrappers catch SimError and exit non-zero.
+ */
+
+#ifndef ULP_SIM_LOGGING_HH
+#define ULP_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace ulp::sim {
+
+/** Base class for simulation-terminating errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** Thrown by panic(): an internal simulator bug. */
+class PanicError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** Thrown by fatal(): a user/configuration error. */
+class FatalError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** printf-style formatting into a std::string. */
+std::string vcsprintf(const char *fmt, std::va_list args);
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and throw PanicError. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user error and throw FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches for clean tables). */
+void setQuiet(bool quiet);
+
+} // namespace ulp::sim
+
+#endif // ULP_SIM_LOGGING_HH

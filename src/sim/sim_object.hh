@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Base class for all simulated hardware components. A SimObject has a
+ * hierarchical name ("node0.ep"), belongs to a Simulation (whose event
+ * queue it schedules on), and is a statistics group.
+ */
+
+#ifndef ULP_SIM_SIM_OBJECT_HH
+#define ULP_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ulp::sim {
+
+class SimObject : public stats::Group
+{
+  public:
+    /**
+     * @param simulation owning simulation context
+     * @param name leaf name of this object
+     * @param parent parent object for naming/stats, or nullptr for a
+     *        top-level object (child of the simulation's stats root)
+     */
+    SimObject(Simulation &simulation, const std::string &name,
+              SimObject *parent = nullptr)
+        : stats::Group(parent ? static_cast<stats::Group *>(parent)
+                              : &simulation.rootStats(),
+                       name),
+          _simulation(simulation),
+          _name(parent ? parent->name() + "." + name : name)
+    {}
+
+    ~SimObject() override = default;
+
+    /** Fully qualified hierarchical name. */
+    const std::string &name() const { return _name; }
+
+    Simulation &simulation() { return _simulation; }
+    EventQueue &eventq() { return _simulation.eventq(); }
+    Tick curTick() const { return _simulation.curTick(); }
+
+    /** Convenience: schedule @p event @p delta ticks from now. */
+    void
+    scheduleRel(Event *event, Tick delta)
+    {
+        eventq().schedule(event, curTick() + delta);
+    }
+
+  private:
+    Simulation &_simulation;
+    std::string _name;
+};
+
+} // namespace ulp::sim
+
+#endif // ULP_SIM_SIM_OBJECT_HH

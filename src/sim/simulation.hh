@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Top-level simulation context: owns the event queue and the root of the
+ * statistics tree. All SimObjects belonging to one simulated system (which
+ * may contain many sensor nodes) share one Simulation.
+ */
+
+#ifndef ULP_SIM_SIMULATION_HH
+#define ULP_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ulp::sim {
+
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    EventQueue &eventq() { return _eventq; }
+    const EventQueue &eventq() const { return _eventq; }
+
+    Tick curTick() const { return _eventq.curTick(); }
+
+    stats::Group &rootStats() { return _rootStats; }
+
+    /** Run until @p limit (inclusive); returns events processed. */
+    std::uint64_t runUntil(Tick limit) { return _eventq.runUntil(limit); }
+
+    /** Run for @p delta more ticks. */
+    std::uint64_t
+    runFor(Tick delta)
+    {
+        return _eventq.runUntil(curTick() + delta);
+    }
+
+    /** Run for @p seconds more simulated seconds. */
+    std::uint64_t
+    runForSeconds(double seconds)
+    {
+        return runFor(secondsToTicks(seconds));
+    }
+
+    /** Drain the event queue completely (only safe for finite workloads). */
+    std::uint64_t
+    runAll()
+    {
+        std::uint64_t processed = 0;
+        while (_eventq.runOne())
+            ++processed;
+        return processed;
+    }
+
+    /** Print every statistic in the tree. */
+    void
+    dumpStats(std::ostream &os) const
+    {
+        _rootStats.printStats(os);
+    }
+
+  private:
+    EventQueue _eventq;
+    stats::Group _rootStats;
+};
+
+} // namespace ulp::sim
+
+#endif // ULP_SIM_SIMULATION_HH

@@ -1,0 +1,113 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace ulp::sim::stats {
+
+Info::Info(Group *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+namespace {
+
+void
+printLine(std::ostream &os, const std::string &prefix,
+          const std::string &name, double value, const std::string &desc)
+{
+    std::string full = prefix.empty() ? name : prefix + "." + name;
+    os << std::left << std::setw(44) << full << " "
+       << std::right << std::setw(16) << value
+       << "  # " << desc << "\n";
+}
+
+} // namespace
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), _value, desc());
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), value(), desc());
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name() + ".count",
+              static_cast<double>(_count), desc());
+    printLine(os, prefix, name() + ".mean", mean(), desc());
+    printLine(os, prefix, name() + ".min", min(), desc());
+    printLine(os, prefix, name() + ".max", max(), desc());
+    printLine(os, prefix, name() + ".stddev", stddev(), desc());
+}
+
+Group::Group(Group *parent, std::string name)
+    : _groupName(std::move(name)), _parent(parent)
+{
+    if (parent)
+        parent->addChildGroup(this);
+}
+
+Group::~Group()
+{
+    if (_parent) {
+        auto &siblings = _parent->_children;
+        std::erase(siblings, this);
+    }
+    for (Group *child : _children)
+        child->_parent = nullptr;
+}
+
+void
+Group::addStat(Info *info)
+{
+    _stats.push_back(info);
+}
+
+void
+Group::addChildGroup(Group *child)
+{
+    _children.push_back(child);
+}
+
+void
+Group::printStats(std::ostream &os, const std::string &prefix) const
+{
+    std::string here = prefix;
+    if (!_groupName.empty())
+        here = prefix.empty() ? _groupName : prefix + "." + _groupName;
+    for (const Info *info : _stats)
+        info->print(os, here);
+    for (const Group *child : _children)
+        child->printStats(os, here);
+}
+
+void
+Group::resetStats()
+{
+    for (Info *info : _stats)
+        info->reset();
+    for (Group *child : _children)
+        child->resetStats();
+}
+
+Info *
+Group::findStat(const std::string &name) const
+{
+    for (Info *info : _stats) {
+        if (info->name() == name)
+            return info;
+    }
+    return nullptr;
+}
+
+} // namespace ulp::sim::stats

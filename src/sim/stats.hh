@@ -1,0 +1,182 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Statistics belong to a Group (every SimObject is a Group); groups form a
+ * tree mirroring the system hierarchy. Each statistic has a name and a
+ * description and can be printed or reset through the group tree.
+ */
+
+#ifndef ULP_SIM_STATS_HH
+#define ULP_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ulp::sim::stats {
+
+class Group;
+
+/** Base class for a named, described statistic. */
+class Info
+{
+  public:
+    Info(Group *parent, std::string name, std::string desc);
+    virtual ~Info() = default;
+
+    Info(const Info &) = delete;
+    Info &operator=(const Info &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print "prefix.name  value  # desc" line(s). */
+    virtual void print(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the initial (zero) state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple accumulating scalar (counter or gauge). */
+class Scalar : public Info
+{
+  public:
+    Scalar(Group *parent, std::string name, std::string desc)
+        : Info(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator-=(double v) { _value -= v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    double value() const { return _value; }
+    operator double() const { return _value; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** A scalar computed on demand from other statistics. */
+class Formula : public Info
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : Info(parent, std::move(name), std::move(desc)), fn(std::move(fn))
+    {}
+
+    double value() const { return fn ? fn() : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn;
+};
+
+/** Running min/max/mean/stddev over sampled values. */
+class Distribution : public Info
+{
+  public:
+    Distribution(Group *parent, std::string name, std::string desc)
+        : Info(parent, std::move(name), std::move(desc))
+    {}
+
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        _sumSq += v * v;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (_count < 2)
+            return 0.0;
+        double m = mean();
+        double var = (_sumSq - _count * m * m) / (_count - 1);
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+    void
+    reset() override
+    {
+        _count = 0;
+        _sum = _sumSq = 0.0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A node in the statistics tree. Groups own neither their child groups nor
+ * their statistics; both typically live as members of SimObjects.
+ */
+class Group
+{
+  public:
+    Group() = default;
+    explicit Group(Group *parent, std::string name = "");
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &groupName() const { return _groupName; }
+    void setGroupName(std::string name) { _groupName = std::move(name); }
+
+    void addStat(Info *info);
+    void addChildGroup(Group *child);
+
+    /** Depth-first print of this group's stats and all children. */
+    void printStats(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Depth-first reset. */
+    void resetStats();
+
+    const std::vector<Info *> &statsList() const { return _stats; }
+
+    /** Find a statistic by name in this group only; nullptr if absent. */
+    Info *findStat(const std::string &name) const;
+
+  private:
+    std::string _groupName;
+    Group *_parent = nullptr;
+    std::vector<Info *> _stats;
+    std::vector<Group *> _children;
+};
+
+} // namespace ulp::sim::stats
+
+#endif // ULP_SIM_STATS_HH

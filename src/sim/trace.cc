@@ -1,0 +1,75 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace ulp::sim {
+
+namespace {
+std::set<std::string> enabledCategories;
+bool anyFlag = false;
+} // namespace
+
+void
+Trace::enable(const std::string &category)
+{
+    enabledCategories.insert(category);
+    anyFlag = true;
+}
+
+void
+Trace::disable(const std::string &category)
+{
+    enabledCategories.erase(category);
+    anyFlag = !enabledCategories.empty();
+}
+
+void
+Trace::clear()
+{
+    enabledCategories.clear();
+    anyFlag = false;
+}
+
+bool
+Trace::enabled(const std::string &category)
+{
+    if (!anyFlag)
+        return false;
+    return enabledCategories.count("All") > 0 ||
+           enabledCategories.count(category) > 0;
+}
+
+bool
+Trace::anyEnabled()
+{
+    return anyFlag;
+}
+
+void
+Trace::output(const std::string &category, Tick when, const std::string &who,
+              const std::string &message)
+{
+    std::fprintf(stderr, "%12llu: %s: [%s] %s\n",
+                 static_cast<unsigned long long>(when), who.c_str(),
+                 category.c_str(), message.c_str());
+}
+
+void
+Trace::enableFromString(const std::string &list)
+{
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string item = list.substr(start, comma - start);
+        if (!item.empty())
+            enable(item);
+        start = comma + 1;
+    }
+}
+
+} // namespace ulp::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Debug tracing, modelled on gem5's DPRINTF. Trace categories are plain
+ * strings ("EP", "Bus", "Timer", ...); categories are enabled globally,
+ * typically from an environment variable or a test fixture. Tracing is a
+ * cheap boolean test when disabled.
+ */
+
+#ifndef ULP_SIM_TRACE_HH
+#define ULP_SIM_TRACE_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ulp::sim {
+
+class Trace
+{
+  public:
+    /** Enable one category, or "All" for everything. */
+    static void enable(const std::string &category);
+
+    /** Disable one category. */
+    static void disable(const std::string &category);
+
+    /** Disable everything. */
+    static void clear();
+
+    /** True if @p category (or "All") is enabled. */
+    static bool enabled(const std::string &category);
+
+    /** True if any category is enabled (fast pre-check). */
+    static bool anyEnabled();
+
+    /** Emit one trace line: "<tick>: <who>: <message>". */
+    static void output(const std::string &category, Tick when,
+                       const std::string &who, const std::string &message);
+
+    /**
+     * Enable categories from a comma-separated list, e.g. "EP,Bus".
+     * Used with the ULP_TRACE_FLAGS environment variable.
+     */
+    static void enableFromString(const std::string &list);
+};
+
+} // namespace ulp::sim
+
+/**
+ * Trace from a SimObject context: ULP_TRACE("EP", this, "fetch @%#x", pc).
+ * @p obj must provide curTick() and name().
+ */
+#define ULP_TRACE(category, obj, ...)                                        \
+    do {                                                                     \
+        if (::ulp::sim::Trace::anyEnabled() &&                               \
+            ::ulp::sim::Trace::enabled(category)) {                          \
+            ::ulp::sim::Trace::output(category, (obj)->curTick(),            \
+                                      (obj)->name(),                         \
+                                      ::ulp::sim::csprintf(__VA_ARGS__));    \
+        }                                                                    \
+    } while (0)
+
+#endif // ULP_SIM_TRACE_HH

@@ -1,0 +1,89 @@
+#include "tech/device_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ulp::tech {
+
+namespace {
+
+constexpr double vthTempCoeffVPerK = 1.2e-3;
+constexpr double roomTempC = 25.0;
+constexpr double zeroCelsiusK = 273.15;
+
+/** Thermal voltage kT/q in volts. */
+double
+thermalVoltage(double temp_c)
+{
+    return 8.617333e-5 * (temp_c + zeroCelsiusK);
+}
+
+} // namespace
+
+double
+DeviceModel::vth(double temp_c) const
+{
+    return node.vth25 - vthTempCoeffVPerK * (temp_c - roomTempC);
+}
+
+double
+DeviceModel::subthresholdSlope(double temp_c) const
+{
+    double s25 = node.ssMvDec25 * 1e-3;
+    return s25 * (temp_c + zeroCelsiusK) / (roomTempC + zeroCelsiusK);
+}
+
+double
+DeviceModel::kDrive() const
+{
+    double overdrive = node.vddNominal - node.vth25;
+    double ion = node.ionNominalUaUm * 1e-6;
+    return ion / std::pow(overdrive, node.alphaPower);
+}
+
+double
+DeviceModel::isubPerUm(double vgs, double vds, double temp_c) const
+{
+    // Normalise I0 so that isub(0, vddNominal, 25 C) == ioff0.
+    double s25 = node.ssMvDec25 * 1e-3;
+    double vth_eff25 = node.vth25 - node.dibl * node.vddNominal;
+    double i0 = node.ioff0NaUm * 1e-9 * std::pow(10.0, vth_eff25 / s25);
+
+    double s = subthresholdSlope(temp_c);
+    double vth_eff = vth(temp_c) - node.dibl * vds;
+    // The exponential law holds only below threshold; above it the
+    // channel is strongly inverted and the alpha-power term takes over,
+    // so the subthreshold contribution saturates at the at-threshold
+    // current I0.
+    double overdrive = std::min(vgs - vth_eff, 0.0);
+    double current = i0 * std::pow(10.0, overdrive / s);
+
+    // Drain saturation factor; only matters for Vds below a few kT/q.
+    double vt = thermalVoltage(temp_c);
+    current *= 1.0 - std::exp(-std::max(vds, 0.0) / vt);
+    return current;
+}
+
+double
+DeviceModel::ionPerUm(double vdd, double temp_c) const
+{
+    // Mobility degradation with temperature.
+    double mobility = std::pow((roomTempC + zeroCelsiusK) /
+                               (temp_c + zeroCelsiusK), -1.5);
+    mobility = 1.0 / mobility; // T up => drive down
+
+    double overdrive = vdd - vth(temp_c);
+    double sat = 0.0;
+    if (overdrive > 0.0)
+        sat = kDrive() * std::pow(overdrive, node.alphaPower) * mobility;
+
+    return sat + isubPerUm(vdd, vdd, temp_c);
+}
+
+double
+DeviceModel::ioffPerUm(double vdd, double temp_c) const
+{
+    return isubPerUm(0.0, vdd, temp_c);
+}
+
+} // namespace ulp::tech

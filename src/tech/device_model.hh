@@ -1,0 +1,60 @@
+/**
+ * @file
+ * First-order MOSFET current models used in place of HSPICE.
+ *
+ * Above threshold, drive current follows the alpha-power law
+ * (Sakurai-Newton): Ion = k * (Vgs - Vth)^alpha. Below and near
+ * threshold, conduction is exponential with gate voltage:
+ * Isub = I0 * 10^((Vgs - Vth + dibl*Vds) / S). Both regions are summed so
+ * the model stays smooth through the near-threshold voltages that the
+ * Ttarget = 30 us constraint pushes the design into.
+ *
+ * Temperature dependence: Vth drops ~1.2 mV/K, the subthreshold slope
+ * scales with absolute temperature, and mobility degrades as T^-1.5.
+ */
+
+#ifndef ULP_TECH_DEVICE_MODEL_HH
+#define ULP_TECH_DEVICE_MODEL_HH
+
+#include "tech/tech_node.hh"
+
+namespace ulp::tech {
+
+class DeviceModel
+{
+  public:
+    explicit DeviceModel(const TechNode &node) : node(node) {}
+
+    /** Threshold voltage at @p temp_c (V). */
+    double vth(double temp_c) const;
+
+    /** Subthreshold slope at @p temp_c (V/decade). */
+    double subthresholdSlope(double temp_c) const;
+
+    /**
+     * Drive current per um of width with gate and drain at @p vdd (A/um).
+     * Valid from deep subthreshold to nominal Vdd.
+     */
+    double ionPerUm(double vdd, double temp_c) const;
+
+    /** Leakage current per um of width at Vgs=0, Vds=@p vdd (A/um). */
+    double ioffPerUm(double vdd, double temp_c) const;
+
+    /**
+     * Subthreshold current per um at arbitrary bias (A/um). Exposed for
+     * unit tests of the region interpolation.
+     */
+    double isubPerUm(double vgs, double vds, double temp_c) const;
+
+    const TechNode &techNode() const { return node; }
+
+  private:
+    /** Alpha-power-law k chosen so ion(vddNominal, 25 C) matches the node. */
+    double kDrive() const;
+
+    const TechNode &node;
+};
+
+} // namespace ulp::tech
+
+#endif // ULP_TECH_DEVICE_MODEL_HH

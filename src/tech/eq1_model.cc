@@ -1,0 +1,54 @@
+#include "tech/eq1_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ulp::tech {
+
+double
+Eq1Model::totalPower(double alpha, const OscillatorPoint &point) const
+{
+    double weight = alpha * point.periodSeconds / ttarget;
+    weight = std::clamp(weight, 0.0, 1.0);
+    return weight * point.activeWatts +
+           (1.0 - weight) * point.leakageWatts;
+}
+
+std::optional<double>
+Eq1Model::minFeasibleVdd(const RingOscillator &osc, double temp_c,
+                         double vdd_min, double step_v) const
+{
+    double vdd_max = osc.deviceModel().techNode().vddNominal;
+    for (double vdd = vdd_min; vdd <= vdd_max + 1e-9; vdd += step_v) {
+        OscillatorPoint point = osc.evaluate(vdd, temp_c);
+        if (point.periodSeconds <= ttarget)
+            return vdd;
+    }
+    return std::nullopt;
+}
+
+std::vector<Fig3Sample>
+sweepTechnologies(const std::vector<double> &alphas, double temp_c,
+                  double ttarget_seconds)
+{
+    Eq1Model eq1(ttarget_seconds);
+    std::vector<Fig3Sample> samples;
+    for (const TechNode &node : standardNodes()) {
+        RingOscillator osc(node);
+        auto vdd = eq1.minFeasibleVdd(osc, temp_c);
+        if (!vdd) {
+            sim::warn("node %s cannot meet Ttarget; skipped",
+                      node.name.c_str());
+            continue;
+        }
+        OscillatorPoint point = osc.evaluate(*vdd, temp_c);
+        for (double alpha : alphas) {
+            samples.push_back(
+                {node.name, *vdd, alpha, eq1.totalPower(alpha, point)});
+        }
+    }
+    return samples;
+}
+
+} // namespace ulp::tech

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Equation 1 of the paper:
+ *
+ *   Ptotal = alpha*(T/Ttarget)*Pactive + (1 - alpha*(T/Ttarget))*Pleakage
+ *
+ * where alpha is the activity factor, T the measured oscillation period,
+ * and Ttarget the maximum cycle time the applications tolerate (30 us, the
+ * time an 802.15.4 radio takes to transmit one byte). The supply is scaled
+ * to the lowest voltage whose period still meets Ttarget.
+ */
+
+#ifndef ULP_TECH_EQ1_MODEL_HH
+#define ULP_TECH_EQ1_MODEL_HH
+
+#include <optional>
+#include <vector>
+
+#include "tech/ring_oscillator.hh"
+
+namespace ulp::tech {
+
+class Eq1Model
+{
+  public:
+    /** The paper's target cycle time: one 802.15.4 byte time. */
+    static constexpr double defaultTtargetSeconds = 30e-6;
+
+    explicit Eq1Model(double ttarget_seconds = defaultTtargetSeconds)
+        : ttarget(ttarget_seconds)
+    {}
+
+    /** Eq. 1, with the active weight clamped to [0, 1]. */
+    double totalPower(double alpha, const OscillatorPoint &point) const;
+
+    /**
+     * Lowest Vdd whose oscillation period is <= Ttarget, searched over
+     * [vdd_min, node nominal] at @p step_v granularity. Empty when even
+     * the nominal supply cannot meet Ttarget (never happens for the
+     * standard ladder).
+     */
+    std::optional<double>
+    minFeasibleVdd(const RingOscillator &osc, double temp_c,
+                   double vdd_min = 0.10, double step_v = 0.005) const;
+
+    double ttargetSeconds() const { return ttarget; }
+
+  private:
+    double ttarget;
+};
+
+/** One (alpha, power) sample of the Figure 3 surface at min-feasible Vdd. */
+struct Fig3Sample
+{
+    std::string node;
+    double vdd;
+    double alpha;
+    double totalWatts;
+};
+
+/**
+ * Sweep the standard technology ladder at min-feasible Vdd across
+ * activity factors; the core of Figure 3 and of the process-selection
+ * argument in §5.1.
+ */
+std::vector<Fig3Sample>
+sweepTechnologies(const std::vector<double> &alphas, double temp_c = 25.0,
+                  double ttarget_seconds = Eq1Model::defaultTtargetSeconds);
+
+} // namespace ulp::tech
+
+#endif // ULP_TECH_EQ1_MODEL_HH

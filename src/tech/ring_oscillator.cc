@@ -1,0 +1,37 @@
+#include "tech/ring_oscillator.hh"
+
+namespace ulp::tech {
+
+double
+RingOscillator::stageLoadFarads() const
+{
+    const TechNode &node = device.techNode();
+    return node.cgFfUm * 1e-15 * node.stageWidthUm() * loadFactor;
+}
+
+OscillatorPoint
+RingOscillator::evaluate(double vdd, double temp_c) const
+{
+    const TechNode &node = device.techNode();
+
+    double cload = stageLoadFarads();
+    double drive = device.ionPerUm(vdd, temp_c) * node.stageWidthUm();
+
+    // Average-current stage delay; a full period is one rising and one
+    // falling transition through all stages.
+    double stage_delay = cload * vdd / drive;
+    double period = 2.0 * stages * stage_delay;
+    double freq = 1.0 / period;
+
+    double active = stages * cload * vdd * vdd * freq;
+
+    // With feedback broken, on average half of each stage's width leaks at
+    // Vgs=0 (the off device); include the whole width for a conservative
+    // bound, matching how a static measurement would see both networks.
+    double ioff = device.ioffPerUm(vdd, temp_c) * node.stageWidthUm() * 0.5;
+    double leakage = stages * ioff * vdd;
+
+    return {vdd, temp_c, period, active + leakage, leakage};
+}
+
+} // namespace ulp::tech

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Process technology node parameters.
+ *
+ * The paper (§5.1) ran HSPICE ring-oscillator simulations across process
+ * technologies to show that, at sensor-network activity factors, older
+ * higher-Vth technologies beat advanced deep-submicron nodes on total
+ * power. We replace HSPICE with first-order analytical device models
+ * (alpha-power-law saturation current, exponential subthreshold
+ * conduction with DIBL and temperature dependence) parameterized per node
+ * with ITRS-era constants. Absolute numbers are approximate; the
+ * experiment checks the *shape*: which node wins at which activity factor
+ * (see EXPERIMENTS.md).
+ */
+
+#ifndef ULP_TECH_TECH_NODE_HH
+#define ULP_TECH_TECH_NODE_HH
+
+#include <string>
+#include <vector>
+
+namespace ulp::tech {
+
+struct TechNode
+{
+    std::string name;        ///< e.g. "250nm"
+    double featureNm;        ///< drawn feature size in nm
+    double vddNominal;       ///< nominal supply (V)
+    double vth25;            ///< threshold voltage at 25 C (V)
+    double ionNominalUaUm;   ///< saturation drive at nominal Vdd (uA/um)
+    double alphaPower;       ///< alpha-power-law velocity saturation index
+    double ioff0NaUm;        ///< subthreshold leak at Vgs=0, Vds=Vdd_nom,
+                             ///< 25 C (nA/um)
+    double ssMvDec25;        ///< subthreshold slope at 25 C (mV/decade)
+    double dibl;             ///< DIBL coefficient (V of Vth per V of Vds)
+    double cgFfUm;           ///< gate capacitance per um width (fF/um)
+
+    /**
+     * Total device width per inverter stage in um. A minimum inverter is
+     * roughly 6 drawn-lengths of width (Wn = 2L, Wp = 4L), so width -- and
+     * with it both drive and leakage -- scales with the feature size.
+     */
+    double
+    stageWidthUm() const
+    {
+        return 6.0 * featureNm * 1e-3;
+    }
+};
+
+/**
+ * The studied technology ladder, 0.6 um down to 90 nm. Parameter trends
+ * follow the scaling the paper's Figure 3 relies on: each generation gains
+ * drive current and loses threshold voltage, paying roughly a decade of
+ * extra subthreshold leakage.
+ */
+const std::vector<TechNode> &standardNodes();
+
+/** Find a node by name ("250nm"); fatal() if unknown. */
+const TechNode &findNode(const std::string &name);
+
+} // namespace ulp::tech
+
+#endif // ULP_TECH_TECH_NODE_HH

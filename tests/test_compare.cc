@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Regression tests of the reproduction itself: every Table 4 row, the
+ * SNAP ordering, the footprint comparison, the ~800 samples/s headline,
+ * and the Figure 6 sweep's qualitative properties must keep matching the
+ * paper as the code evolves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compare/fig6.hh"
+#include "compare/table4.hh"
+
+using namespace ulp;
+using namespace ulp::compare;
+
+namespace {
+
+/** |measured - paper| / paper. */
+double
+relativeError(double measured, double paper)
+{
+    return std::abs(measured - paper) / paper;
+}
+
+} // namespace
+
+TEST(Table4, OurColumnsTrackThePaperClosely)
+{
+    // Our side of Table 4 is the architecture the paper specifies; hold
+    // it to a tight tolerance.
+    EXPECT_EQ(oursSendPathCycles(false), 102u);
+    EXPECT_NEAR(static_cast<double>(oursSendPathCycles(true)), 127.0, 8.0);
+    EXPECT_NEAR(static_cast<double>(oursRegularMsgCycles()), 165.0, 8.0);
+    EXPECT_NEAR(static_cast<double>(oursIrregularMsgCycles()), 136.0, 8.0);
+    EXPECT_NEAR(static_cast<double>(oursTimerChangeCycles()), 114.0, 10.0);
+}
+
+TEST(Table4, Mica2ColumnsTrackThePaperLoosely)
+{
+    // The baseline reproduces TinyOS-like software structure, not its
+    // binary; hold its rows to 25 %.
+    EXPECT_LT(relativeError(
+                  static_cast<double>(mica2SendPathCycles(false)), 1522),
+              0.25);
+    EXPECT_LT(relativeError(
+                  static_cast<double>(mica2SendPathCycles(true)), 1532),
+              0.25);
+    EXPECT_LT(relativeError(
+                  static_cast<double>(mica2RegularMsgCycles()), 429),
+              0.25);
+    EXPECT_LT(relativeError(
+                  static_cast<double>(mica2IrregularMsgCycles()), 234),
+              0.25);
+    // Timer change is 11 cycles in the paper; integer slack dominates.
+    EXPECT_NEAR(static_cast<double>(mica2TimerChangeCycles()), 11.0, 4.0);
+}
+
+TEST(Table4, SpeedupShapeHolds)
+{
+    auto rows = table4();
+    ASSERT_EQ(rows.size(), 6u);
+
+    // Send paths: order-of-magnitude advantage (paper: 14.9x / 12.1x).
+    EXPECT_GT(rows[0].speedup(), 10.0);
+    EXPECT_GT(rows[1].speedup(), 10.0);
+    // Message processing: a couple-x advantage (2.6x / 1.7x).
+    EXPECT_GT(rows[2].speedup(), 1.5);
+    EXPECT_LT(rows[2].speedup(), 4.0);
+    EXPECT_GT(rows[3].speedup(), 1.2);
+    EXPECT_LT(rows[3].speedup(), 2.5);
+    // Timer change: the one row the commodity platform WINS (0.096x).
+    EXPECT_LT(rows[4].speedup(), 0.3);
+
+    // Filtering adds ~10 cycles on Mica2 and ~25 on ours (both small).
+    EXPECT_LT(rows[1].mica2Cycles - rows[0].mica2Cycles, 40u);
+    EXPECT_GT(rows[1].ourCycles, rows[0].ourCycles);
+}
+
+TEST(Snap, OrderingOursSnapMica2)
+{
+    std::uint64_t ours_blink = oursBlinkCycles();
+    std::uint64_t ours_sense = oursSenseCycles();
+    EXPECT_LT(ours_blink, snapBlinkCycles);
+    EXPECT_LT(snapBlinkCycles, mica2BlinkCycles());
+    EXPECT_LT(ours_sense, snapSenseCycles);
+    EXPECT_LT(snapSenseCycles, mica2SenseCycles());
+    // And within 2x of the paper's published values for our system.
+    EXPECT_LE(ours_blink, 2 * paperOursBlinkCycles);
+    EXPECT_LE(ours_sense, 2 * paperOursSenseCycles);
+}
+
+TEST(Footprint, OursIsTinyAndMica2IsMuchBigger)
+{
+    std::size_t ours = oursFootprintBytes();
+    std::size_t mica = mica2FootprintBytes();
+    EXPECT_LT(ours, 512u);  // paper: 180 B
+    EXPECT_GT(mica, 1024u); // paper: 11558 B with the radio stack
+    EXPECT_GT(mica, 4 * ours);
+}
+
+TEST(MaxRate, Near800SamplesPerSecond)
+{
+    double rate = maxSampleRateHz();
+    EXPECT_GT(rate, 700.0);
+    EXPECT_LT(rate, 900.0);
+}
+
+TEST(Fig6, TotalPowerShapeMatchesPaper)
+{
+    auto points = sweepFig6({1.0, 0.1, 0.01, 1e-3}, 1.0);
+    ASSERT_EQ(points.size(), 4u);
+
+    // Monotonically nonincreasing total power as duty falls.
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_LE(points[i].totalWatts, points[i - 1].totalWatts + 1e-9);
+
+    // Saturated: within the paper's ~25 uW active budget.
+    EXPECT_LT(points[0].totalWatts, 25e-6);
+    EXPECT_GT(points[0].totalWatts, 5e-6);
+    EXPECT_GT(points[0].epUtilization, 0.5);
+
+    // "Drops below 2 uW for even reasonably high sample rates."
+    EXPECT_LT(points[2].totalWatts, 2e-6);
+
+    // The always-on timer dominates the floor at ~1.44 uW.
+    EXPECT_NEAR(points[3].timerWatts, 1.44e-6, 0.15e-6);
+    EXPECT_NEAR(points[3].totalWatts, 1.5e-6, 0.3e-6);
+}
+
+TEST(Fig6, AtmelIsTwoOrdersOfMagnitudeWorse)
+{
+    for (const auto &p : sweepFig6({0.1, 1e-3}, 1.0)) {
+        double ratio = p.atmelWatts / p.totalWatts;
+        EXPECT_GT(ratio, 100.0) << "duty " << p.dutyCycle;
+        EXPECT_LT(ratio, 5000.0) << "duty " << p.dutyCycle;
+    }
+}
+
+TEST(Fig6, Msp430PointMatchesPaperRange)
+{
+    Fig6Point p = runFig6Point(0.1, 1.0);
+    // Paper: 113-192 uW at the 0.1 utilization point; our utilization-
+    // normalized models give a similar window.
+    EXPECT_GT(p.msp430LowWatts, 60e-6);
+    EXPECT_LT(p.msp430HighWatts, 250e-6);
+    EXPECT_LT(p.msp430LowWatts, p.msp430HighWatts);
+    // And far above our node either way.
+    EXPECT_GT(p.msp430LowWatts, 10 * p.totalWatts);
+}
+
+TEST(Fig6, NoEventsAreDroppedBelowSaturation)
+{
+    Fig6Point p = runFig6Point(0.1, 1.0);
+    EXPECT_EQ(p.eventsDropped, 0u);
+}

@@ -1,0 +1,616 @@
+/**
+ * @file
+ * Unit tests for the core architecture's building blocks: the data bus
+ * and its arbitration, the interrupt bus, the power controller, and each
+ * slave accelerator (timers, threshold filter, sensor/ADC, message
+ * processor, radio), exercised directly through their bus interfaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "net/frame.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+using namespace ulp::core;
+
+namespace {
+
+/**
+ * Most slave tests are cleanest against a full node: it wires the buses,
+ * the power controller, and the probes exactly as hardware would.
+ */
+struct DeviceTest : ::testing::Test
+{
+    sim::Simulation simulation;
+    NodeConfig cfg;
+    std::unique_ptr<SensorNode> node;
+
+    void
+    SetUp() override
+    {
+        cfg.sensorSignal = [](sim::Tick) { return 42; };
+        node = std::make_unique<SensorNode>(simulation, "node", cfg);
+    }
+
+    DataBus &bus() { return node->dataBus(); }
+    void advance(double seconds) { simulation.runForSeconds(seconds); }
+
+    std::uint8_t
+    rd(map::Addr addr)
+    {
+        return bus().read(addr);
+    }
+    void
+    wr(map::Addr addr, std::uint8_t v)
+    {
+        bus().write(addr, v);
+    }
+};
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Data bus
+// --------------------------------------------------------------------------
+
+TEST_F(DeviceTest, BusRoutesToSlavesByAddress)
+{
+    wr(0x0400, 0xAB); // main memory
+    EXPECT_EQ(rd(0x0400), 0xAB);
+    wr(map::filterBase + map::filterThresh, 77);
+    EXPECT_EQ(rd(map::filterBase + map::filterThresh), 77);
+    EXPECT_EQ(node->filter().threshold(), 77);
+}
+
+TEST_F(DeviceTest, UnmappedAccessReturnsFloatingBus)
+{
+    EXPECT_EQ(rd(0x9000), 0xFF);
+    wr(0x9000, 1); // swallowed
+    EXPECT_GE(static_cast<std::uint64_t>(
+                  static_cast<const sim::stats::Scalar *>(
+                      bus().findStat("unmapped"))
+                      ->value()),
+              2u);
+}
+
+TEST_F(DeviceTest, McuHoldsBusBlocksEp)
+{
+    EXPECT_TRUE(bus().availableForEp());
+    bus().setMcuHoldsBus(true);
+    EXPECT_FALSE(bus().availableForEp());
+    bus().setMcuHoldsBus(false);
+    EXPECT_TRUE(bus().availableForEp());
+}
+
+TEST(DataBusStandalone, OverlappingSlavesAreFatal)
+{
+    sim::Simulation simulation;
+    DataBus bus(simulation, "bus");
+
+    struct FakeSlave : BusSlave
+    {
+        AddrRange range;
+        explicit FakeSlave(AddrRange r) : range(r) {}
+        AddrRange addrRange() const override { return range; }
+        std::uint8_t busRead(map::Addr) override { return 0; }
+        void busWrite(map::Addr, std::uint8_t) override {}
+    };
+
+    FakeSlave a({0x1000, 0x100});
+    FakeSlave b({0x1080, 0x100}); // overlaps a
+    FakeSlave c({0x1100, 0x100}); // adjacent: fine
+    bus.addSlave(&a);
+    EXPECT_THROW(bus.addSlave(&b), sim::FatalError);
+    bus.addSlave(&c);
+}
+
+// --------------------------------------------------------------------------
+// Interrupt bus
+// --------------------------------------------------------------------------
+
+TEST_F(DeviceTest, InterruptArbitrationPicksLowestCode)
+{
+    InterruptBus &irq = node->irqBus();
+    // Stop the EP from consuming: detach its listener by grabbing the
+    // interrupts before the EP's next clock edge.
+    irq.post(Irq::RadioRxDone);
+    irq.post(Irq::Timer0);
+    irq.post(Irq::MsgTxReady);
+
+    auto first = irq.take();
+    ASSERT_TRUE(first);
+    EXPECT_EQ(*first, Irq::Timer0);
+    EXPECT_EQ(*irq.take(), Irq::MsgTxReady);
+    EXPECT_EQ(*irq.take(), Irq::RadioRxDone);
+    EXPECT_FALSE(irq.take().has_value());
+}
+
+TEST_F(DeviceTest, ReassertingAnAssertedCodeDropsTheEvent)
+{
+    InterruptBus &irq = node->irqBus();
+    irq.post(Irq::Timer0);
+    irq.post(Irq::Timer0); // dropped: still asserted
+    EXPECT_EQ(irq.dropped(), 1u);
+    irq.take();
+    irq.post(Irq::Timer0); // fine again
+    EXPECT_EQ(irq.dropped(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Power controller
+// --------------------------------------------------------------------------
+
+TEST_F(DeviceTest, SwitchOnAcksAfterWakeupLatency)
+{
+    PowerController &pc = node->powerCtrl();
+    pc.switchOff(ComponentId::Sensor);
+    EXPECT_FALSE(pc.isOn(ComponentId::Sensor));
+
+    sim::Tick ready = pc.switchOn(ComponentId::Sensor);
+    EXPECT_EQ(ready, simulation.curTick() + cfg.slaveWakeupTicks);
+    EXPECT_TRUE(pc.isOn(ComponentId::Sensor));
+
+    // Already-on components ack immediately.
+    EXPECT_EQ(pc.switchOn(ComponentId::Sensor), simulation.curTick());
+}
+
+TEST_F(DeviceTest, MemoryBanksAreGateableComponents)
+{
+    PowerController &pc = node->powerCtrl();
+    node->memory().poke(0x0700, 0x12); // bank 7
+    pc.switchOff(ComponentId::MemBank7);
+    EXPECT_TRUE(node->memory().bankGated(7));
+    pc.switchOn(ComponentId::MemBank7);
+    EXPECT_FALSE(node->memory().bankGated(7));
+}
+
+TEST_F(DeviceTest, GatingDisabledMakesSwitchOffANoOp)
+{
+    node->powerCtrl().setGatingDisabled(true);
+    node->powerCtrl().switchOff(ComponentId::Sensor);
+    EXPECT_TRUE(node->powerCtrl().isOn(ComponentId::Sensor));
+}
+
+TEST(PowerControllerStandalone, DoubleRegistrationIsFatal)
+{
+    sim::Simulation simulation;
+    PowerController pc(simulation, "pc");
+    struct Dummy : PowerControllable
+    {
+        bool on = true;
+        sim::Tick powerOn() override { on = true; return 0; }
+        void powerOff() override { on = false; }
+        bool powered() const override { return on; }
+    } dummy;
+    pc.registerComponent(ComponentId::Filter, &dummy);
+    EXPECT_THROW(pc.registerComponent(ComponentId::Filter, &dummy),
+                 sim::FatalError);
+    EXPECT_THROW(pc.switchOn(ComponentId::Radio), sim::FatalError);
+}
+
+// --------------------------------------------------------------------------
+// Timer unit
+// --------------------------------------------------------------------------
+
+TEST_F(DeviceTest, OneShotTimerFiresOnce)
+{
+    wr(map::timerBase + map::timerLoadHi, 0x00);
+    wr(map::timerBase + map::timerLoadLo, 100);
+    wr(map::timerBase + map::timerCtrl, TimerUnit::ctrlEnable);
+
+    advance(0.0005); // 50 cycles: not yet
+    EXPECT_EQ(node->probes().count(Probe::TimerAlarm), 0u);
+    advance(0.0006); // past 100 cycles
+    EXPECT_EQ(node->probes().count(Probe::TimerAlarm), 1u);
+    EXPECT_FALSE(node->timers().timerRunning(0)); // auto-disabled
+    advance(0.01);
+    EXPECT_EQ(node->probes().count(Probe::TimerAlarm), 1u);
+}
+
+TEST_F(DeviceTest, ReloadTimerIsPeriodic)
+{
+    wr(map::timerBase + map::timerLoadLo, 100);
+    wr(map::timerBase + map::timerCtrl,
+       TimerUnit::ctrlEnable | TimerUnit::ctrlReload);
+    advance(0.0105); // 1050 cycles: 10 firings
+    EXPECT_EQ(node->probes().count(Probe::TimerAlarm), 10u);
+}
+
+TEST_F(DeviceTest, PauseRetainsCount)
+{
+    wr(map::timerBase + map::timerLoadLo, 200);
+    wr(map::timerBase + map::timerCtrl, TimerUnit::ctrlEnable);
+    advance(0.0005); // 50 cycles in
+    wr(map::timerBase + map::timerCtrl, 0); // pause
+    std::uint16_t count =
+        static_cast<std::uint16_t>(
+            (rd(map::timerBase + map::timerCountHi) << 8) |
+            rd(map::timerBase + map::timerCountLo));
+    EXPECT_NEAR(count, 150, 2);
+    advance(0.1); // long pause: nothing fires
+    EXPECT_EQ(node->probes().count(Probe::TimerAlarm), 0u);
+}
+
+TEST_F(DeviceTest, ChainedTimerExtendsRange)
+{
+    // Timer 0: 100-cycle periodic tick; timer 1 counts 5 completions.
+    wr(map::timerBase + map::timerLoadLo, 100);
+    wr(map::timerBase + map::timerStride + map::timerLoadLo, 5);
+    wr(map::timerBase + map::timerStride + map::timerCtrl,
+       TimerUnit::ctrlEnable | TimerUnit::ctrlReload |
+           TimerUnit::ctrlChain);
+    wr(map::timerBase + map::timerCtrl,
+       TimerUnit::ctrlEnable | TimerUnit::ctrlReload);
+
+    // After 500 cycles + epsilon: timer1 fired once.
+    advance(0.00501);
+    std::uint64_t t0 = node->irqBus().posted();
+    EXPECT_GT(t0, 0u);
+    // Count Timer1 probes indirectly: the probe records all alarms; use
+    // the interrupt bus stats via a fresh listener instead.
+    advance(0.00500);
+    // Two timer-1 periods = 10 timer-0 alarms + 2 timer-1 alarms.
+    EXPECT_EQ(node->probes().count(Probe::TimerAlarm), 12u);
+}
+
+TEST_F(DeviceTest, TimerPowerFollowsRunningCount)
+{
+    EXPECT_EQ(node->timers().runningTimers(), 0u);
+    advance(1.0);
+    double idle = node->timers().averagePowerWatts();
+    EXPECT_NEAR(idle, 24e-9, 5e-9); // block idle
+
+    wr(map::timerBase + map::timerLoadLo, 100);
+    wr(map::timerBase + map::timerCtrl,
+       TimerUnit::ctrlEnable | TimerUnit::ctrlReload);
+    advance(9.0);
+    // One of four timers running: idle + (active-idle)/4 ~ 1.44 uW.
+    EXPECT_NEAR(node->timers().averagePowerWatts(), 1.3e-6, 0.2e-6);
+}
+
+// --------------------------------------------------------------------------
+// Threshold filter
+// --------------------------------------------------------------------------
+
+TEST_F(DeviceTest, FilterBoundaryIsInclusive)
+{
+    wr(map::filterBase + map::filterThresh, 100);
+    wr(map::filterBase + map::filterCtrl, 0); // polled mode
+
+    wr(map::filterBase + map::filterData, 100); // equal: passes
+    advance(0.001);
+    EXPECT_EQ(rd(map::filterBase + map::filterResult), 1);
+
+    wr(map::filterBase + map::filterData, 99);
+    advance(0.001);
+    EXPECT_EQ(rd(map::filterBase + map::filterResult), 0);
+    EXPECT_EQ(node->filter().decisions(), 2u);
+    EXPECT_EQ(node->filter().passes(), 1u);
+}
+
+TEST_F(DeviceTest, FilterInterruptModePostsPassFail)
+{
+    wr(map::filterBase + map::filterThresh, 50);
+    wr(map::filterBase + map::filterCtrl, ThresholdFilter::ctrlIrqMode);
+
+    InterruptBus &irq = node->irqBus();
+    sim::setQuiet(true); // the EP warns: no ISR bound in this bare node
+    wr(map::filterBase + map::filterData, 60);
+    advance(0.001);
+    sim::setQuiet(false);
+    // The EP warns (no ISR) and consumes; look at the posted counter.
+    EXPECT_GE(irq.posted(), 1u);
+    EXPECT_EQ(node->probes().count(Probe::FilterDecision), 1u);
+}
+
+TEST_F(DeviceTest, FilterDecisionTakesThreeCycles)
+{
+    wr(map::filterBase + map::filterCtrl, 0);
+    wr(map::filterBase + map::filterThresh, 10);
+    wr(map::filterBase + map::filterData, 20);
+    sim::Tick start = simulation.curTick();
+    advance(0.001);
+    const auto &probes = node->probes();
+    EXPECT_EQ(probes.last(Probe::FilterDecision) - start,
+              node->clock().cyclesToTicks(3));
+}
+
+// --------------------------------------------------------------------------
+// Sensor / ADC
+// --------------------------------------------------------------------------
+
+TEST_F(DeviceTest, SampleOnReadConverts)
+{
+    EXPECT_EQ(rd(map::sensorBase + map::sensorData), 42);
+    EXPECT_EQ(node->sensor().samples(), 1u);
+}
+
+TEST_F(DeviceTest, AsyncAcquisitionPostsAdcDone)
+{
+    wr(map::sensorBase + map::sensorCtrl, 1);
+    EXPECT_EQ(rd(map::sensorBase + map::sensorStatus), 0);
+    advance(0.001);
+    EXPECT_EQ(rd(map::sensorBase + map::sensorStatus), 1);
+    EXPECT_EQ(rd(map::sensorBase + map::sensorData), 42);
+    EXPECT_EQ(rd(map::sensorBase + map::sensorStatus), 0); // cleared
+}
+
+TEST_F(DeviceTest, NoiseIsClampedToByteRange)
+{
+    sim::Simulation sim2;
+    NodeConfig noisy;
+    noisy.sensorSignal = [](sim::Tick) { return 250; };
+    noisy.sensorNoiseStddev = 40.0;
+    SensorNode node2(sim2, "noisy", noisy);
+    for (int i = 0; i < 200; ++i) {
+        std::uint8_t v =
+            node2.sensor().busRead(map::sensorData);
+        EXPECT_LE(v, 255);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Message processor
+// --------------------------------------------------------------------------
+
+namespace {
+
+/** Stage a payload and issue CMD_PREPARE through the bus. */
+void
+prepareFrame(DeviceTest &t, std::initializer_list<std::uint8_t> payload)
+{
+    std::uint8_t len = 0;
+    for (std::uint8_t b : payload)
+        t.wr(static_cast<map::Addr>(map::msgBase + map::msgPayload + len++),
+             b);
+    t.wr(map::msgBase + map::msgPayloadLen, len);
+    t.wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdPrepare);
+    t.advance(0.01);
+}
+
+} // namespace
+
+TEST_F(DeviceTest, PreparesWellFormedFrames)
+{
+    wr(map::msgBase + map::msgDestHi, 0x12);
+    wr(map::msgBase + map::msgDestLo, 0x34);
+    prepareFrame(*this, {9, 8, 7});
+
+    EXPECT_EQ(node->msgProc().framesPrepared(), 1u);
+    std::uint8_t out_len = rd(map::msgBase + map::msgOutLen);
+    EXPECT_EQ(out_len, net::Frame::overheadBytes + 3);
+
+    std::vector<std::uint8_t> wire;
+    for (unsigned i = 0; i < out_len; ++i)
+        wire.push_back(rd(static_cast<map::Addr>(
+            map::msgBase + map::msgOutBuf + i)));
+    auto frame = net::Frame::deserialize(wire);
+    ASSERT_TRUE(frame);
+    EXPECT_EQ(frame->dest, 0x1234);
+    EXPECT_EQ(frame->src, cfg.address);
+    EXPECT_EQ(frame->destPan, cfg.pan);
+    EXPECT_EQ(frame->payload, (std::vector<std::uint8_t>{9, 8, 7}));
+    EXPECT_EQ(frame->seq, 0);
+
+    prepareFrame(*this, {1});
+    // Sequence number advances per frame.
+    std::uint8_t out_len2 = rd(map::msgBase + map::msgOutLen);
+    std::vector<std::uint8_t> wire2;
+    for (unsigned i = 0; i < out_len2; ++i)
+        wire2.push_back(rd(static_cast<map::Addr>(
+            map::msgBase + map::msgOutBuf + i)));
+    EXPECT_EQ(net::Frame::deserialize(wire2)->seq, 1);
+}
+
+namespace {
+
+void
+feedRxFrame(DeviceTest &t, const net::Frame &frame)
+{
+    std::vector<std::uint8_t> wire = frame.serialize();
+    for (std::size_t i = 0; i < wire.size(); ++i)
+        t.wr(static_cast<map::Addr>(map::msgBase + map::msgInBuf + i),
+             wire[i]);
+    t.wr(map::msgBase + map::msgInLen,
+         static_cast<std::uint8_t>(wire.size()));
+    t.wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdProcessRx);
+    t.advance(0.01);
+}
+
+} // namespace
+
+TEST_F(DeviceTest, ClassifiesForwardLocalDuplicateIrregular)
+{
+    net::Frame foreign;
+    foreign.seq = 5;
+    foreign.src = 0x0099;
+    foreign.dest = 0x0777; // elsewhere
+    foreign.destPan = cfg.pan;
+    foreign.payload = {1};
+
+    feedRxFrame(*this, foreign);
+    EXPECT_EQ(node->msgProc().forwarded(), 1u);
+    EXPECT_EQ(rd(map::msgBase + map::msgOutLen), foreign.sizeBytes());
+
+    feedRxFrame(*this, foreign); // same (src, seq): duplicate
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 1u);
+
+    net::Frame local = foreign;
+    local.seq = 6;
+    local.dest = cfg.address;
+    feedRxFrame(*this, local);
+    EXPECT_EQ(node->msgProc().localDeliveries(), 1u);
+
+    net::Frame cmd = foreign;
+    cmd.seq = 7;
+    cmd.type = net::Frame::Type::Command;
+    feedRxFrame(*this, cmd);
+    EXPECT_EQ(node->msgProc().irregulars(), 1u);
+}
+
+TEST_F(DeviceTest, MalformedRxIsDropped)
+{
+    for (unsigned i = 0; i < 12; ++i)
+        wr(static_cast<map::Addr>(map::msgBase + map::msgInBuf + i), 0x5A);
+    wr(map::msgBase + map::msgInLen, 12);
+    wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdProcessRx);
+    advance(0.01);
+    EXPECT_EQ(node->msgProc().forwarded(), 0u);
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 0u);
+}
+
+TEST_F(DeviceTest, CamEvictsOldestEntries)
+{
+    // Fill the 16-entry CAM with 17 distinct frames: the first is
+    // evicted, so replaying it is NOT a duplicate.
+    for (unsigned i = 0; i < 17; ++i) {
+        net::Frame f;
+        f.seq = static_cast<std::uint8_t>(i);
+        f.src = 0x0200;
+        f.dest = 0x0777;
+        f.destPan = cfg.pan;
+        feedRxFrame(*this, f);
+    }
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 0u);
+
+    net::Frame first;
+    first.seq = 0;
+    first.src = 0x0200;
+    first.dest = 0x0777;
+    first.destPan = cfg.pan;
+    feedRxFrame(*this, first);
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 0u); // evicted: fresh
+}
+
+TEST_F(DeviceTest, BatchingAppendsAndSignals)
+{
+    wr(map::msgBase + map::msgBatch, 3);
+    wr(map::msgBase + map::msgPayloadLen, 0);
+    wr(map::msgBase + map::msgAppend, 11);
+    wr(map::msgBase + map::msgAppend, 22);
+    EXPECT_EQ(rd(map::msgBase + map::msgPayloadLen), 2);
+    EXPECT_EQ(node->msgProc().framesPrepared(), 0u);
+
+    wr(map::msgBase + map::msgAppend, 33); // batch full
+    // No ISR is installed: issue the prepare manually as the EP would.
+    wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdPrepare);
+    advance(0.01);
+    EXPECT_EQ(node->msgProc().framesPrepared(), 1u);
+    EXPECT_EQ(rd(map::msgBase + map::msgPayloadLen), 0); // consumed
+
+    std::uint8_t out_len = rd(map::msgBase + map::msgOutLen);
+    EXPECT_EQ(out_len, net::Frame::overheadBytes + 3);
+}
+
+TEST_F(DeviceTest, CommandWhileBusyIsIgnored)
+{
+    sim::setQuiet(true);
+    wr(map::msgBase + map::msgPayloadLen, 1);
+    wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdPrepare);
+    wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdPrepare); // busy
+    advance(0.01);
+    EXPECT_EQ(node->msgProc().framesPrepared(), 1u);
+    sim::setQuiet(false);
+}
+
+// --------------------------------------------------------------------------
+// Radio
+// --------------------------------------------------------------------------
+
+TEST_F(DeviceTest, TransmitsFifoContents)
+{
+    net::Frame frame;
+    frame.seq = 3;
+    frame.src = cfg.address;
+    frame.dest = 0;
+    frame.destPan = cfg.pan;
+    frame.payload = {0x7E};
+    std::vector<std::uint8_t> wire = frame.serialize();
+
+    for (std::size_t i = 0; i < wire.size(); ++i)
+        wr(static_cast<map::Addr>(map::radioBase + map::radioTxFifo + i),
+           wire[i]);
+    wr(map::radioBase + map::radioTxLen,
+       static_cast<std::uint8_t>(wire.size()));
+    wr(map::radioBase + map::radioCtrl, RadioDevice::cmdTx);
+
+    EXPECT_EQ(rd(map::radioBase + map::radioStatus) &
+                  RadioDevice::statusTxBusy,
+              RadioDevice::statusTxBusy);
+    advance(0.01);
+    EXPECT_EQ(node->radio().framesSent(), 1u);
+    EXPECT_EQ(node->radio().lastTxFrame(), frame);
+    EXPECT_EQ(node->probes().count(Probe::RadioTxDone), 1u);
+}
+
+TEST_F(DeviceTest, ReceiveRequiresRxEnabled)
+{
+    net::Frame frame;
+    frame.seq = 1;
+    frame.src = 7;
+    frame.dest = cfg.address;
+    frame.destPan = cfg.pan;
+
+    // RX off: frames over the channel interface are missed; direct
+    // injection still works for tests (it bypasses the RX switch).
+    node->radio().frameArrived(frame, false);
+    EXPECT_EQ(node->radio().framesMissed(), 1u);
+
+    wr(map::radioBase + map::radioCtrl, RadioDevice::cmdRxOn);
+    node->radio().frameArrived(frame, false);
+    EXPECT_EQ(node->radio().framesReceived(), 1u);
+    EXPECT_EQ(rd(map::radioBase + map::radioRxLen), frame.sizeBytes());
+}
+
+TEST_F(DeviceTest, HardwareCrcRejectsCorruptedFrames)
+{
+    wr(map::radioBase + map::radioCtrl, RadioDevice::cmdRxOn);
+    net::Frame frame;
+    frame.seq = 1;
+    frame.src = 7;
+    node->radio().frameArrived(frame, /*corrupted=*/true);
+    EXPECT_EQ(node->radio().crcErrors(), 1u);
+    EXPECT_EQ(node->radio().framesReceived(), 0u);
+}
+
+TEST_F(DeviceTest, RxOverrunDropsSecondFrame)
+{
+    wr(map::radioBase + map::radioCtrl, RadioDevice::cmdRxOn);
+    net::Frame frame;
+    frame.seq = 1;
+    frame.src = 7;
+    node->radio().injectFrame(frame);
+    frame.seq = 2;
+    node->radio().injectFrame(frame); // FIFO still full
+    EXPECT_EQ(node->radio().framesReceived(), 1u);
+    EXPECT_GE(static_cast<std::uint64_t>(
+                  static_cast<const sim::stats::Scalar *>(
+                      node->radio().findStat("rxOverruns"))
+                      ->value()),
+              1u);
+}
+
+TEST_F(DeviceTest, MalformedTxStillTimesOut)
+{
+    sim::setQuiet(true);
+    // Nonzero garbage: an all-zero FIFO would pass the CRC (crc(0s) = 0).
+    for (unsigned i = 0; i < 12; ++i)
+        wr(static_cast<map::Addr>(map::radioBase + map::radioTxFifo + i),
+           0x5A);
+    wr(map::radioBase + map::radioTxLen, 12);
+    wr(map::radioBase + map::radioCtrl, RadioDevice::cmdTx);
+    advance(0.01);
+    // TxDone still arrives (hardware clocks bytes out), but nothing
+    // valid was sent.
+    EXPECT_EQ(node->probes().count(Probe::RadioTxDone), 1u);
+    EXPECT_GE(static_cast<std::uint64_t>(
+                  static_cast<const sim::stats::Scalar *>(
+                      node->radio().findStat("txMalformed"))
+                      ->value()),
+              1u);
+    sim::setQuiet(false);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the power substrate: state-residency energy accounting
+ * and the energy-harvesting supply models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_tracker.hh"
+#include "power/harvest.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+using namespace ulp::power;
+
+namespace {
+
+struct Fixture : ::testing::Test
+{
+    sim::Simulation simulation;
+    sim::SimObject owner{simulation, "owner"};
+
+    void advance(double seconds) { simulation.runForSeconds(seconds); }
+};
+
+} // namespace
+
+using EnergyTrackerTest = Fixture;
+
+TEST_F(EnergyTrackerTest, IntegratesStateResidency)
+{
+    PowerModel model{10e-6, 1e-6, 1e-9};
+    EnergyTracker tracker(owner, model, PowerState::Idle);
+
+    advance(1.0); // 1 s idle
+    tracker.setState(PowerState::Active);
+    advance(0.5); // 0.5 s active
+    tracker.setState(PowerState::Gated);
+    advance(2.0); // 2 s gated
+
+    EXPECT_EQ(tracker.residency(PowerState::Idle),
+              sim::secondsToTicks(1.0));
+    EXPECT_EQ(tracker.residency(PowerState::Active),
+              sim::secondsToTicks(0.5));
+    EXPECT_EQ(tracker.residency(PowerState::Gated),
+              sim::secondsToTicks(2.0));
+
+    double expected = 1e-6 * 1.0 + 10e-6 * 0.5 + 1e-9 * 2.0;
+    EXPECT_NEAR(tracker.energyJoules(), expected, expected * 1e-9);
+    EXPECT_NEAR(tracker.averagePowerWatts(), expected / 3.5, 1e-12);
+    EXPECT_NEAR(tracker.utilization(), 0.5 / 3.5, 1e-12);
+}
+
+TEST_F(EnergyTrackerTest, RedundantTransitionsAreFree)
+{
+    EnergyTracker tracker(owner, PowerModel{1e-6, 0, 0},
+                          PowerState::Active);
+    advance(1.0);
+    tracker.setState(PowerState::Active); // no-op
+    advance(1.0);
+    EXPECT_EQ(tracker.residency(PowerState::Active),
+              sim::secondsToTicks(2.0));
+}
+
+TEST_F(EnergyTrackerTest, RestartClearsHistory)
+{
+    EnergyTracker tracker(owner, PowerModel{1e-6, 1e-7, 0},
+                          PowerState::Active);
+    advance(1.0);
+    tracker.restart();
+    EXPECT_EQ(tracker.observed(), 0u);
+    EXPECT_DOUBLE_EQ(tracker.energyJoules(), 0.0);
+    advance(0.25);
+    EXPECT_NEAR(tracker.energyJoules(), 1e-6 * 0.25, 1e-15);
+}
+
+TEST_F(EnergyTrackerTest, OpenStintCountsUpToNow)
+{
+    EnergyTracker tracker(owner, PowerModel{2e-6, 0, 0},
+                          PowerState::Active);
+    advance(0.5);
+    // No setState since construction: the open stint must be included.
+    EXPECT_NEAR(tracker.energyJoules(), 1e-6, 1e-15);
+}
+
+TEST(EnergyStore, ClampsAtBounds)
+{
+    EnergyStore store(1.0, 0.5);
+    EXPECT_DOUBLE_EQ(store.deposit(0.3), 0.3);
+    EXPECT_DOUBLE_EQ(store.deposit(0.4), 0.2); // clamped at capacity
+    EXPECT_DOUBLE_EQ(store.level(), 1.0);
+    EXPECT_DOUBLE_EQ(store.withdraw(0.6), 0.6);
+    EXPECT_DOUBLE_EQ(store.withdraw(0.9), 0.4); // clamped at zero
+    EXPECT_TRUE(store.empty());
+}
+
+TEST(HarvestSource, SinusoidalClampsDarkHalfCycle)
+{
+    SinusoidalSource source(100e-6, 10.0);
+    // Peak at a quarter period.
+    EXPECT_NEAR(source.powerAt(sim::secondsToTicks(2.5)), 100e-6, 1e-9);
+    // Dark half-cycle clamps to zero.
+    EXPECT_DOUBLE_EQ(source.powerAt(sim::secondsToTicks(7.5)), 0.0);
+    for (double t = 0; t < 20.0; t += 0.37)
+        EXPECT_GE(source.powerAt(sim::secondsToTicks(t)), 0.0);
+}
+
+TEST(HarvestingSupply, SustainsWhenHarvestExceedsLoad)
+{
+    sim::Simulation simulation;
+    HarvestingSupply supply(
+        simulation, "supply", std::make_unique<ConstantSource>(100e-6),
+        EnergyStore(0.01, 0.005), [] { return 2e-6; },
+        sim::secondsToTicks(0.1));
+    supply.start();
+    simulation.runForSeconds(100.0);
+
+    EXPECT_EQ(supply.brownOuts(), 0u);
+    EXPECT_FALSE(supply.brownedOut());
+    EXPECT_NEAR(supply.consumedJoules(), 2e-6 * 100.0, 1e-6);
+    // The store tops out at capacity.
+    EXPECT_NEAR(supply.store().level(), 0.01, 1e-6);
+}
+
+TEST(HarvestingSupply, BrownsOutAndFiresCallback)
+{
+    sim::Simulation simulation;
+    int callbacks = 0;
+    HarvestingSupply supply(
+        simulation, "supply", std::make_unique<ConstantSource>(10e-6),
+        EnergyStore(1e-3, 1e-3), [] { return 100e-6; },
+        sim::secondsToTicks(0.1));
+    supply.onBrownOut([&] { ++callbacks; });
+    supply.start();
+
+    // Net drain 90 uW from 1 mJ: empty after ~11 s.
+    simulation.runForSeconds(5.0);
+    EXPECT_EQ(supply.brownOuts(), 0u);
+    simulation.runForSeconds(10.0);
+    EXPECT_EQ(supply.brownOuts(), 1u);
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_TRUE(supply.brownedOut());
+}
+
+TEST(HarvestingSupply, StopHaltsPolling)
+{
+    sim::Simulation simulation;
+    HarvestingSupply supply(
+        simulation, "supply", std::make_unique<ConstantSource>(10e-6),
+        EnergyStore(1.0, 0.0), [] { return 0.0; },
+        sim::secondsToTicks(0.1));
+    supply.start();
+    simulation.runForSeconds(1.0);
+    double harvested = supply.harvestedJoules();
+    EXPECT_GT(harvested, 0.0);
+    supply.stop();
+    simulation.runForSeconds(1.0);
+    EXPECT_DOUBLE_EQ(supply.harvestedJoules(), harvested);
+}
+
+TEST(PowerModelStruct, WattsByState)
+{
+    PowerModel model{3.0, 2.0, 1.0};
+    EXPECT_DOUBLE_EQ(model.watts(PowerState::Active), 3.0);
+    EXPECT_DOUBLE_EQ(model.watts(PowerState::Idle), 2.0);
+    EXPECT_DOUBLE_EQ(model.watts(PowerState::Gated), 1.0);
+    EXPECT_STREQ(powerStateName(PowerState::Gated), "gated");
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests of the process-technology study: device-model physics sanity,
+ * ring-oscillator behaviour, and the Equation 1 properties behind
+ * Figure 3 — including the headline crossover (advanced nodes win at high
+ * activity, older nodes at low activity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "tech/eq1_model.hh"
+
+using namespace ulp;
+using namespace ulp::tech;
+
+TEST(TechNode, LadderIsOrderedAndComplete)
+{
+    const auto &nodes = standardNodes();
+    ASSERT_EQ(nodes.size(), 6u);
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        // Scaling trends: smaller feature, lower Vdd and Vth, more drive,
+        // exponentially more leakage.
+        EXPECT_LT(nodes[i].featureNm, nodes[i - 1].featureNm);
+        EXPECT_LT(nodes[i].vddNominal, nodes[i - 1].vddNominal);
+        EXPECT_LT(nodes[i].vth25, nodes[i - 1].vth25);
+        EXPECT_GT(nodes[i].ionNominalUaUm, nodes[i - 1].ionNominalUaUm);
+        EXPECT_GT(nodes[i].ioff0NaUm, nodes[i - 1].ioff0NaUm);
+    }
+    EXPECT_EQ(&findNode("250nm"), &nodes[2]);
+    EXPECT_THROW(findNode("45nm"), sim::FatalError);
+}
+
+class DeviceModelPerNode : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const TechNode &node() const { return findNode(GetParam()); }
+};
+
+TEST_P(DeviceModelPerNode, IonMatchesNominalCalibration)
+{
+    DeviceModel device(node());
+    double ion = device.ionPerUm(node().vddNominal, 25.0);
+    EXPECT_NEAR(ion, node().ionNominalUaUm * 1e-6,
+                0.05 * node().ionNominalUaUm * 1e-6);
+}
+
+TEST_P(DeviceModelPerNode, IoffMatchesNominalCalibration)
+{
+    DeviceModel device(node());
+    double ioff = device.ioffPerUm(node().vddNominal, 25.0);
+    EXPECT_NEAR(ioff, node().ioff0NaUm * 1e-9,
+                0.02 * node().ioff0NaUm * 1e-9);
+}
+
+TEST_P(DeviceModelPerNode, IonMonotonicInVdd)
+{
+    DeviceModel device(node());
+    double prev = 0.0;
+    for (double vdd = 0.1; vdd <= node().vddNominal; vdd += 0.05) {
+        double ion = device.ionPerUm(vdd, 25.0);
+        EXPECT_GT(ion, prev);
+        prev = ion;
+    }
+}
+
+TEST_P(DeviceModelPerNode, LeakageGrowsWithTemperature)
+{
+    DeviceModel device(node());
+    double cold = device.ioffPerUm(node().vddNominal, 0.0);
+    double room = device.ioffPerUm(node().vddNominal, 25.0);
+    double hot = device.ioffPerUm(node().vddNominal, 85.0);
+    EXPECT_LT(cold, room);
+    EXPECT_LT(room, hot);
+    // Subthreshold leakage should grow super-linearly (decades per ~80 C).
+    EXPECT_GT(hot / room, 5.0);
+}
+
+TEST_P(DeviceModelPerNode, DiblRaisesLeakageWithVds)
+{
+    DeviceModel device(node());
+    double low = device.ioffPerUm(0.3, 25.0);
+    double high = device.ioffPerUm(node().vddNominal, 25.0);
+    EXPECT_LT(low, high);
+}
+
+TEST_P(DeviceModelPerNode, OscillatorSlowsAsVddDrops)
+{
+    RingOscillator osc(node());
+    double prev_period = 0.0;
+    for (double vdd = node().vddNominal; vdd >= 0.15; vdd -= 0.05) {
+        OscillatorPoint p = osc.evaluate(vdd, 25.0);
+        EXPECT_GT(p.periodSeconds, prev_period);
+        EXPECT_GT(p.activeWatts, 0.0);
+        EXPECT_GE(p.activeWatts, p.leakageWatts); // active includes leak
+        prev_period = p.periodSeconds;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, DeviceModelPerNode,
+                         ::testing::Values("600nm", "350nm", "250nm",
+                                           "180nm", "130nm", "90nm"));
+
+TEST(DeviceModel, VthTemperatureSlope)
+{
+    DeviceModel device(findNode("250nm"));
+    EXPECT_NEAR(device.vth(25.0), 0.55, 1e-9);
+    EXPECT_NEAR(device.vth(85.0), 0.55 - 1.2e-3 * 60.0, 1e-6);
+}
+
+TEST(DeviceModel, SubthresholdSlopeScalesWithT)
+{
+    DeviceModel device(findNode("250nm"));
+    double s25 = device.subthresholdSlope(25.0);
+    double s85 = device.subthresholdSlope(85.0);
+    EXPECT_NEAR(s85 / s25, (85 + 273.15) / (25 + 273.15), 1e-6);
+}
+
+// --------------------------------------------------------------------------
+// Equation 1
+// --------------------------------------------------------------------------
+
+TEST(Eq1, MinFeasibleVddMeetsTtarget)
+{
+    Eq1Model eq1;
+    for (const TechNode &node : standardNodes()) {
+        RingOscillator osc(node);
+        auto vdd = eq1.minFeasibleVdd(osc, 25.0);
+        ASSERT_TRUE(vdd.has_value()) << node.name;
+        OscillatorPoint at = osc.evaluate(*vdd, 25.0);
+        EXPECT_LE(at.periodSeconds, eq1.ttargetSeconds());
+        // One step lower must miss the target (unless at the search floor).
+        if (*vdd > 0.1 + 1e-9) {
+            OscillatorPoint below = osc.evaluate(*vdd - 0.005, 25.0);
+            EXPECT_GT(below.periodSeconds, eq1.ttargetSeconds());
+        }
+    }
+}
+
+TEST(Eq1, WeightInterpolatesActiveAndLeakage)
+{
+    Eq1Model eq1;
+    OscillatorPoint point{1.0, 25.0, eq1.ttargetSeconds(), 10e-9, 1e-9};
+    // T == Ttarget, alpha 1: pure active.
+    EXPECT_DOUBLE_EQ(eq1.totalPower(1.0, point), 10e-9);
+    // alpha 0: pure leakage.
+    EXPECT_DOUBLE_EQ(eq1.totalPower(0.0, point), 1e-9);
+    // Midpoint.
+    EXPECT_DOUBLE_EQ(eq1.totalPower(0.5, point), 5.5e-9);
+    // Weight clamps even for absurd alpha.
+    EXPECT_DOUBLE_EQ(eq1.totalPower(50.0, point), 10e-9);
+}
+
+TEST(Eq1, TotalPowerMonotonicInAlpha)
+{
+    Eq1Model eq1;
+    RingOscillator osc(findNode("250nm"));
+    auto vdd = eq1.minFeasibleVdd(osc, 25.0);
+    ASSERT_TRUE(vdd);
+    OscillatorPoint point = osc.evaluate(*vdd, 25.0);
+    double prev = 0.0;
+    for (double alpha : {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+        double watts = eq1.totalPower(alpha, point);
+        EXPECT_GE(watts, prev);
+        prev = watts;
+    }
+}
+
+TEST(Eq1, Figure3CrossoverHolds)
+{
+    // The §5.1 claim: deep-submicron wins at high activity, older
+    // technology wins at sensor-network activity factors.
+    auto samples = sweepTechnologies({1.0, 1e-4});
+
+    auto watts = [&](const std::string &node, double alpha) {
+        for (const auto &s : samples) {
+            if (s.node == node && s.alpha == alpha)
+                return s.totalWatts;
+        }
+        ADD_FAILURE() << "missing sample " << node << "@" << alpha;
+        return 0.0;
+    };
+
+    // At alpha = 1 the older half of the ladder is strictly worse than
+    // the newer half's best.
+    double newer_best_hi = std::min({watts("180nm", 1.0),
+                                     watts("130nm", 1.0),
+                                     watts("90nm", 1.0)});
+    EXPECT_LT(newer_best_hi, watts("600nm", 1.0));
+    EXPECT_LT(newer_best_hi, watts("350nm", 1.0));
+
+    // At alpha = 1e-4 the ordering flips: old beats deep submicron.
+    double older_best_lo = std::min({watts("600nm", 1e-4),
+                                     watts("350nm", 1e-4),
+                                     watts("250nm", 1e-4)});
+    EXPECT_LT(older_best_lo, watts("130nm", 1e-4));
+    EXPECT_LT(older_best_lo, watts("90nm", 1e-4));
+
+    // And the most advanced node is never the low-activity winner.
+    EXPECT_GT(watts("90nm", 1e-4), 10.0 * older_best_lo);
+}
+
+TEST(Eq1, HotterMeansLeakier)
+{
+    Eq1Model eq1;
+    RingOscillator osc(findNode("130nm"));
+    auto vdd25 = eq1.minFeasibleVdd(osc, 25.0);
+    auto vdd85 = eq1.minFeasibleVdd(osc, 85.0);
+    ASSERT_TRUE(vdd25 && vdd85);
+    double cold = eq1.totalPower(1e-4, osc.evaluate(*vdd25, 25.0));
+    double hot = eq1.totalPower(1e-4, osc.evaluate(*vdd85, 85.0));
+    EXPECT_GT(hot, cold);
+}

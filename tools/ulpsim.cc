@@ -1,0 +1,297 @@
+/**
+ * @file
+ * ulpsim — command-line driver for the sensor-node simulator.
+ *
+ * Runs either the event-driven node or the Mica2 baseline with one of
+ * the paper's staged applications, a configurable sensor signal, and a
+ * simulated duration, then reports packets, cycle probes, the power
+ * breakdown, and (optionally) the full statistics tree.
+ *
+ * Examples:
+ *   ulpsim --app=app2 --period=1000 --threshold=100 --seconds=10 --power
+ *   ulpsim --app=app4 --seconds=5 --stats
+ *   ulpsim --platform=mica2 --app=app1 --seconds=2
+ *   ulpsim --app=app1 --signal=sine:60,5 --noise=2 --trace=EP,Bus
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <numbers>
+#include <string>
+
+#include "baseline/mica2_platform.hh"
+#include "baseline/minios.hh"
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+#include "sim/trace.hh"
+
+using namespace ulp;
+
+namespace {
+
+struct Options
+{
+    std::string platform = "node";
+    std::string app = "app1";
+    std::uint32_t period = 1000;
+    unsigned threshold = 0;
+    unsigned dest = 0;
+    double seconds = 10.0;
+    std::string signal = "const:128";
+    double noise = 0.0;
+    std::uint64_t seed = 1;
+    bool stats = false;
+    bool power = false;
+    std::string trace;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "ulpsim: run the ultra-low-power sensor node simulator\n\n"
+        "  --platform=node|mica2   which full-system model (default node)\n"
+        "  --app=app1|app2|app3|app4|blink|sense\n"
+        "  --period=N              sampling period in system cycles "
+        "(default 1000 = 100 Hz)\n"
+        "  --threshold=N           filter threshold (app2+)\n"
+        "  --dest=N                data destination address\n"
+        "  --seconds=S             simulated duration (default 10)\n"
+        "  --signal=const:V | sine:AMP,PERIOD_S | ramp:PER_SECOND\n"
+        "  --noise=STDDEV          gaussian sensor noise\n"
+        "  --seed=N                deterministic seed\n"
+        "  --power                 print the power breakdown\n"
+        "  --stats                 dump the full statistics tree\n"
+        "  --trace=FLAGS           comma-separated trace categories "
+        "(EP,Bus,IrqBus,Timer,MsgProc,Radio,Mcu,Sram,Power,All)\n"
+        "  --help\n");
+    std::exit(code);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *key) -> const char * {
+            std::size_t n = std::strlen(key);
+            if (arg.compare(0, n, key) == 0 && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (const char *v = value("--platform")) {
+            opt.platform = v;
+        } else if (const char *v = value("--app")) {
+            opt.app = v;
+        } else if (const char *v = value("--period")) {
+            opt.period = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+        } else if (const char *v = value("--threshold")) {
+            opt.threshold = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        } else if (const char *v = value("--dest")) {
+            opt.dest = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        } else if (const char *v = value("--seconds")) {
+            opt.seconds = std::strtod(v, nullptr);
+        } else if (const char *v = value("--signal")) {
+            opt.signal = v;
+        } else if (const char *v = value("--noise")) {
+            opt.noise = std::strtod(v, nullptr);
+        } else if (const char *v = value("--seed")) {
+            opt.seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--power") {
+            opt.power = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (const char *v = value("--trace")) {
+            opt.trace = v;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
+            usage(2);
+        }
+    }
+    return opt;
+}
+
+std::function<std::uint8_t(sim::Tick)>
+makeSignal(const std::string &spec)
+{
+    auto colon = spec.find(':');
+    std::string kind = spec.substr(0, colon);
+    std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (kind == "const") {
+        std::uint8_t v = static_cast<std::uint8_t>(std::atoi(args.c_str()));
+        return [v](sim::Tick) { return v; };
+    }
+    if (kind == "sine") {
+        double amp = 60, period = 5;
+        std::sscanf(args.c_str(), "%lf,%lf", &amp, &period);
+        return [amp, period](sim::Tick now) -> std::uint8_t {
+            double t = sim::ticksToSeconds(now);
+            double v = 128 + amp * std::sin(2 * std::numbers::pi * t / period);
+            return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+        };
+    }
+    if (kind == "ramp") {
+        double rate = std::atof(args.c_str());
+        return [rate](sim::Tick now) -> std::uint8_t {
+            return static_cast<std::uint8_t>(
+                static_cast<unsigned>(sim::ticksToSeconds(now) * rate) % 256);
+        };
+    }
+    sim::fatal("unknown signal spec '%s'", spec.c_str());
+}
+
+int
+runNode(const Options &opt)
+{
+    sim::Simulation simulation;
+    core::NodeConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.sensorSignal = makeSignal(opt.signal);
+    cfg.sensorNoiseStddev = opt.noise;
+    core::SensorNode node(simulation, "node", cfg);
+
+    core::apps::AppParams params;
+    params.samplePeriodCycles = opt.period;
+    params.threshold = static_cast<std::uint8_t>(opt.threshold);
+    params.dest = static_cast<std::uint16_t>(opt.dest);
+
+    core::apps::NodeApp app;
+    if (opt.app == "app1")
+        app = core::apps::buildApp1(params);
+    else if (opt.app == "app2")
+        app = core::apps::buildApp2(params);
+    else if (opt.app == "app3")
+        app = core::apps::buildApp3(params);
+    else if (opt.app == "app4")
+        app = core::apps::buildApp4(params);
+    else if (opt.app == "blink")
+        app = core::apps::buildBlink(params);
+    else if (opt.app == "sense")
+        app = core::apps::buildSense(params);
+    else
+        sim::fatal("unknown app '%s'", opt.app.c_str());
+
+    core::apps::install(node, app);
+    simulation.runForSeconds(opt.seconds);
+
+    std::printf("platform=node app=%s simulated=%.3fs\n", app.name.c_str(),
+                opt.seconds);
+    std::printf("frames sent:       %llu\n",
+                static_cast<unsigned long long>(node.radio().framesSent()));
+    std::printf("samples taken:     %llu\n",
+                static_cast<unsigned long long>(node.sensor().samples()));
+    std::printf("filter decisions:  %llu (passes %llu)\n",
+                static_cast<unsigned long long>(node.filter().decisions()),
+                static_cast<unsigned long long>(node.filter().passes()));
+    std::printf("EP ISRs:           %llu (utilization %.5f)\n",
+                static_cast<unsigned long long>(node.ep().isrsExecuted()),
+                node.ep().utilization());
+    std::printf("uC wakeups:        %llu\n",
+                static_cast<unsigned long long>(node.micro().wakeups()));
+    std::printf("events dropped:    %llu\n",
+                static_cast<unsigned long long>(node.irqBus().dropped()));
+
+    if (opt.power) {
+        std::printf("\nPower breakdown:\n");
+        for (const core::ComponentPower &row : node.powerReport()) {
+            std::printf("  %-18s %12.4f uW  (utilization %.5f)\n",
+                        row.component.c_str(), row.averageWatts * 1e6,
+                        row.utilization);
+        }
+        std::printf("  %-18s %12.4f uW\n", "TOTAL",
+                    node.totalAverageWatts() * 1e6);
+    }
+    if (opt.stats) {
+        std::printf("\n");
+        simulation.dumpStats(std::cout);
+    }
+    return 0;
+}
+
+int
+runMica2(const Options &opt)
+{
+    sim::Simulation simulation;
+    baseline::Mica2Platform::Config cfg;
+    cfg.seed = opt.seed;
+    cfg.sensorSignal = makeSignal(opt.signal);
+    cfg.sensorNoiseStddev = opt.noise;
+    baseline::Mica2Platform mica(simulation, "mica2", cfg);
+
+    baseline::Mica2AppKind kind;
+    if (opt.app == "app1")
+        kind = baseline::Mica2AppKind::SendNoFilter;
+    else if (opt.app == "app2")
+        kind = baseline::Mica2AppKind::SendFilter;
+    else if (opt.app == "app3")
+        kind = baseline::Mica2AppKind::Multihop;
+    else if (opt.app == "app4")
+        kind = baseline::Mica2AppKind::Reconfigurable;
+    else if (opt.app == "blink")
+        kind = baseline::Mica2AppKind::Blink;
+    else if (opt.app == "sense")
+        kind = baseline::Mica2AppKind::Sense;
+    else
+        sim::fatal("unknown app '%s'", opt.app.c_str());
+
+    baseline::MiniOsParams params;
+    params.threshold = static_cast<std::uint8_t>(opt.threshold);
+    // Map the node-cycle period onto the hardware-tick * soft-count pair
+    // (one hw tick = 1152 * 64 CPU cycles ~ 10 ms).
+    double period_seconds = opt.period / 100e3;
+    params.softTimerCount = static_cast<std::uint16_t>(
+        std::max(1.0, period_seconds / 0.01));
+
+    baseline::Mica2App app = baseline::buildMica2App(kind, params);
+    mica.loadProgram(app.image);
+    mica.start(app.entry);
+    simulation.runForSeconds(opt.seconds);
+
+    std::printf("platform=mica2 app=%s simulated=%.3fs\n", app.name.c_str(),
+                opt.seconds);
+    std::printf("frames sent:       %llu\n",
+                static_cast<unsigned long long>(mica.framesSent()));
+    std::printf("cpu instructions:  %llu (%llu cycles)\n",
+                static_cast<unsigned long long>(mica.cpu().instructions()),
+                static_cast<unsigned long long>(mica.cpu().cycles()));
+    std::printf("cpu utilization:   %.5f\n", mica.cpuUtilization());
+    if (opt.power) {
+        std::printf("\ncpu average power:   %10.1f uW (Table 1 model)\n",
+                    mica.cpuAveragePowerWatts() * 1e6);
+        std::printf("radio average power: %10.1f uW\n",
+                    mica.radioAveragePowerWatts() * 1e6);
+    }
+    if (opt.stats) {
+        std::printf("\n");
+        simulation.dumpStats(std::cout);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options opt = parse(argc, argv);
+        if (!opt.trace.empty())
+            sim::Trace::enableFromString(opt.trace);
+        if (opt.platform == "node")
+            return runNode(opt);
+        if (opt.platform == "mica2")
+            return runMica2(opt);
+        sim::fatal("unknown platform '%s'", opt.platform.c_str());
+    } catch (const sim::SimError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
