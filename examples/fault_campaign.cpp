@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A fault-injection campaign against a small multi-hop network: deep
+ * channel fades (Gilbert-Elliott bursty loss), soft errors in SRAM, a
+ * stuck-busy message processor, and a supply droop, all replayed
+ * deterministically from a declarative plan. The same scenario runs
+ * twice — once with the paper's fire-and-forget radio, once with the
+ * MAC reliability layer (ACK + 3 retries, CSMA-CA backoff, auto-ACK)
+ * and the watchdog armed — and reports end-to-end delivery.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "fault/fault_injector.hh"
+#include "net/packet_sink.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+using namespace ulp::core;
+
+namespace {
+
+/** Two minutes of faults: fades throughout, point faults mid-run. */
+const char *campaign = R"(
+# seconds  action            args
+0.0        channel-ge        0.03 0.25 0.0 0.95  ; ~4-frame fades, 11% of frames
+30.0       sram-random-flip  4                   ; cosmic-ray burst
+45.0       wedge             msgProc 2.0         ; relay msgproc hangs 2 s
+60.0       droop             0.0005              ; supply brown-out spike
+90.0       slowdown          msgProc 2.0         ; marginal silicon from here on
+)";
+
+struct RunResult
+{
+    std::uint64_t sampled = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t txFailures = 0;
+    std::uint64_t barks = 0;
+    double nodeWatts = 0.0;
+};
+
+RunResult
+runCampaign(bool reliable)
+{
+    sim::Simulation simulation;
+    net::Channel channel(simulation, "channel",
+                         net::Channel::defaultBitRate, /*seed=*/7);
+    net::PacketSink baseStation(channel);
+
+    NodeConfig sensor_cfg;
+    sensor_cfg.address = 0x0010;
+    sensor_cfg.seed = 100;
+    sensor_cfg.sensorSignal = [](sim::Tick) { return 80; };
+    SensorNode sensor(simulation, "sensor", sensor_cfg, &channel);
+
+    NodeConfig relay_cfg;
+    relay_cfg.address = 0x0011;
+    relay_cfg.seed = 101;
+    relay_cfg.sensorSignal = [](sim::Tick) { return 0; };
+    SensorNode relay(simulation, "relay", relay_cfg, &channel);
+
+    apps::AppParams sensor_params;
+    sensor_params.samplePeriodCycles = 100'000; // 1 Hz
+    sensor_params.dest = 0x0000;
+    apps::AppParams relay_params = sensor_params;
+    relay_params.samplePeriodCycles = 0xFFFF;
+    relay_params.threshold = 255; // forward-only
+    if (reliable) {
+        sensor_params.macRetries = 3;
+        relay_params.macRetries = 3;
+        sensor_params.watchdogCycles = 500'000; // 5 s
+        relay_params.watchdogCycles = 500'000;
+    }
+    apps::install(sensor, apps::buildApp1(sensor_params));
+    apps::install(relay, apps::buildApp3(relay_params));
+
+    fault::FaultInjector injector(simulation, "injector", /*seed=*/7);
+    injector.attachChannel(&channel);
+    injector.attachSram(&relay.memory());
+    injector.attachDevice("msgProc", &relay.msgProc());
+    fault::CampaignPlan plan = fault::parsePlan(campaign);
+    // This small network has no harvesting store: drop the droop action
+    // rather than fatal on the unattached supply.
+    std::erase_if(plan.actions, [](const fault::Action &a) {
+        return a.kind == fault::Action::Kind::Droop;
+    });
+    injector.run(plan);
+
+    simulation.runForSeconds(120.0);
+
+    RunResult r;
+    r.sampled = sensor.msgProc().framesPrepared();
+    r.delivered = baseStation.deliveriesFrom(sensor_cfg.address);
+    r.retransmissions =
+        sensor.radio().retransmissions() + relay.radio().retransmissions();
+    r.txFailures =
+        sensor.radio().txFailures() + relay.radio().txFailures();
+    r.barks =
+        sensor.timers().watchdogBarks() + relay.timers().watchdogBarks();
+    r.nodeWatts = sensor.totalAverageWatts();
+    return r;
+}
+
+void
+report(const char *name, const RunResult &r)
+{
+    std::printf("%-18s %8llu %10llu %7.1f %%  %8llu %8llu %6llu %10.3f\n",
+                name, static_cast<unsigned long long>(r.sampled),
+                static_cast<unsigned long long>(r.delivered),
+                r.sampled ? 100.0 * r.delivered / r.sampled : 0.0,
+                static_cast<unsigned long long>(r.retransmissions),
+                static_cast<unsigned long long>(r.txFailures),
+                static_cast<unsigned long long>(r.barks),
+                r.nodeWatts * 1e6);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fault campaign: sensor -> relay -> base station, "
+                "120 s, 1 Hz samples.\n");
+    std::printf("Plan:%s\n", campaign);
+    std::printf("%-18s %8s %10s %10s %8s %8s %6s %10s\n", "radio",
+                "sampled", "delivered", "ratio", "retx", "txfail",
+                "barks", "uW/node");
+
+    RunResult legacy = runCampaign(false);
+    RunResult reliable = runCampaign(true);
+    report("fire-and-forget", legacy);
+    report("MAC + watchdog", reliable);
+
+    std::printf("\nSame seeds, same faults: the reliability layer turns "
+                "burst losses into\nretransmissions (and bounded "
+                "failures) instead of silently lost readings.\n");
+    return 0;
+}

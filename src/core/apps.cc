@@ -112,6 +112,28 @@ irregular_isr:
     WAKEUP 0
 )";
 
+/** Watchdog bark: the uC hung and was force-reset; re-run init. */
+const char *epWatchdogIsr = R"(
+watchdog_isr:
+    WAKEUP 7
+)";
+
+/**
+ * Insert a watchdog kick at the top of the periodic timer ISR so the
+ * countdown restarts as long as regular operation continues.
+ */
+std::string
+withWatchdogKick(std::string isr_source)
+{
+    const std::string label = "timer_isr:";
+    auto pos = isr_source.find(label);
+    if (pos == std::string::npos)
+        sim::fatal("timer ISR source has no timer_isr label");
+    isr_source.insert(pos + label.size(),
+                      "\n    WRITEI WDT_KICK, 1        ; feed the watchdog");
+    return isr_source;
+}
+
 /** A fast chained tick needs only acknowledgement, no work. */
 const char *epNullIsr = R"(
 null_isr:
@@ -129,9 +151,12 @@ epIsrBindingsV1(bool chained)
         s += ".isr Timer0, timer_isr\n";
     }
     s += ".isr MsgTxReady, txready_isr\n"
-         ".isr RadioTxDone, txdone_isr\n";
+         ".isr RadioTxDone, txdone_isr\n"
+         ".isr RadioTxFail, txdone_isr\n";
     return s;
 }
+
+const char *epIsrBindingsWatchdog = ".isr Watchdog, watchdog_isr\n";
 
 const char *epIsrBindingsFilter = R"(
 .isr FilterPass, filter_pass_isr
@@ -185,6 +210,14 @@ std::string
 mcuParamHeader(const AppParams &params)
 {
     TimerPlan plan = planTimers(params.samplePeriodCycles);
+    // MAC control: bits 0-2 retry budget, bit 3 auto-ACK (paired with a
+    // non-zero retry budget so symmetric apps acknowledge each other).
+    unsigned macctrl =
+        params.macRetries ? (0x08u | (params.macRetries & 0x07u)) : 0;
+    // Watchdog load register counts 256-cycle units; round the request up.
+    std::uint32_t wdt_load = (params.watchdogCycles + 255) / 256;
+    if (wdt_load > 0xFFFF)
+        wdt_load = 0xFFFF;
     return sim::csprintf(
         ".equ P_CHAINED, %u\n"
         ".equ P_PERIOD1_HI, %u\n"
@@ -202,7 +235,10 @@ mcuParamHeader(const AppParams &params)
         ".equ MSG_INBUF_SRC_HI, %u\n"
         ".equ ACL_HI, %u\n"
         ".equ ACL_LO, %u\n"
-        ".equ SCRATCH, %u\n",
+        ".equ SCRATCH, %u\n"
+        ".equ P_MACCTRL, %u\n"
+        ".equ P_WDT_HI, %u\n"
+        ".equ P_WDT_LO, %u\n",
         plan.chained ? 1 : 0, plan.load1 >> 8, plan.load1 & 0xFF,
         plan.load0 >> 8, plan.load0 & 0xFF,
         params.threshold, params.dest >> 8, params.dest & 0xFF,
@@ -213,7 +249,8 @@ mcuParamHeader(const AppParams &params)
         map::msgBase + map::msgInBuf + 7,
         map::msgBase + map::msgInBuf + 8,
         0x00, 0x42,
-        map::mcuCodeBase - 2);
+        map::mcuCodeBase - 2,
+        macctrl, wdt_load >> 8, wdt_load & 0xFF);
 }
 
 /**
@@ -222,8 +259,8 @@ mcuParamHeader(const AppParams &params)
  * is entirely the EP's business).
  */
 std::string
-mcuInit(bool use_filter, bool radio_rx, bool enable_timer,
-        bool chained = false)
+mcuInit(const AppParams &params, bool use_filter, bool radio_rx,
+        bool enable_timer, bool chained = false)
 {
     std::string s = "\n.org MCU_CODE\ninit:\n"
                     "    LDI r0, P_DEST_HI\n"
@@ -232,6 +269,10 @@ mcuInit(bool use_filter, bool radio_rx, bool enable_timer,
                     "    STS MSG_DEST_LO, r0\n"
                     "    LDI r0, 1\n"
                     "    STS MSG_PAYLOAD_LEN, r0\n";
+    if (params.macRetries > 0) {
+        s += "    LDI r0, P_MACCTRL\n"
+             "    STS RADIO_MACCTRL, r0\n";
+    }
     if (use_filter) {
         s += "    LDI r0, P_THRESH\n"
              "    STS FILTER_THRESH, r0\n"
@@ -257,6 +298,16 @@ mcuInit(bool use_filter, bool radio_rx, bool enable_timer,
         }
         s += "    LDI r0, 3\n"              // enable | reload
              "    STS TIMER0_CTRL, r0\n";
+    }
+    if (params.watchdogCycles > 0) {
+        // Arm last so the first kick (from the timer ISR) lands well
+        // inside the first countdown window.
+        s += "    LDI r0, P_WDT_HI\n"
+             "    STS WDT_LOADHI, r0\n"
+             "    LDI r0, P_WDT_LO\n"
+             "    STS WDT_LOADLO, r0\n"
+             "    LDI r0, 1\n"
+             "    STS WDT_CTRL, r0\n";
     }
     s += "    SLEEP\n";
     return s;
@@ -338,56 +389,94 @@ finish(std::string name, const std::string &ep_source,
 
 } // namespace
 
+namespace {
+
+/** Watchdog EP plumbing shared by the staged applications. */
+std::string
+epWatchdogParts(const AppParams &params)
+{
+    if (params.watchdogCycles == 0)
+        return "";
+    return std::string(epWatchdogIsr) + epIsrBindingsWatchdog;
+}
+
+/** A bark re-runs init (full reconfiguration) via wakeup vector 7. */
+NodeApp
+finishWithWatchdog(const AppParams &params, std::string name,
+                   const std::string &ep_source,
+                   const std::string &mcu_source)
+{
+    NodeApp app = finish(std::move(name), ep_source, mcu_source);
+    if (params.watchdogCycles > 0)
+        app.vectors[7] = app.initEntry;
+    return app;
+}
+
+} // namespace
+
 NodeApp
 buildApp1(const AppParams &params)
 {
     bool chained = params.samplePeriodCycles > 0xFFFF;
-    std::string ep = std::string(epTimerIsrNoFilter) + epTxReadyIsr +
+    bool wdt = params.watchdogCycles > 0;
+    std::string timer_isr = wdt ? withWatchdogKick(epTimerIsrNoFilter)
+                                : epTimerIsrNoFilter;
+    std::string ep = timer_isr + epTxReadyIsr +
                      epTxDoneGateRadio + epNullIsr +
-                     epIsrBindingsV1(chained);
+                     epIsrBindingsV1(chained) + epWatchdogParts(params);
     std::string mc = mcuParamHeader(params) +
-                     mcuInit(false, false, true, chained);
-    return finish("app1-sample-send", ep, mc);
+                     mcuInit(params, false, false, true, chained);
+    return finishWithWatchdog(params, "app1-sample-send", ep, mc);
 }
 
 NodeApp
 buildApp2(const AppParams &params)
 {
     bool chained = params.samplePeriodCycles > 0xFFFF;
-    std::string ep = std::string(epTimerIsrFilter) + epTxReadyIsr +
+    bool wdt = params.watchdogCycles > 0;
+    std::string timer_isr = wdt ? withWatchdogKick(epTimerIsrFilter)
+                                : epTimerIsrFilter;
+    std::string ep = timer_isr + epTxReadyIsr +
                      epTxDoneGateRadio + epNullIsr +
-                     epIsrBindingsV1(chained) + epIsrBindingsFilter;
+                     epIsrBindingsV1(chained) + epIsrBindingsFilter +
+                     epWatchdogParts(params);
     std::string mc = mcuParamHeader(params) +
-                     mcuInit(true, false, true, chained);
-    return finish("app2-sample-filter-send", ep, mc);
+                     mcuInit(params, true, false, true, chained);
+    return finishWithWatchdog(params, "app2-sample-filter-send", ep, mc);
 }
 
 NodeApp
 buildApp3(const AppParams &params)
 {
     bool chained = params.samplePeriodCycles > 0xFFFF;
-    std::string ep = std::string(epTimerIsrFilter) + epTxReadyIsr +
+    bool wdt = params.watchdogCycles > 0;
+    std::string timer_isr = wdt ? withWatchdogKick(epTimerIsrFilter)
+                                : epTimerIsrFilter;
+    std::string ep = timer_isr + epTxReadyIsr +
                      epTxDoneKeepRadio + epRxIsrs + epNullIsr +
                      epIsrBindingsV1(chained) + epIsrBindingsFilter +
-                     epIsrBindingsRx;
+                     epIsrBindingsRx + epWatchdogParts(params);
     std::string mc = mcuParamHeader(params) +
-                     mcuInit(true, true, true, chained);
-    return finish("app3-multihop", ep, mc);
+                     mcuInit(params, true, true, true, chained);
+    return finishWithWatchdog(params, "app3-multihop", ep, mc);
 }
 
 NodeApp
 buildApp4(const AppParams &params)
 {
     bool chained = params.samplePeriodCycles > 0xFFFF;
-    std::string ep = std::string(epTimerIsrFilter) + epTxReadyIsr +
+    bool wdt = params.watchdogCycles > 0;
+    std::string timer_isr = wdt ? withWatchdogKick(epTimerIsrFilter)
+                                : epTimerIsrFilter;
+    std::string ep = timer_isr + epTxReadyIsr +
                      epTxDoneKeepRadio + epRxIsrs + epIrregularIsr +
                      epNullIsr + epIsrBindingsV1(chained) +
                      epIsrBindingsFilter + epIsrBindingsRx +
-                     epIsrBindingsIrregular;
+                     epIsrBindingsIrregular + epWatchdogParts(params);
     std::string mc = mcuParamHeader(params) +
-                     mcuInit(true, true, true, chained) +
+                     mcuInit(params, true, true, true, chained) +
                      mcuReconfigHandler;
-    return finish("app4-reconfigurable", ep, mc);
+    return finishWithWatchdog(params, "app4-reconfigurable", ep, mc);
 }
 
 NodeApp
@@ -402,8 +491,11 @@ blink_isr:
     TERMINATE
 .isr Timer0, blink_isr
 )";
-    std::string mc = mcuParamHeader(params) +
-                     mcuInit(false, false, true);
+    // The microbenchmarks don't model MAC retries or the watchdog.
+    AppParams p = params;
+    p.macRetries = 0;
+    p.watchdogCycles = 0;
+    std::string mc = mcuParamHeader(p) + mcuInit(p, false, false, true);
     return finish("blink", ep, mc);
 }
 

@@ -47,6 +47,21 @@ struct AppParams
 
     /** Destination short address for data packets (base station). */
     std::uint16_t dest = 0x0000;
+
+    /**
+     * MAC retry budget for unicast data transmissions (0 = legacy
+     * fire-and-forget radio). Non-zero also enables auto-ACK so peer
+     * nodes running the same app acknowledge our frames.
+     */
+    std::uint8_t macRetries = 0;
+
+    /**
+     * Watchdog timeout in system clock cycles (0 = no watchdog).
+     * Rounded up to the hardware's 256-cycle units. When set, the uC
+     * init code arms the watchdog, the periodic timer ISR kicks it, and
+     * a bark re-runs init via wakeup vector 7.
+     */
+    std::uint32_t watchdogCycles = 0;
 };
 
 /** Wire length of a one-sample data frame (9 header + 1 payload + 2 FCS). */

@@ -10,7 +10,8 @@ DataBus::DataBus(sim::Simulation &simulation, const std::string &name,
     : sim::SimObject(simulation, name, parent),
       statReads(this, "reads", "read transactions"),
       statWrites(this, "writes", "write transactions"),
-      statUnmapped(this, "unmapped", "accesses no slave claimed")
+      statUnmapped(this, "unmapped", "accesses no slave claimed"),
+      statWedged(this, "wedged", "accesses to a wedged (stuck) slave")
 {
 }
 
@@ -50,6 +51,11 @@ DataBus::read(map::Addr addr)
         ULP_TRACE("Bus", this, "read of unmapped address %#06x", addr);
         return 0xFF;
     }
+    if (slave->busWedged()) {
+        ++statWedged;
+        ULP_TRACE("Bus", this, "read  %#06x from wedged slave", addr);
+        return 0xFF;
+    }
     std::uint8_t value = slave->busRead(addr - slave->addrRange().base);
     ULP_TRACE("Bus", this, "read  %#06x -> %#04x", addr, value);
     return value;
@@ -63,6 +69,11 @@ DataBus::write(map::Addr addr, std::uint8_t value)
     if (!slave) {
         ++statUnmapped;
         ULP_TRACE("Bus", this, "write of unmapped address %#06x", addr);
+        return;
+    }
+    if (slave->busWedged()) {
+        ++statWedged;
+        ULP_TRACE("Bus", this, "write %#06x to wedged slave dropped", addr);
         return;
     }
     ULP_TRACE("Bus", this, "write %#06x <- %#04x", addr, value);

@@ -44,6 +44,13 @@ class BusSlave
     /** @param offset address minus the slave's base. */
     virtual std::uint8_t busRead(map::Addr offset) = 0;
     virtual void busWrite(map::Addr offset, std::uint8_t value) = 0;
+
+    /**
+     * Fault injection: a wedged slave no longer responds. The bus sees
+     * idle-high reads (0xFF -- which has every busy bit set, so polling
+     * masters observe "stuck busy") and drops writes.
+     */
+    virtual bool busWedged() const { return false; }
 };
 
 class DataBus : public sim::SimObject
@@ -78,6 +85,11 @@ class DataBus : public sim::SimObject
                                           statWrites.value());
     }
 
+    std::uint64_t wedgedAccesses() const
+    {
+        return static_cast<std::uint64_t>(statWedged.value());
+    }
+
   private:
     BusSlave *findSlave(map::Addr addr) const;
 
@@ -87,6 +99,7 @@ class DataBus : public sim::SimObject
     sim::stats::Scalar statReads;
     sim::stats::Scalar statWrites;
     sim::stats::Scalar statUnmapped;
+    sim::stats::Scalar statWedged;
 };
 
 } // namespace ulp::core

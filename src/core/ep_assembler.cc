@@ -55,6 +55,12 @@ epDefaultSymbols()
          static_cast<std::uint16_t>(timerBase + 3 * timerStride +
                                     timerCtrl)},
 
+        // Watchdog.
+        {"WDT_CTRL", static_cast<std::uint16_t>(timerBase + wdtCtrl)},
+        {"WDT_LOADHI", static_cast<std::uint16_t>(timerBase + wdtLoadHi)},
+        {"WDT_LOADLO", static_cast<std::uint16_t>(timerBase + wdtLoadLo)},
+        {"WDT_KICK", static_cast<std::uint16_t>(timerBase + wdtKick)},
+
         // Threshold filter.
         {"FILTER_THRESH",
          static_cast<std::uint16_t>(filterBase + filterThresh)},
@@ -87,6 +93,8 @@ epDefaultSymbols()
          static_cast<std::uint16_t>(radioBase + radioStatus)},
         {"RADIO_TXLEN", static_cast<std::uint16_t>(radioBase + radioTxLen)},
         {"RADIO_RXLEN", static_cast<std::uint16_t>(radioBase + radioRxLen)},
+        {"RADIO_MACCTRL",
+         static_cast<std::uint16_t>(radioBase + radioMacCtrl)},
         {"RADIO_TXFIFO",
          static_cast<std::uint16_t>(radioBase + radioTxFifo)},
         {"RADIO_RXFIFO",

@@ -20,6 +20,7 @@ enum class Irq : std::uint8_t {
     Timer1 = 2,
     Timer2 = 3,
     Timer3 = 4,
+    Watchdog = 5,      ///< the watchdog barked: the uC was force-reset
 
     AdcDone = 8,       ///< asynchronous acquisition complete
 
@@ -35,8 +36,9 @@ enum class Irq : std::uint8_t {
     MsgRxLocal = 19,   ///< received data frame addressed to this node
     MsgRxIrregular = 20, ///< irregular message: wake the microcontroller
 
-    RadioTxDone = 24,  ///< last byte left the antenna
+    RadioTxDone = 24,  ///< transmission complete (MAC: acknowledged)
     RadioRxDone = 25,  ///< intact frame sits in the radio RX FIFO
+    RadioTxFail = 26,  ///< MAC gave up: retries/CCA attempts exhausted
 };
 
 constexpr unsigned numIrqCodes = 64;
@@ -50,6 +52,7 @@ irqName(Irq irq)
       case Irq::Timer1: return "Timer1";
       case Irq::Timer2: return "Timer2";
       case Irq::Timer3: return "Timer3";
+      case Irq::Watchdog: return "Watchdog";
       case Irq::AdcDone: return "AdcDone";
       case Irq::FilterPass: return "FilterPass";
       case Irq::FilterFail: return "FilterFail";
@@ -62,6 +65,7 @@ irqName(Irq irq)
       case Irq::MsgRxIrregular: return "MsgRxIrregular";
       case Irq::RadioTxDone: return "RadioTxDone";
       case Irq::RadioRxDone: return "RadioRxDone";
+      case Irq::RadioTxFail: return "RadioTxFail";
     }
     return "Unknown";
 }

@@ -36,9 +36,9 @@ constexpr Addr mcuCodeBase = 0x0200;
 /** Convention: uC stack top (grows down inside bank 3). */
 constexpr Addr mcuStackTop = 0x03FF;
 
-// --- Timer subsystem (4 x 16-bit chainable countdown timers) --------------
+// --- Timer subsystem (4 x 16-bit chainable countdown timers + watchdog) ----
 constexpr Addr timerBase = 0x1000;
-constexpr Addr timerSize = 0x0020;
+constexpr Addr timerSize = 0x0028;
 constexpr Addr timerStride = 0x08;
 // Per-timer registers (offset within a timer's window):
 constexpr Addr timerCtrl = 0x0;   ///< bit0 enable, bit1 reload, bit2 chain
@@ -46,6 +46,13 @@ constexpr Addr timerLoadHi = 0x1;
 constexpr Addr timerLoadLo = 0x2;
 constexpr Addr timerCountHi = 0x3;
 constexpr Addr timerCountLo = 0x4;
+// Watchdog registers (offsets from timerBase, after the 4 timer windows).
+// The countdown is in units of 256 system cycles; a bark force-resets the
+// microcontroller and posts Irq::Watchdog.
+constexpr Addr wdtCtrl = 0x20;    ///< bit0 enable
+constexpr Addr wdtLoadHi = 0x21;  ///< countdown, units of 256 cycles
+constexpr Addr wdtLoadLo = 0x22;
+constexpr Addr wdtKick = 0x23;    ///< any write restarts the countdown
 
 // --- Threshold filter ------------------------------------------------------
 constexpr Addr filterBase = 0x1100;
@@ -83,6 +90,7 @@ constexpr Addr radioCtrl = 0x00;    ///< command register (RadioCommand)
 constexpr Addr radioStatus = 0x01;  ///< RadioStatus bits
 constexpr Addr radioTxLen = 0x02;   ///< frame length to transmit
 constexpr Addr radioRxLen = 0x03;   ///< received frame length (read)
+constexpr Addr radioMacCtrl = 0x04; ///< bits 0-2 max retries, bit 3 auto-ACK
 constexpr Addr radioTxFifo = 0x20;  ///< TX FIFO window (32 B)
 constexpr Addr radioRxFifo = 0x40;  ///< RX FIFO window (32 B)
 

@@ -136,6 +136,10 @@ MessageProcessor::startCommand(std::uint8_t cmd)
     } else {
         cost = timing.rxFixed + timing.rxPerByte * inLen;
     }
+    if (faultSlowdown() > 1.0) {
+        cost = static_cast<sim::Cycles>(
+            static_cast<double>(cost) * faultSlowdown());
+    }
 
     activeCmd = cmd;
     status |= statusBusy;
@@ -246,6 +250,9 @@ MessageProcessor::onPowerOff()
     outBuf.fill(0);
     outLen = 0;
     inLen = 0;
+    // The staged-payload count describes buffer content, so it goes with
+    // the buffers; ISRs rewrite it before every prepare.
+    payloadLen = 0;
 }
 
 } // namespace ulp::core

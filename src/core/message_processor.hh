@@ -94,6 +94,13 @@ class MessageProcessor : public SlaveDevice
     {
         return static_cast<std::uint64_t>(statIrregular.value());
     }
+    std::uint64_t malformed() const
+    {
+        return static_cast<std::uint64_t>(statMalformed.value());
+    }
+
+    /** CAM occupancy (tests). */
+    std::size_t camSize() const { return cam.size(); }
 
   protected:
     void onPowerOff() override;

@@ -18,7 +18,9 @@ Microcontroller::Microcontroller(sim::Simulation &simulation,
                             map::mcuVectorBase},
            this),
       tracker(*this, model, power::PowerState::Gated),
-      statWakeups(this, "wakeups", "times the EP woke this uC")
+      statWakeups(this, "wakeups", "times the EP woke this uC"),
+      statForcedResets(this, "forcedResets",
+                       "watchdog-forced resets of a hung core")
 {
     core.onSleep([this] { wentToSleep(); });
     core.onHalt([this] { wentToSleep(); });
@@ -61,6 +63,21 @@ void
 Microcontroller::boot(std::uint16_t entry)
 {
     wake(entry);
+}
+
+void
+Microcontroller::forceReset()
+{
+    if (!_powered)
+        return;
+    ++statForcedResets;
+    if (probes)
+        probes->record(Probe::McuForcedReset);
+    core.stopClock();
+    bus.setMcuHoldsBus(false);
+    powerOff();
+    ULP_TRACE("Mcu", this, "force-reset; bus released");
+    ep.busReleased();
 }
 
 void

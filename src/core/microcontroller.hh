@@ -55,6 +55,13 @@ class Microcontroller : public sim::SimObject,
     /** Run initialization code at boot (system reset), holding the bus. */
     void boot(std::uint16_t entry);
 
+    /**
+     * Watchdog path: stop a hung core dead, release the bus and
+     * power-gate. State is lost exactly as on a normal sleep; the next
+     * EP WAKEUP (e.g. from the Irq::Watchdog ISR) starts clean.
+     */
+    void forceReset();
+
     bool awake() const { return _powered && !core.sleeping(); }
 
     mcu::Mcu &mcuCore() { return core; }
@@ -72,6 +79,11 @@ class Microcontroller : public sim::SimObject,
         return static_cast<std::uint64_t>(statWakeups.value());
     }
 
+    std::uint64_t forcedResets() const
+    {
+        return static_cast<std::uint64_t>(statForcedResets.value());
+    }
+
   private:
     void wentToSleep();
 
@@ -85,6 +97,7 @@ class Microcontroller : public sim::SimObject,
     power::EnergyTracker tracker;
 
     sim::stats::Scalar statWakeups;
+    sim::stats::Scalar statForcedResets;
 };
 
 } // namespace ulp::core

@@ -33,6 +33,10 @@ enum class Probe : unsigned {
     FilterReconfigured,   ///< the filter threshold was rewritten
     EpIsrStart,           ///< the EP left READY to service an interrupt
     EpIsrEnd,             ///< the EP returned to READY
+    RadioRetry,           ///< the MAC retransmitted after an ACK timeout
+    RadioAckSent,         ///< the MAC auto-acknowledged a received frame
+    WatchdogBark,         ///< the watchdog expired and forced a reset
+    McuForcedReset,       ///< the microcontroller was forcibly reset
     NumProbes,
 };
 

@@ -12,12 +12,18 @@ RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
                          ProbeRecorder *probes,
                          const sim::ClockDomain &clock,
                          const power::PowerModel &model,
-                         sim::Tick wakeup_ticks, net::Channel *channel)
+                         sim::Tick wakeup_ticks, net::Channel *channel,
+                         std::uint64_t seed)
     : SlaveDevice(simulation, name, parent,
                   {map::radioBase, map::radioSize}, irq_bus, probes, clock,
                   model, wakeup_ticks, true),
-      channel(channel),
+      channel(channel), random(seed),
       txDoneEvent([this] { txDone(); }, name + ".txDone"),
+      macCcaEvent([this] { macCcaDecide(); }, name + ".macCca"),
+      macAirEndEvent([this] { macAirEnd(); }, name + ".macAirEnd"),
+      macAckTimeoutEvent([this] { macAckTimeout(); }, name + ".macAckWait"),
+      macAckTxEvent([this] { macSendAck(); }, name + ".macAckTx"),
+      macAckAirEndEvent([this] { macAckAirEnd(); }, name + ".macAckAirEnd"),
       statTx(this, "framesSent", "frames transmitted"),
       statRx(this, "framesReceived", "intact frames received"),
       statCrcErrors(this, "crcErrors",
@@ -27,7 +33,20 @@ RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
       statTxMalformed(this, "txMalformed",
                       "TX commands with an undecodable FIFO image"),
       statRxOverruns(this, "rxOverruns",
-                     "frames lost because the RX FIFO was still full")
+                     "frames lost because the RX FIFO was still full"),
+      statRetransmissions(this, "retransmissions",
+                          "MAC retransmissions after missing ACKs"),
+      statAckTimeouts(this, "ackTimeouts",
+                      "ACK wait windows that expired empty"),
+      statBackoffSlots(this, "backoffSlots",
+                       "CSMA-CA backoff slots waited"),
+      statCcaBusy(this, "ccaBusy",
+                  "clear-channel assessments that found the medium busy"),
+      statTxFailures(this, "txFailures",
+                     "MAC transactions abandoned after the retry budget"),
+      statAcksSent(this, "acksSent", "auto-acknowledgements transmitted"),
+      statAcksReceived(this, "acksReceived",
+                       "ACKs that completed a MAC transaction")
 {
     if (channel)
         channel->attach(this);
@@ -47,13 +66,16 @@ RadioDevice::busRead(map::Addr offset)
       case radioCtrl:
         return 0;
       case radioStatus:
-        return static_cast<std::uint8_t>((txBusy ? statusTxBusy : 0) |
-                                         (rxEnabled ? statusRxOn : 0) |
-                                         (rxReady ? statusRxReady : 0));
+        return static_cast<std::uint8_t>(
+            ((txBusy || macActive) ? statusTxBusy : 0) |
+            (rxEnabled ? statusRxOn : 0) |
+            (rxReady ? statusRxReady : 0));
       case radioTxLen:
         return txLen;
       case radioRxLen:
         return rxLen;
+      case radioMacCtrl:
+        return macCtrlReg;
       default:
         if (offset >= radioTxFifo && offset < radioTxFifo + fifoBytes)
             return txFifo[offset - radioTxFifo];
@@ -85,6 +107,9 @@ RadioDevice::busWrite(map::Addr offset, std::uint8_t value)
       case radioTxLen:
         txLen = std::min<std::uint8_t>(value, fifoBytes);
         return;
+      case radioMacCtrl:
+        macCtrlReg = value & (macRetriesMask | macAutoAckBit);
+        return;
       default:
         if (offset >= radioTxFifo && offset < radioTxFifo + fifoBytes)
             txFifo[offset - radioTxFifo] = value;
@@ -95,7 +120,7 @@ RadioDevice::busWrite(map::Addr offset, std::uint8_t value)
 void
 RadioDevice::startTx()
 {
-    if (txBusy) {
+    if (txBusy || macActive) {
         sim::warn("%s: TX command while transmitting ignored",
                   name().c_str());
         return;
@@ -113,6 +138,15 @@ RadioDevice::startTx()
             static_cast<double>(txLen) * 8.0 / net::Channel::defaultBitRate);
         beActiveFor(clock.ticksToCycles(air) + 1);
         scheduleRel(&txDoneEvent, air);
+        return;
+    }
+
+    // Unicast data frames go through the acknowledged MAC when a retry
+    // budget is configured; everything else keeps the legacy
+    // fire-and-forget timing.
+    if (macMaxRetries() > 0 && frame->type == net::Frame::Type::Data &&
+        frame->dest != net::Frame::broadcastAddr) {
+        macStartTx(*frame);
         return;
     }
 
@@ -142,23 +176,214 @@ RadioDevice::txDone()
     ULP_TRACE("Radio", this, "TX done");
 }
 
+// --- acknowledged-transmission MAC ----------------------------------------
+
 void
-RadioDevice::frameStarted(sim::Tick)
+RadioDevice::macStartTx(const net::Frame &frame)
 {
-    // Start-symbol detection would wake RX circuitry here; the model
-    // needs no action, delivery happens at frame end.
+    lastTx = frame;
+    pendingTx = frame;
+    macActive = true;
+    macRetries = 0;
+    macBe = macMinBE;
+    ULP_TRACE("Radio", this, "MAC TX: seq %u dest %u, budget %u retries",
+              frame.seq, frame.dest, macMaxRetries());
+    macCsmaBegin();
+}
+
+void
+RadioDevice::macCsmaBegin()
+{
+    macCcaBusyCount = 0;
+    auto slots = random.uniformInt(0, (1u << macBe) - 1);
+    statBackoffSlots += static_cast<double>(slots);
+    scheduleRel(&macCcaEvent,
+                static_cast<sim::Tick>(slots) * backoffSlotTicks + ccaTicks);
+}
+
+void
+RadioDevice::macCcaDecide()
+{
+    if (mediumBusy()) {
+        ++statCcaBusy;
+        if (++macCcaBusyCount >= macMaxCsmaBackoffs) {
+            // Channel-access failure: spend a retry (or give up).
+            macRetryOrFail();
+            return;
+        }
+        macBe = std::min(macBe + 1, macMaxBE);
+        auto slots = random.uniformInt(0, (1u << macBe) - 1);
+        statBackoffSlots += static_cast<double>(slots);
+        scheduleRel(&macCcaEvent,
+                    static_cast<sim::Tick>(slots) * backoffSlotTicks +
+                        ccaTicks);
+        return;
+    }
+    macAirStart();
+}
+
+void
+RadioDevice::macAirStart()
+{
+    txBusy = true;
+    sim::Tick end;
+    if (channel) {
+        end = channel->transmit(this, pendingTx);
+    } else {
+        end = curTick() + sim::secondsToTicks(
+            static_cast<double>(pendingTx.sizeBytes()) * 8.0 /
+            net::Channel::defaultBitRate);
+    }
+    beActiveFor(clock.ticksToCycles(end - curTick()) + 1);
+    eventq().schedule(&macAirEndEvent, end);
+}
+
+void
+RadioDevice::macAirEnd()
+{
+    txBusy = false;
+    if (!channel) {
+        // No medium to answer: behave like an acknowledged success so
+        // single-node setups keep working with the MAC enabled.
+        macFinish(true);
+        return;
+    }
+    awaitingAck = true;
+    // The receiver listens for the whole ACK window.
+    beActiveFor(clock.ticksToCycles(ackWaitTicks) + 1);
+    scheduleRel(&macAckTimeoutEvent, ackWaitTicks);
+}
+
+void
+RadioDevice::macAckTimeout()
+{
+    awaitingAck = false;
+    ++statAckTimeouts;
+    macRetryOrFail();
+}
+
+void
+RadioDevice::macAckReceived()
+{
+    if (macAckTimeoutEvent.scheduled())
+        eventq().deschedule(&macAckTimeoutEvent);
+    awaitingAck = false;
+    ++statAcksReceived;
+    macFinish(true);
+}
+
+void
+RadioDevice::macRetryOrFail()
+{
+    if (macRetries < macMaxRetries()) {
+        ++macRetries;
+        ++statRetransmissions;
+        recordProbe(Probe::RadioRetry);
+        macBe = std::min(macBe + 1, macMaxBE);
+        ULP_TRACE("Radio", this, "MAC retry %u/%u seq %u", macRetries,
+                  macMaxRetries(), pendingTx.seq);
+        macCsmaBegin();
+        return;
+    }
+    macFinish(false);
+}
+
+void
+RadioDevice::macFinish(bool success)
+{
+    macActive = false;
+    awaitingAck = false;
+    if (success) {
+        ++statTx;
+        recordProbe(Probe::RadioTxDone);
+        postIrq(Irq::RadioTxDone);
+        ULP_TRACE("Radio", this, "MAC TX done: seq %u acked",
+                  pendingTx.seq);
+    } else {
+        ++statTxFailures;
+        postIrq(Irq::RadioTxFail);
+        ULP_TRACE("Radio", this, "MAC TX failed: seq %u, %u retries spent",
+                  pendingTx.seq, macRetries);
+    }
+}
+
+void
+RadioDevice::macSendAck()
+{
+    ackTxPending = false;
+    // The ACK yields to anything the node started during the turnaround.
+    if (!powered() || txBusy || macActive)
+        return;
+    txBusy = true;
+    sim::Tick end;
+    if (channel) {
+        end = channel->transmit(this, ackTx);
+    } else {
+        end = curTick() + sim::secondsToTicks(
+            static_cast<double>(ackTx.sizeBytes()) * 8.0 /
+            net::Channel::defaultBitRate);
+    }
+    beActiveFor(clock.ticksToCycles(end - curTick()) + 1);
+    eventq().schedule(&macAckAirEndEvent, end);
+    ++statAcksSent;
+    recordProbe(Probe::RadioAckSent);
+    ULP_TRACE("Radio", this, "auto-ACK: seq %u -> %u", ackTx.seq,
+              ackTx.dest);
+}
+
+void
+RadioDevice::macAckAirEnd()
+{
+    txBusy = false;
+}
+
+void
+RadioDevice::frameStarted(sim::Tick end_tick)
+{
+    // Start-symbol detect doubles as carrier sense: remember how long the
+    // medium stays occupied so CCA can consult it.
+    mediumBusyUntil = std::max(mediumBusyUntil, end_tick);
 }
 
 void
 RadioDevice::frameArrived(const net::Frame &frame, bool corrupted)
 {
-    if (!powered() || !rxEnabled) {
+    if (!powered()) {
+        ++statMissed;
+        return;
+    }
+    if (macCtrlReg != 0 && frame.type == net::Frame::Type::Ack) {
+        // ACKs are MAC-level traffic: matched against the pending
+        // transaction (even with RX nominally off -- the radio sits in
+        // RX-after-TX while awaiting one) and never surfaced to masters.
+        if (!corrupted && awaitingAck && frame.seq == pendingTx.seq &&
+            frame.src == pendingTx.dest) {
+            macAckReceived();
+        }
+        return;
+    }
+    if (!rxEnabled) {
         ++statMissed;
         return;
     }
     if (corrupted) {
         ++statCrcErrors;
         return;
+    }
+    if (macAutoAck() && frame.type == net::Frame::Type::Data &&
+        frame.dest != net::Frame::broadcastAddr && !macActive && !txBusy &&
+        !ackTxPending) {
+        // The radio has no address filter (the message processor owns
+        // addressing), so any intact unicast data frame is acknowledged
+        // after the RX->TX turnaround.
+        ackTx = net::Frame{};
+        ackTx.type = net::Frame::Type::Ack;
+        ackTx.seq = frame.seq;
+        ackTx.destPan = frame.destPan;
+        ackTx.dest = frame.src;
+        ackTx.src = frame.dest;
+        ackTxPending = true;
+        scheduleRel(&macAckTxEvent, turnaroundTicks);
     }
     injectFrame(frame);
 }
@@ -192,14 +417,24 @@ RadioDevice::onPowerOff()
 {
     if (txDoneEvent.scheduled())
         eventq().deschedule(&txDoneEvent);
+    for (sim::EventFunctionWrapper *ev :
+         {&macCcaEvent, &macAirEndEvent, &macAckTimeoutEvent,
+          &macAckTxEvent, &macAckAirEndEvent}) {
+        if (ev->scheduled())
+            eventq().deschedule(ev);
+    }
     txBusy = false;
+    macActive = false;
+    awaitingAck = false;
+    ackTxPending = false;
     rxReady = false;
     rxLen = 0;
     txLen = 0;
     txFifo.fill(0);
     rxFifo.fill(0);
     // rxEnabled persists as configuration so forwarding nodes return to
-    // listening when the ISR powers the radio back on.
+    // listening when the ISR powers the radio back on; the MAC control
+    // register persists the same way.
 }
 
 } // namespace ulp::core

@@ -11,6 +11,16 @@
  * same by default (a zero PowerModel) but optionally attach to a
  * net::Channel for real multi-node exchange, and accept a CC2420-like
  * power model for whole-platform studies.
+ *
+ * Reliability layer: the radio optionally runs an 802.15.4-flavoured MAC
+ * (register map::radioMacCtrl). When enabled, unicast data transmissions
+ * use CSMA-CA (carrier sense via the channel's start-symbol hook, random
+ * backoff in 20-symbol slots with exponential BE in [3, 5]) and wait for
+ * an Ack frame; a missing ACK triggers bounded retransmission. The MAC
+ * auto-acknowledges intact unicast data frames after the 12-symbol
+ * turnaround. Success posts Irq::RadioTxDone as before; exhausting the
+ * retry budget posts Irq::RadioTxFail. With radioMacCtrl == 0 (reset
+ * value) behaviour is exactly the legacy fire-and-forget model.
  */
 
 #ifndef ULP_CORE_RADIO_DEVICE_HH
@@ -21,6 +31,7 @@
 #include "core/slave_device.hh"
 #include "net/channel.hh"
 #include "net/frame.hh"
+#include "sim/random.hh"
 
 namespace ulp::core {
 
@@ -35,13 +46,32 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     static constexpr std::uint8_t statusRxOn = 0x2;
     static constexpr std::uint8_t statusRxReady = 0x4;
 
+    /** map::radioMacCtrl layout. */
+    static constexpr std::uint8_t macRetriesMask = 0x07;
+    static constexpr std::uint8_t macAutoAckBit = 0x08;
+
     static constexpr std::size_t fifoBytes = 32;
+
+    // 802.15.4 MAC timing at 250 kbit/s: one symbol is 16 us.
+    static constexpr sim::Tick symbolTicks = 16'000;
+    /** aUnitBackoffPeriod: 20 symbols. */
+    static constexpr sim::Tick backoffSlotTicks = 20 * symbolTicks;
+    /** CCA duration: 8 symbols after the backoff. */
+    static constexpr sim::Tick ccaTicks = 8 * symbolTicks;
+    /** aTurnaroundTime: RX->TX switch before the ACK, 12 symbols. */
+    static constexpr sim::Tick turnaroundTicks = 12 * symbolTicks;
+    /** macAckWaitDuration: 54 symbols. */
+    static constexpr sim::Tick ackWaitTicks = 54 * symbolTicks;
+    static constexpr unsigned macMinBE = 3;
+    static constexpr unsigned macMaxBE = 5;
+    /** macMaxCSMABackoffs: busy CCAs before the attempt is abandoned. */
+    static constexpr unsigned macMaxCsmaBackoffs = 4;
 
     RadioDevice(sim::Simulation &simulation, const std::string &name,
                 sim::SimObject *parent, InterruptBus &irq_bus,
                 ProbeRecorder *probes, const sim::ClockDomain &clock,
                 const power::PowerModel &model, sim::Tick wakeup_ticks,
-                net::Channel *channel);
+                net::Channel *channel, std::uint64_t seed = 0x5eed);
 
     ~RadioDevice() override;
 
@@ -71,9 +101,38 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     {
         return static_cast<std::uint64_t>(statMissed.value());
     }
+    std::uint64_t retransmissions() const
+    {
+        return static_cast<std::uint64_t>(statRetransmissions.value());
+    }
+    std::uint64_t ackTimeouts() const
+    {
+        return static_cast<std::uint64_t>(statAckTimeouts.value());
+    }
+    std::uint64_t backoffSlots() const
+    {
+        return static_cast<std::uint64_t>(statBackoffSlots.value());
+    }
+    std::uint64_t txFailures() const
+    {
+        return static_cast<std::uint64_t>(statTxFailures.value());
+    }
+    std::uint64_t acksSent() const
+    {
+        return static_cast<std::uint64_t>(statAcksSent.value());
+    }
+    std::uint64_t acksReceived() const
+    {
+        return static_cast<std::uint64_t>(statAcksReceived.value());
+    }
 
     /** The last frame handed to the channel (tests/benches). */
     const net::Frame &lastTxFrame() const { return lastTx; }
+
+    /** MAC control value (tests; normally programmed over the bus). */
+    std::uint8_t macCtrl() const { return macCtrlReg; }
+    unsigned macMaxRetries() const { return macCtrlReg & macRetriesMask; }
+    bool macAutoAck() const { return macCtrlReg & macAutoAckBit; }
 
   protected:
     void onPowerOff() override;
@@ -82,7 +141,22 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     void startTx();
     void txDone();
 
+    // MAC (acknowledged transmission) path.
+    void macStartTx(const net::Frame &frame);
+    void macCsmaBegin();
+    void macCcaDecide();
+    void macAirStart();
+    void macAirEnd();
+    void macAckTimeout();
+    void macAckReceived();
+    void macRetryOrFail();
+    void macFinish(bool success);
+    void macSendAck();
+    void macAckAirEnd();
+    bool mediumBusy() const { return curTick() < mediumBusyUntil; }
+
     net::Channel *channel;
+    sim::Random random;
     bool rxEnabled = false;
     bool txBusy = false;
     std::uint8_t txLen = 0;
@@ -93,12 +167,36 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     net::Frame lastTx;
     sim::EventFunctionWrapper txDoneEvent;
 
+    // MAC transaction state.
+    std::uint8_t macCtrlReg = 0;     ///< persists across power gating
+    bool macActive = false;          ///< a MAC TX transaction is running
+    bool awaitingAck = false;
+    net::Frame pendingTx;
+    unsigned macRetries = 0;         ///< retransmissions used so far
+    unsigned macBe = macMinBE;       ///< current backoff exponent
+    unsigned macCcaBusyCount = 0;    ///< busy CCAs this attempt
+    sim::Tick mediumBusyUntil = 0;   ///< carrier sense from frameStarted
+    bool ackTxPending = false;
+    net::Frame ackTx;
+    sim::EventFunctionWrapper macCcaEvent;
+    sim::EventFunctionWrapper macAirEndEvent;
+    sim::EventFunctionWrapper macAckTimeoutEvent;
+    sim::EventFunctionWrapper macAckTxEvent;
+    sim::EventFunctionWrapper macAckAirEndEvent;
+
     sim::stats::Scalar statTx;
     sim::stats::Scalar statRx;
     sim::stats::Scalar statCrcErrors;
     sim::stats::Scalar statMissed;
     sim::stats::Scalar statTxMalformed;
     sim::stats::Scalar statRxOverruns;
+    sim::stats::Scalar statRetransmissions;
+    sim::stats::Scalar statAckTimeouts;
+    sim::stats::Scalar statBackoffSlots;
+    sim::stats::Scalar statCcaBusy;
+    sim::stats::Scalar statTxFailures;
+    sim::stats::Scalar statAcksSent;
+    sim::stats::Scalar statAcksReceived;
 };
 
 } // namespace ulp::core

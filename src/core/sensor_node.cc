@@ -63,9 +63,12 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
     powerController->registerComponent(ComponentId::Compressor,
                                        compressorDev.get());
 
+    // Decorrelate the MAC backoff streams of nodes sharing one config
+    // seed: two nodes drawing identical backoffs would collide forever.
     radioDevice = std::make_unique<RadioDevice>(
         simulation, "radio", this, *interruptBus, probeRecorder.get(),
-        clockDomain, cfg.radioPower, cfg.slaveWakeupTicks, channel);
+        clockDomain, cfg.radioPower, cfg.slaveWakeupTicks, channel,
+        cfg.seed + 0x9e3779b97f4a7c15ull * (cfg.address + 1));
     bus->addSlave(radioDevice.get());
     powerController->registerComponent(ComponentId::Radio,
                                        radioDevice.get());
@@ -89,6 +92,8 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
                                        microcontroller.get());
     eventProcessor->setWakeMcu(
         [this](std::uint16_t handler) { microcontroller->wake(handler); });
+    timerUnit->setWatchdogResetHook(
+        [this] { microcontroller->forceReset(); });
 
     // Pre-configure the message processor's identity so even EP-only
     // programs produce well-formed frames; uC init code may overwrite.

@@ -1,5 +1,9 @@
 #include "core/slave_device.hh"
 
+#include <algorithm>
+
+#include "sim/trace.hh"
+
 namespace ulp::core {
 
 SlaveDevice::SlaveDevice(sim::Simulation &simulation, const std::string &name,
@@ -56,6 +60,31 @@ SlaveDevice::becomeIdle()
 {
     if (_powered)
         tracker.setState(power::PowerState::Idle);
+}
+
+void
+SlaveDevice::injectWedge(sim::Tick duration)
+{
+    if (duration == 0) {
+        wedgedLatched = true;
+    } else {
+        wedgedUntil = std::max(wedgedUntil, curTick() + duration);
+    }
+    ULP_TRACE("Fault", this, "wedged%s",
+              duration == 0 ? " (latched)" : "");
+}
+
+void
+SlaveDevice::clearWedge()
+{
+    wedgedLatched = false;
+    wedgedUntil = 0;
+}
+
+void
+SlaveDevice::setFaultSlowdown(double factor)
+{
+    slowdownFactor = std::max(factor, 1.0);
 }
 
 } // namespace ulp::core

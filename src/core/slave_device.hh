@@ -55,6 +55,31 @@ class SlaveDevice : public sim::SimObject,
     /** Replace the power model (ablations). */
     void setPowerModel(const power::PowerModel &m) { tracker.setModel(m); }
 
+    // --- fault injection ---------------------------------------------------
+
+    /**
+     * Wedge the device: it stops responding on the bus (reads 0xFF --
+     * every busy bit stuck set -- writes dropped) until the fault lapses.
+     * @param duration ticks to stay wedged; 0 latches until clearWedge().
+     */
+    void injectWedge(sim::Tick duration = 0);
+
+    void clearWedge();
+
+    bool busWedged() const override
+    {
+        return wedgedLatched || curTick() < wedgedUntil;
+    }
+
+    /**
+     * Slow the device's internal command processing by @p factor >= 1
+     * (marginal supply / aging fault). Subclasses with timed commands
+     * scale their costs by faultSlowdown().
+     */
+    void setFaultSlowdown(double factor);
+
+    double faultSlowdown() const { return slowdownFactor; }
+
   protected:
     /** State lost on gating / restored work on power-up. */
     virtual void onPowerOn() {}
@@ -93,6 +118,9 @@ class SlaveDevice : public sim::SimObject,
     bool _powered;
     sim::Tick activeUntil = 0;
     sim::EventFunctionWrapper idleEvent;
+    bool wedgedLatched = false;
+    sim::Tick wedgedUntil = 0;
+    double slowdownFactor = 1.0;
 };
 
 } // namespace ulp::core

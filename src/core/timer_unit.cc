@@ -19,8 +19,13 @@ TimerUnit::TimerUnit(sim::Simulation &simulation, const std::string &name,
                                     block_model.idleWatts,
                                     block_model.gatedWatts},
                   wakeup_ticks, true),
+      wdtEvent([this] { wdtBark(); }, name + ".wdtBark"),
       statAlarms(this, "alarms", "alarm interrupts posted"),
-      statReconfigs(this, "reconfigs", "load/control register writes")
+      statReconfigs(this, "reconfigs", "load/control register writes"),
+      statWatchdogBarks(this, "watchdogBarks",
+                        "watchdog expiries that forced a reset"),
+      statWatchdogKicks(this, "watchdogKicks",
+                        "watchdog kicks that restarted the countdown")
 {
     double delta = (block_model.activeWatts - block_model.idleWatts) /
                    numTimers;
@@ -68,6 +73,8 @@ TimerUnit::timerCount(unsigned idx) const
 std::uint8_t
 TimerUnit::busRead(map::Addr offset)
 {
+    if (offset >= map::wdtCtrl)
+        return wdtRead(offset);
     unsigned idx = offset / map::timerStride;
     map::Addr reg = offset % map::timerStride;
     if (idx >= numTimers)
@@ -92,6 +99,10 @@ TimerUnit::busRead(map::Addr offset)
 void
 TimerUnit::busWrite(map::Addr offset, std::uint8_t value)
 {
+    if (offset >= map::wdtCtrl) {
+        wdtWrite(offset, value);
+        return;
+    }
     unsigned idx = offset / map::timerStride;
     map::Addr reg = offset % map::timerStride;
     if (idx >= numTimers)
@@ -199,6 +210,90 @@ TimerUnit::predecessorFired(unsigned idx)
         fire(idx);
 }
 
+// --- watchdog --------------------------------------------------------------
+
+std::uint8_t
+TimerUnit::wdtRead(map::Addr offset)
+{
+    switch (offset) {
+      case map::wdtCtrl:
+        return wdtCtrlReg;
+      case map::wdtLoadHi:
+        return static_cast<std::uint8_t>(wdtLoad >> 8);
+      case map::wdtLoadLo:
+        return static_cast<std::uint8_t>(wdtLoad & 0xFF);
+      default:
+        return 0xFF;
+    }
+}
+
+void
+TimerUnit::wdtWrite(map::Addr offset, std::uint8_t value)
+{
+    switch (offset) {
+      case map::wdtCtrl: {
+        bool was_enabled = watchdogEnabled();
+        wdtCtrlReg = value & wdtEnable;
+        ++statReconfigs;
+        if (!was_enabled && watchdogEnabled()) {
+            wdtRestart();
+            ULP_TRACE("Timer", this, "watchdog armed (%u x %u cycles)",
+                      wdtLoad, wdtUnitCycles);
+        } else if (was_enabled && !watchdogEnabled()) {
+            wdtStop();
+            ULP_TRACE("Timer", this, "watchdog disarmed");
+        }
+        break;
+      }
+      case map::wdtLoadHi:
+        wdtLoad = static_cast<std::uint16_t>(
+            (wdtLoad & 0x00FF) | (value << 8));
+        ++statReconfigs;
+        break;
+      case map::wdtLoadLo:
+        wdtLoad = static_cast<std::uint16_t>((wdtLoad & 0xFF00) | value);
+        ++statReconfigs;
+        break;
+      case map::wdtKick:
+        if (watchdogEnabled()) {
+            ++statWatchdogKicks;
+            wdtRestart();
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+TimerUnit::wdtRestart()
+{
+    sim::Cycles cycles = static_cast<sim::Cycles>(
+        std::max<unsigned>(wdtLoad, 1) * wdtUnitCycles);
+    eventq().reschedule(&wdtEvent, curTick() + clock.cyclesToTicks(cycles));
+}
+
+void
+TimerUnit::wdtStop()
+{
+    if (wdtEvent.scheduled())
+        eventq().deschedule(&wdtEvent);
+}
+
+void
+TimerUnit::wdtBark()
+{
+    ++statWatchdogBarks;
+    recordProbe(Probe::WatchdogBark);
+    ULP_TRACE("Timer", this, "watchdog bark");
+    // Reset the hung master first so it releases the bus, then post the
+    // interrupt that lets recovery firmware run.
+    if (wdtResetHook)
+        wdtResetHook();
+    postIrq(Irq::Watchdog);
+    wdtRestart();
+}
+
 void
 TimerUnit::onPowerOn()
 {
@@ -216,6 +311,9 @@ TimerUnit::onPowerOff()
         timers[i].count = 0;
         timers[i].tracker->setState(power::PowerState::Gated);
     }
+    wdtStop();
+    wdtCtrlReg = 0;
+    wdtLoad = 0;
 }
 
 double

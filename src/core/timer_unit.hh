@@ -11,12 +11,20 @@
  * Power: the Figure 6 workload keeps "one of the 4 timers always on while
  * the rest are idle"; a running timer draws a quarter of the block's
  * Table 5 active power on top of the block's idle draw.
+ *
+ * The block also hosts a memory-mapped watchdog (map::wdt*): a countdown
+ * in units of 256 system cycles that, unless kicked, "barks" -- invoking
+ * a platform reset hook (the sensor node points it at
+ * Microcontroller::forceReset) and posting Irq::Watchdog so recovery
+ * firmware can run. The countdown restarts after a bark so the node stays
+ * protected across repeated hangs.
  */
 
 #ifndef ULP_CORE_TIMER_UNIT_HH
 #define ULP_CORE_TIMER_UNIT_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 
 #include "core/slave_device.hh"
@@ -33,6 +41,11 @@ class TimerUnit : public SlaveDevice
     static constexpr std::uint8_t ctrlReload = 0x2;
     static constexpr std::uint8_t ctrlChain = 0x4;
 
+    /** map::wdtCtrl bit. */
+    static constexpr std::uint8_t wdtEnable = 0x1;
+    /** Watchdog countdown granularity: one load count = 256 cycles. */
+    static constexpr unsigned wdtUnitCycles = 256;
+
     TimerUnit(sim::Simulation &simulation, const std::string &name,
               sim::SimObject *parent, InterruptBus &irq_bus,
               ProbeRecorder *probes, const sim::ClockDomain &clock,
@@ -48,6 +61,22 @@ class TimerUnit : public SlaveDevice
     bool timerRunning(unsigned idx) const;
     std::uint16_t timerCount(unsigned idx) const;
     unsigned runningTimers() const;
+
+    /** Called on a bark, before Irq::Watchdog is posted. */
+    void setWatchdogResetHook(std::function<void()> hook)
+    {
+        wdtResetHook = std::move(hook);
+    }
+
+    bool watchdogEnabled() const { return (wdtCtrlReg & wdtEnable) != 0; }
+    std::uint64_t watchdogBarks() const
+    {
+        return static_cast<std::uint64_t>(statWatchdogBarks.value());
+    }
+    std::uint64_t watchdogKicks() const
+    {
+        return static_cast<std::uint64_t>(statWatchdogKicks.value());
+    }
 
   protected:
     void onPowerOn() override;
@@ -71,10 +100,23 @@ class TimerUnit : public SlaveDevice
     void predecessorFired(unsigned idx);
     bool running(const Timer &timer) const;
 
+    std::uint8_t wdtRead(map::Addr offset);
+    void wdtWrite(map::Addr offset, std::uint8_t value);
+    void wdtRestart();
+    void wdtStop();
+    void wdtBark();
+
     std::array<Timer, numTimers> timers;
+
+    std::uint8_t wdtCtrlReg = 0;
+    std::uint16_t wdtLoad = 0;
+    std::function<void()> wdtResetHook;
+    sim::EventFunctionWrapper wdtEvent;
 
     sim::stats::Scalar statAlarms;
     sim::stats::Scalar statReconfigs;
+    sim::stats::Scalar statWatchdogBarks;
+    sim::stats::Scalar statWatchdogKicks;
 };
 
 } // namespace ulp::core

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault-injection campaigns.
+ *
+ * A campaign is a declarative plan: a list of timed actions against the
+ * models the injector is attached to -- Gilbert-Elliott bursty loss on a
+ * net::Channel, soft-error bit flips into memory::Sram, stuck-busy
+ * wedges and slow-response faults on core::SlaveDevice slaves, and
+ * supply droop spikes into a power::HarvestingSupply. The injector
+ * schedules every action on the simulation event queue up front, so a
+ * campaign replays identically for a given (plan, seed) pair; random
+ * flip addresses come from the injector's own seeded stream and never
+ * perturb the channel or sensor streams.
+ *
+ * Plans can be built programmatically or parsed from a small text
+ * format (one action per line, '#'/';' comments):
+ *
+ *   # seconds  action            args
+ *   0.0        channel-ge        0.02 0.4 0.0 0.9   ; pGB pBG lossG lossB
+ *   4.0        channel-ge-off
+ *   2.0        channel-loss      0.1                ; i.i.d. loss
+ *   1.5        sram-flip         0x0210 3           ; addr bit
+ *   1.6        sram-random-flip  4                  ; n flips
+ *   1.0        wedge             msgProc 0.5        ; seconds, 0 latches
+ *   2.0        unwedge           msgProc
+ *   2.5        slowdown          msgProc 3.0        ; cost factor
+ *   3.0        droop             0.002              ; joules
+ */
+
+#ifndef ULP_FAULT_FAULT_INJECTOR_HH
+#define ULP_FAULT_FAULT_INJECTOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/slave_device.hh"
+#include "memory/sram.hh"
+#include "net/channel.hh"
+#include "power/harvest.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+
+namespace ulp::fault {
+
+struct Action
+{
+    enum class Kind {
+        ChannelGe,      ///< a=pGoodToBad b=pBadToGood c=lossGood d=lossBad
+        ChannelGeOff,   ///< back to i.i.d. loss
+        ChannelLoss,    ///< a=i.i.d. loss probability
+        SramFlip,       ///< a=address b=bit
+        SramRandomFlip, ///< a=number of flips at random addresses/bits
+        Wedge,          ///< target device; a=seconds (0 latches)
+        Unwedge,        ///< target device
+        Slowdown,       ///< target device; a=cost factor
+        Droop,          ///< a=joules drained from the store
+    };
+
+    double atSeconds = 0.0;
+    Kind kind = Kind::ChannelLoss;
+    std::string target; ///< device name for Wedge/Unwedge/Slowdown
+    double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+};
+
+struct CampaignPlan
+{
+    std::vector<Action> actions;
+};
+
+/** Parse the text plan format above. sim::fatal on malformed input. */
+CampaignPlan parsePlan(const std::string &text);
+
+class FaultInjector : public sim::SimObject
+{
+  public:
+    FaultInjector(sim::Simulation &simulation, const std::string &name,
+                  std::uint64_t seed = 0x5eed);
+
+    // --- attachment points (any subset; an action against a missing
+    // --- target is a plan error) ------------------------------------------
+    void attachChannel(net::Channel *c) { channel = c; }
+    void attachSram(memory::Sram *s) { sram = s; }
+    void attachSupply(power::HarvestingSupply *s) { supply = s; }
+    void attachDevice(const std::string &device_name,
+                      core::SlaveDevice *device)
+    {
+        devices[device_name] = device;
+    }
+
+    /** Schedule every action of @p plan (times are absolute seconds). */
+    void run(const CampaignPlan &plan);
+
+    /** Parse and schedule a text plan. */
+    void runText(const std::string &plan_text) { run(parsePlan(plan_text)); }
+
+    std::uint64_t injectedChannelFaults() const
+    {
+        return static_cast<std::uint64_t>(statChannelFaults.value());
+    }
+    std::uint64_t injectedBitFlips() const
+    {
+        return static_cast<std::uint64_t>(statBitFlips.value());
+    }
+    std::uint64_t injectedDeviceFaults() const
+    {
+        return static_cast<std::uint64_t>(statDeviceFaults.value());
+    }
+    std::uint64_t injectedDroops() const
+    {
+        return static_cast<std::uint64_t>(statDroops.value());
+    }
+
+  private:
+    void apply(const Action &action);
+    core::SlaveDevice *device(const Action &action);
+
+    net::Channel *channel = nullptr;
+    memory::Sram *sram = nullptr;
+    power::HarvestingSupply *supply = nullptr;
+    std::map<std::string, core::SlaveDevice *> devices;
+
+    sim::Random random;
+    /** Scheduled actions own their event + a stable Action copy. */
+    std::vector<std::unique_ptr<sim::EventFunctionWrapper>> events;
+    std::vector<std::unique_ptr<Action>> scheduled;
+
+    sim::stats::Scalar statChannelFaults;
+    sim::stats::Scalar statBitFlips;
+    sim::stats::Scalar statDeviceFaults;
+    sim::stats::Scalar statDroops;
+};
+
+} // namespace ulp::fault
+
+#endif // ULP_FAULT_FAULT_INJECTOR_HH

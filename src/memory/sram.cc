@@ -17,7 +17,8 @@ Sram::Sram(sim::Simulation &simulation, const std::string &name,
                         "accesses to a Vdd-gated bank (return garbage)"),
       statNotReadyAccesses(this, "notReadyAccesses",
                            "accesses inside the 950 ns bank wakeup window"),
-      statBankGatings(this, "bankGatings", "gateBank operations")
+      statBankGatings(this, "bankGatings", "gateBank operations"),
+      statBitFlips(this, "bitFlips", "injected soft-error bit flips")
 {
     if (config.sizeBytes == 0 || config.bankBytes == 0 ||
         config.sizeBytes % config.bankBytes != 0) {
@@ -132,6 +133,21 @@ Sram::loadImage(std::uint16_t base, std::span<const std::uint8_t> bytes)
     }
     for (std::size_t i = 0; i < bytes.size(); ++i)
         data[base + i] = bytes[i];
+}
+
+bool
+Sram::flipBit(std::uint16_t addr, unsigned bit)
+{
+    if (addr >= config.sizeBytes)
+        sim::panic("flipBit at %#x out of range (size %u)", addr,
+                   config.sizeBytes);
+    // A gated bank stores nothing: the strike has no state to disturb.
+    if (banks[bankOf(addr)].gated)
+        return false;
+    cell(addr) ^= static_cast<std::uint8_t>(1u << (bit & 7));
+    ++statBitFlips;
+    ULP_TRACE("Sram", this, "bit flip at %#06x bit %u", addr, bit & 7);
+    return true;
 }
 
 void

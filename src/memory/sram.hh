@@ -53,6 +53,18 @@ class Sram : public sim::SimObject
     /** Load an image (program/ISR table) starting at @p base. */
     void loadImage(std::uint16_t base, std::span<const std::uint8_t> bytes);
 
+    /**
+     * Fault injection: flip bit @p bit (0..7) of the byte at @p addr,
+     * modelling a particle-strike soft error.
+     * @return false when the bank is gated (no state to corrupt).
+     */
+    bool flipBit(std::uint16_t addr, unsigned bit);
+
+    std::uint64_t bitFlips() const
+    {
+        return static_cast<std::uint64_t>(statBitFlips.value());
+    }
+
     /** Cut the supply to a bank; its contents are lost. */
     void gateBank(unsigned bank);
 
@@ -115,6 +127,7 @@ class Sram : public sim::SimObject
     sim::stats::Scalar statGatedAccesses;
     sim::stats::Scalar statNotReadyAccesses;
     sim::stats::Scalar statBankGatings;
+    sim::stats::Scalar statBitFlips;
 };
 
 } // namespace ulp::memory

@@ -19,7 +19,10 @@ Channel::Channel(sim::Simulation &simulation, const std::string &name,
       statFramesCorrupted(this, "framesCorrupted",
                           "per-receiver deliveries corrupted by collision"),
       statCollisions(this, "collisions",
-                     "transmissions that overlapped another")
+                     "transmissions that overlapped another"),
+      statGeBadFrames(this, "geBadFrames",
+                      "frames delivered while the Gilbert-Elliott chain "
+                      "was in the Bad state")
 {
     if (bit_rate <= 0.0)
         sim::fatal("channel bit rate must be positive");
@@ -35,6 +38,39 @@ void
 Channel::detach(Transceiver *transceiver)
 {
     std::erase(transceivers, transceiver);
+}
+
+void
+Channel::setGilbertElliott(const GilbertElliott &model)
+{
+    if (model.pGoodToBad < 0.0 || model.pGoodToBad > 1.0 ||
+        model.pBadToGood < 0.0 || model.pBadToGood > 1.0 ||
+        model.lossGood < 0.0 || model.lossGood > 1.0 ||
+        model.lossBad < 0.0 || model.lossBad > 1.0) {
+        sim::fatal("Gilbert-Elliott parameters must be probabilities");
+    }
+    ge = model;
+    geEnabled = true;
+    geBad = false;
+}
+
+double
+Channel::currentLossProbability()
+{
+    if (!geEnabled)
+        return lossProbability;
+    // One Markov step per frame: dwell times are geometric, so loss
+    // arrives in bursts whose mean length is 1 / pBadToGood frames.
+    if (geBad) {
+        if (random.chance(ge.pBadToGood))
+            geBad = false;
+    } else {
+        if (random.chance(ge.pGoodToBad))
+            geBad = true;
+    }
+    if (geBad)
+        ++statGeBadFrames;
+    return geBad ? ge.lossBad : ge.lossGood;
 }
 
 sim::Tick
@@ -81,14 +117,35 @@ Channel::transmit(Transceiver *sender, const Frame &frame)
 }
 
 void
-Channel::deliver(const InFlight &flight)
+Channel::deliver(InFlight &flight)
 {
-    for (Transceiver *t : transceivers) {
-        if (t == flight.sender)
+    // Retire the transmission before running any receiver callback: a
+    // callback may start a new transmission (an ACK, a forwarded frame)
+    // and must see the medium without the frame that just ended, or it
+    // would collide with it retroactively.
+    auto it = std::find_if(inFlight.begin(), inFlight.end(),
+                           [&](const auto &p) { return p.get() == &flight; });
+    std::unique_ptr<InFlight> owned;
+    if (it != inFlight.end()) {
+        owned = std::move(*it);
+        inFlight.erase(it);
+    }
+    --activeTransmissions;
+
+    double loss = currentLossProbability();
+
+    // Snapshot the receiver list: frameArrived may attach or detach
+    // transceivers (node teardown, test scaffolding) while we iterate.
+    // A receiver detached by an earlier callback is skipped.
+    std::vector<Transceiver *> receivers = transceivers;
+    for (Transceiver *t : receivers) {
+        if (t == owned->sender)
             continue;
-        bool corrupted = flight.corrupted;
-        if (!corrupted && lossProbability > 0.0 &&
-            random.chance(lossProbability)) {
+        if (std::find(transceivers.begin(), transceivers.end(), t) ==
+            transceivers.end())
+            continue;
+        bool corrupted = owned->corrupted;
+        if (!corrupted && loss > 0.0 && random.chance(loss)) {
             ++statFramesLost;
             continue;
         }
@@ -96,14 +153,8 @@ Channel::deliver(const InFlight &flight)
             ++statFramesCorrupted;
         else
             ++statFramesDelivered;
-        t->frameArrived(flight.frame, corrupted);
+        t->frameArrived(owned->frame, corrupted);
     }
-
-    --activeTransmissions;
-    auto it = std::find_if(inFlight.begin(), inFlight.end(),
-                           [&](const auto &p) { return p.get() == &flight; });
-    if (it != inFlight.end())
-        inFlight.erase(it);
 }
 
 } // namespace ulp::net

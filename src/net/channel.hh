@@ -9,6 +9,12 @@
  * (250 kbit/s => 32 us per byte), optional i.i.d. frame loss, and a
  * collision model: any temporal overlap of two transmissions corrupts
  * both frames for every receiver.
+ *
+ * For fault-injection campaigns the i.i.d. model can be replaced by a
+ * two-state Gilbert-Elliott process: the channel steps a Good/Bad Markov
+ * chain once per frame and applies that state's loss probability to every
+ * receiver, producing the bursty loss real deployments see (deep fades,
+ * interferers) rather than independent drops.
  */
 
 #ifndef ULP_NET_CHANNEL_HH
@@ -57,6 +63,31 @@ class Channel : public sim::SimObject
     /** Per-receiver independent frame-loss probability. */
     void setLossProbability(double p) { lossProbability = p; }
 
+    /**
+     * Two-state bursty loss model. The state chain is stepped once per
+     * frame delivery; per-receiver loss draws then use the active
+     * state's probability. Overrides the i.i.d. loss probability while
+     * enabled.
+     */
+    struct GilbertElliott
+    {
+        double pGoodToBad = 0.0; ///< per-frame Good -> Bad probability
+        double pBadToGood = 1.0; ///< per-frame Bad -> Good probability
+        double lossGood = 0.0;   ///< loss probability in the Good state
+        double lossBad = 1.0;    ///< loss probability in the Bad state
+    };
+
+    /** Enable the Gilbert-Elliott loss model (starts in the Good state). */
+    void setGilbertElliott(const GilbertElliott &model);
+
+    /** Disable the Gilbert-Elliott model (back to i.i.d. loss). */
+    void clearGilbertElliott() { geEnabled = false; }
+
+    bool gilbertElliottEnabled() const { return geEnabled; }
+
+    /** True while the Gilbert-Elliott chain sits in the Bad state. */
+    bool inBadState() const { return geEnabled && geBad; }
+
     /** Enable/disable the collision model (enabled by default). */
     void setCollisionsEnabled(bool enabled) { collisionsEnabled = enabled; }
 
@@ -88,7 +119,8 @@ class Channel : public sim::SimObject
 
   private:
     struct InFlight;
-    void deliver(const InFlight &flight);
+    void deliver(InFlight &flight);
+    double currentLossProbability();
 
     struct InFlight
     {
@@ -101,6 +133,9 @@ class Channel : public sim::SimObject
     double bitRate;
     double lossProbability = 0.0;
     bool collisionsEnabled = true;
+    bool geEnabled = false;
+    bool geBad = false;
+    GilbertElliott ge;
     sim::Random random;
     std::vector<Transceiver *> transceivers;
     std::vector<std::unique_ptr<InFlight>> inFlight;
@@ -111,6 +146,7 @@ class Channel : public sim::SimObject
     sim::stats::Scalar statFramesLost;
     sim::stats::Scalar statFramesCorrupted;
     sim::stats::Scalar statCollisions;
+    sim::stats::Scalar statGeBadFrames;
 };
 
 } // namespace ulp::net

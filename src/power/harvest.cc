@@ -47,8 +47,24 @@ HarvestingSupply::HarvestingSupply(sim::Simulation &simulation,
       statConsumed(this, "consumedJoules", "energy delivered to the node"),
       statBrownOuts(this, "brownOuts",
                     "transitions into an exhausted-store state"),
-      statBrownOutTicks(this, "brownOutTicks", "ticks spent browned out")
+      statBrownOutTicks(this, "brownOutTicks", "ticks spent browned out"),
+      statDroops(this, "droops", "injected supply droop spikes"),
+      statDroopJoules(this, "droopJoules", "energy lost to droop spikes")
 {
+}
+
+void
+HarvestingSupply::injectDroop(double joules)
+{
+    double lost = _store.withdraw(joules);
+    ++statDroops;
+    statDroopJoules += lost;
+    if (_store.empty() && !inBrownOut) {
+        ++statBrownOuts;
+        inBrownOut = true;
+        if (brownOutCb)
+            brownOutCb();
+    }
 }
 
 void

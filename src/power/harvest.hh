@@ -117,6 +117,19 @@ class HarvestingSupply : public sim::SimObject
     /** Called on every transition into brown-out. */
     void onBrownOut(std::function<void()> cb) { brownOutCb = std::move(cb); }
 
+    /**
+     * Fault injection: a supply droop spike instantaneously drains
+     * @p joules from the store (load transient, connector glitch). An
+     * emptied store browns the node out immediately rather than at the
+     * next poll.
+     */
+    void injectDroop(double joules);
+
+    std::uint64_t droops() const
+    {
+        return static_cast<std::uint64_t>(statDroops.value());
+    }
+
     double harvestedJoules() const { return statHarvested.value(); }
     double consumedJoules() const { return statConsumed.value(); }
     std::uint64_t brownOuts() const
@@ -140,6 +153,8 @@ class HarvestingSupply : public sim::SimObject
     sim::stats::Scalar statConsumed;
     sim::stats::Scalar statBrownOuts;
     sim::stats::Scalar statBrownOutTicks;
+    sim::stats::Scalar statDroops;
+    sim::stats::Scalar statDroopJoules;
 };
 
 } // namespace ulp::power

@@ -140,6 +140,27 @@ TEST_F(DeviceTest, ReassertingAnAssertedCodeDropsTheEvent)
     EXPECT_EQ(irq.dropped(), 1u);
 }
 
+TEST_F(DeviceTest, InterruptOverloadCountsEveryDrop)
+{
+    // A device raising faster than the EP services it loses every
+    // re-raise, and each loss is counted; other codes are unaffected.
+    InterruptBus &irq = node->irqBus();
+    irq.post(Irq::RadioRxDone);
+    for (unsigned i = 0; i < 5; ++i)
+        irq.post(Irq::RadioRxDone);
+    EXPECT_EQ(irq.dropped(), 5u);
+
+    irq.post(Irq::Timer0); // independent line still clean
+    EXPECT_EQ(irq.dropped(), 5u);
+
+    EXPECT_EQ(*irq.take(), Irq::Timer0);
+    EXPECT_EQ(*irq.take(), Irq::RadioRxDone);
+    EXPECT_FALSE(irq.take().has_value()); // the re-raises really vanished
+
+    irq.post(Irq::RadioRxDone); // serviced: the line accepts again
+    EXPECT_EQ(irq.dropped(), 5u);
+}
+
 // --------------------------------------------------------------------------
 // Power controller
 // --------------------------------------------------------------------------
@@ -484,6 +505,116 @@ TEST_F(DeviceTest, CamEvictsOldestEntries)
     first.destPan = cfg.pan;
     feedRxFrame(*this, first);
     EXPECT_EQ(node->msgProc().duplicatesDropped(), 0u); // evicted: fresh
+}
+
+TEST_F(DeviceTest, CamWrapsAroundPastSixteenEntries)
+{
+    // Drive the FIFO well past its 16-entry capacity and check the
+    // window semantics at every point: the newest 16 (src, seq) pairs
+    // are always duplicates, anything older has been evicted.
+    for (unsigned i = 0; i < 40; ++i) {
+        net::Frame f;
+        f.seq = static_cast<std::uint8_t>(i);
+        f.src = 0x0200;
+        f.dest = 0x0777;
+        f.destPan = cfg.pan;
+        feedRxFrame(*this, f);
+    }
+    EXPECT_EQ(node->msgProc().camSize(), MessageProcessor::camEntries);
+    EXPECT_EQ(node->msgProc().forwarded(), 40u);
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 0u);
+
+    // Frames 24..39 are the live window.
+    net::Frame newest;
+    newest.seq = 39;
+    newest.src = 0x0200;
+    newest.dest = 0x0777;
+    newest.destPan = cfg.pan;
+    feedRxFrame(*this, newest);
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 1u);
+
+    net::Frame oldest_live = newest;
+    oldest_live.seq = 25; // near the old edge, but still in the window
+    feedRxFrame(*this, oldest_live);
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 2u);
+
+    net::Frame evicted = newest;
+    evicted.seq = 10;
+    feedRxFrame(*this, evicted); // long gone: treated as fresh
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 2u);
+    EXPECT_EQ(node->msgProc().forwarded(), 41u);
+
+    // The explicit clear command empties the CAM entirely.
+    wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdClearCam);
+    advance(0.01);
+    EXPECT_EQ(node->msgProc().camSize(), 0u);
+    feedRxFrame(*this, newest); // was a duplicate a moment ago
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 2u);
+}
+
+TEST_F(DeviceTest, MalformedRxDrivesTheMalformedStat)
+{
+    // A frame whose FCS does not match.
+    for (unsigned i = 0; i < 12; ++i)
+        wr(static_cast<map::Addr>(map::msgBase + map::msgInBuf + i), 0x5A);
+    wr(map::msgBase + map::msgInLen, 12);
+    wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdProcessRx);
+    advance(0.01);
+    EXPECT_EQ(node->msgProc().malformed(), 1u);
+
+    // A frame shorter than the 802.15.4 overhead cannot even be parsed.
+    wr(map::msgBase + map::msgInLen, 5);
+    wr(map::msgBase + map::msgCtrl, MessageProcessor::cmdProcessRx);
+    advance(0.01);
+    EXPECT_EQ(node->msgProc().malformed(), 2u);
+
+    // Malformed input pollutes neither the CAM nor the classification
+    // counters.
+    EXPECT_EQ(node->msgProc().camSize(), 0u);
+    EXPECT_EQ(node->msgProc().forwarded(), 0u);
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 0u);
+    EXPECT_EQ(node->msgProc().localDeliveries(), 0u);
+}
+
+TEST_F(DeviceTest, MsgProcPowerOffClearsBuffersButKeepsCamAndConfig)
+{
+    wr(map::msgBase + map::msgDestHi, 0x12);
+    wr(map::msgBase + map::msgDestLo, 0x34);
+
+    // Leave residue everywhere: a prepared frame in the OUT buffer, junk
+    // in the IN buffer, and a non-zero staged payload length.
+    prepareFrame(*this, {9, 8, 7});
+    EXPECT_GT(rd(map::msgBase + map::msgOutLen), 0);
+
+    net::Frame foreign;
+    foreign.seq = 5;
+    foreign.src = 0x0099;
+    foreign.dest = 0x0777;
+    foreign.destPan = cfg.pan;
+    feedRxFrame(*this, foreign);
+    EXPECT_EQ(node->msgProc().forwarded(), 1u);
+
+    wr(map::msgBase + map::msgPayloadLen, 5);
+
+    node->powerCtrl().switchOff(ComponentId::MsgProc);
+    node->powerCtrl().switchOn(ComponentId::MsgProc);
+    advance(0.001);
+
+    // Message buffers are SRAM: gone with the power. Stale residue must
+    // not leak into the next frame.
+    EXPECT_EQ(rd(map::msgBase + map::msgOutLen), 0);
+    EXPECT_EQ(rd(map::msgBase + map::msgInLen), 0);
+    EXPECT_EQ(rd(map::msgBase + map::msgPayloadLen), 0);
+    EXPECT_EQ(rd(map::msgBase + map::msgInBuf), 0);
+    EXPECT_EQ(rd(map::msgBase + map::msgOutBuf), 0);
+
+    // Retention latches survive: addressing config and the dedup CAM
+    // (the paper's duplicate suppression must span sleep periods).
+    EXPECT_EQ(rd(map::msgBase + map::msgDestHi), 0x12);
+    EXPECT_EQ(rd(map::msgBase + map::msgDestLo), 0x34);
+    EXPECT_EQ(node->msgProc().camSize(), 1u);
+    feedRxFrame(*this, foreign);
+    EXPECT_EQ(node->msgProc().duplicatesDropped(), 1u);
 }
 
 TEST_F(DeviceTest, BatchingAppendsAndSignals)
