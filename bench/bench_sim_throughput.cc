@@ -1,17 +1,41 @@
 /**
  * @file
  * Host-side performance of the simulators (google-benchmark): how fast a
- * simulated second runs for the event-driven node (nearly free between
- * events), for the saturated node, and for the Mica2 baseline (which
- * executes every CPU instruction), plus the raw event-queue rate.
+ * simulated second runs for the event-driven node, for the saturated node,
+ * and for the Mica2 baseline (which executes every CPU instruction), plus
+ * the simulation-kernel fast path itself:
+ *
+ *  - BM_EventQueuePopulated: the indexed d-ary heap under a realistic
+ *    schedule/reschedule/deschedule mix at several resident depths;
+ *  - BM_EventQueueSetBaseline: the same op mix against a reference
+ *    std::set red-black-tree queue (the pre-heap implementation), so the
+ *    speedup is tracked release over release;
+ *  - BM_NetworkScale: N complete sensor nodes (1/8/32/64) sharing one
+ *    broadcast Channel, all sampling and transmitting.
+ *
+ * Special modes (no google-benchmark):
+ *  --json[=PATH]  run the kernel benchmarks and write a machine-readable
+ *                 BENCH_simkernel.json snapshot (default ./BENCH_simkernel.json),
+ *                 including a 64-node two-run determinism check;
+ *  --smoke        one short N-node run at each scale + the determinism
+ *                 check; asserts completion, not speed (CI under ASan).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "baseline/mica2_platform.hh"
 #include "baseline/minios.hh"
 #include "core/apps.hh"
 #include "core/sensor_node.hh"
+#include "net/channel.hh"
 #include "sim/simulation.hh"
 
 using namespace ulp;
@@ -19,20 +43,271 @@ using namespace ulp::core;
 
 namespace {
 
-void
-BM_EventQueue(benchmark::State &state)
+// --------------------------------------------------------------------------
+// Kernel microbenchmark: a populated queue under a steady-state op mix.
+// --------------------------------------------------------------------------
+
+/** Deterministic 64-bit LCG so the op mix is identical across queues. */
+struct Lcg
+{
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    std::uint64_t
+    next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    }
+};
+
+/**
+ * Reference implementation: the std::set<Event*> red-black tree the
+ * kernel used before the indexed heap, kept here as the comparison
+ * baseline for BENCH_simkernel.json.
+ */
+class SetQueue
+{
+  public:
+    struct Ev
+    {
+        sim::Tick when = 0;
+        std::uint64_t seq = 0;
+        bool scheduled = false;
+    };
+
+    void
+    schedule(Ev *e, sim::Tick when)
+    {
+        e->when = when;
+        e->seq = nextSeq++;
+        e->scheduled = true;
+        events.insert(e);
+    }
+
+    void
+    deschedule(Ev *e)
+    {
+        events.erase(e);
+        e->scheduled = false;
+    }
+
+    void
+    reschedule(Ev *e, sim::Tick when)
+    {
+        if (e->scheduled)
+            deschedule(e);
+        schedule(e, when);
+    }
+
+    Ev *
+    runOne()
+    {
+        auto it = events.begin();
+        Ev *e = *it;
+        events.erase(it);
+        cur = e->when;
+        e->scheduled = false;
+        return e;
+    }
+
+    sim::Tick cur = 0;
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Ev *a, const Ev *b) const
+        {
+            if (a->when != b->when)
+                return a->when < b->when;
+            return a->seq < b->seq;
+        }
+    };
+
+    std::set<Ev *, Compare> events;
+    std::uint64_t nextSeq = 0;
+};
+
+constexpr sim::Tick opHorizon = 100'000;
+
+/**
+ * One steady-state kernel iteration against the real EventQueue: pop the
+ * head and reschedule it forward (the clocked-component pattern), with
+ * every fourth iteration instead moving a random resident event — the
+ * timer-retarget/MAC-backoff pattern.
+ */
+struct HeapHarness
 {
     sim::EventQueue queue;
-    sim::EventFunctionWrapper event([] {}, "noop");
-    std::uint64_t processed = 0;
-    for (auto _ : state) {
-        queue.schedule(&event, queue.curTick() + 10);
-        queue.runOne();
-        ++processed;
+    std::vector<std::unique_ptr<sim::EventFunctionWrapper>> pool;
+    std::size_t lastRan = 0;
+    Lcg lcg;
+
+    explicit HeapHarness(std::size_t depth)
+    {
+        for (std::size_t i = 0; i < depth; ++i) {
+            pool.push_back(std::make_unique<sim::EventFunctionWrapper>(
+                [this, i] { lastRan = i; }, "ev"));
+            queue.schedule(pool.back().get(), 1 + lcg.next() % opHorizon);
+        }
     }
-    state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+
+    void
+    step(std::uint64_t iter)
+    {
+        if (iter % 4 == 3) {
+            auto &victim = *pool[lcg.next() % pool.size()];
+            if (victim.scheduled()) {
+                queue.reschedule(&victim,
+                                 queue.curTick() + 1 + lcg.next() % opHorizon);
+                return;
+            }
+        }
+        queue.runOne();
+        queue.schedule(pool[lastRan].get(),
+                       queue.curTick() + 1 + lcg.next() % opHorizon);
+    }
+};
+
+/** The identical op mix against the reference std::set queue. */
+struct SetHarness
+{
+    SetQueue queue;
+    std::vector<SetQueue::Ev> pool;
+    Lcg lcg;
+
+    explicit SetHarness(std::size_t depth) : pool(depth)
+    {
+        for (auto &e : pool)
+            queue.schedule(&e, 1 + lcg.next() % opHorizon);
+    }
+
+    void
+    step(std::uint64_t iter)
+    {
+        if (iter % 4 == 3) {
+            auto &victim = pool[lcg.next() % pool.size()];
+            if (victim.scheduled) {
+                queue.reschedule(&victim,
+                                 queue.cur + 1 + lcg.next() % opHorizon);
+                return;
+            }
+        }
+        SetQueue::Ev *ran = queue.runOne();
+        queue.schedule(ran, queue.cur + 1 + lcg.next() % opHorizon);
+    }
+};
+
+void
+BM_EventQueuePopulated(benchmark::State &state)
+{
+    HeapHarness harness(static_cast<std::size_t>(state.range(0)));
+    std::uint64_t iter = 0;
+    for (auto _ : state)
+        harness.step(iter++);
+    state.SetItemsProcessed(static_cast<std::int64_t>(iter));
 }
-BENCHMARK(BM_EventQueue);
+BENCHMARK(BM_EventQueuePopulated)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_EventQueueSetBaseline(benchmark::State &state)
+{
+    SetHarness harness(static_cast<std::size_t>(state.range(0)));
+    std::uint64_t iter = 0;
+    for (auto _ : state)
+        harness.step(iter++);
+    state.SetItemsProcessed(static_cast<std::int64_t>(iter));
+}
+BENCHMARK(BM_EventQueueSetBaseline)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+// --------------------------------------------------------------------------
+// N-node broadcast-network scaling.
+// --------------------------------------------------------------------------
+
+struct NetworkResult
+{
+    std::uint64_t eventsProcessed = 0;
+    std::uint64_t framesSent = 0;
+    std::uint64_t framesDelivered = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t epIsrs = 0;
+    sim::Tick endTick = 0;
+
+    bool
+    operator==(const NetworkResult &o) const
+    {
+        return eventsProcessed == o.eventsProcessed &&
+               framesSent == o.framesSent &&
+               framesDelivered == o.framesDelivered &&
+               collisions == o.collisions && epIsrs == o.epIsrs &&
+               endTick == o.endTick;
+    }
+};
+
+/**
+ * Simulate @p num_nodes complete sensor nodes on one broadcast channel
+ * for @p seconds. Every node runs app v1 (sample -> transmit) with a
+ * slightly staggered period so the network is not in artificial lockstep.
+ */
+NetworkResult
+runNetwork(unsigned num_nodes, double seconds)
+{
+    sim::Simulation simulation;
+    net::Channel channel(simulation, "channel",
+                         net::Channel::defaultBitRate, /*seed=*/42);
+
+    std::vector<std::unique_ptr<SensorNode>> nodes;
+    for (unsigned i = 0; i < num_nodes; ++i) {
+        NodeConfig cfg;
+        cfg.address = static_cast<std::uint16_t>(1 + i);
+        cfg.seed = 1000 + i;
+        cfg.sensorSignal = [](sim::Tick) { return 200; };
+        nodes.push_back(std::make_unique<SensorNode>(
+            simulation, "node" + std::to_string(i), cfg, &channel));
+
+        // ~40 Hz sampling: 64 nodes x 40 fps x 384 us airtime ~ 98% of
+        // channel capacity, so the largest scale runs near saturation
+        // (heavy but not total collisions) instead of collapsing.
+        apps::AppParams params;
+        params.samplePeriodCycles = 2500 + 37 * i;
+        apps::install(*nodes.back(), apps::buildApp1(params));
+    }
+
+    simulation.runForSeconds(seconds);
+
+    NetworkResult result;
+    result.eventsProcessed = simulation.eventq().numProcessed();
+    result.framesDelivered = channel.framesDelivered();
+    result.collisions = channel.collisions();
+    result.endTick = simulation.curTick();
+    for (const auto &node : nodes) {
+        result.framesSent += node->radio().framesSent();
+        result.epIsrs += node->ep().isrsExecuted();
+    }
+    return result;
+}
+
+void
+BM_NetworkScale(benchmark::State &state)
+{
+    auto num_nodes = static_cast<unsigned>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        NetworkResult result = runNetwork(num_nodes, 0.2);
+        events += result.eventsProcessed;
+        benchmark::DoNotOptimize(result.framesSent);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_NetworkScale)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// Node/baseline simulated-second benchmarks (unchanged workloads).
+// --------------------------------------------------------------------------
 
 void
 BM_NodeSimulatedSecond(benchmark::State &state)
@@ -86,6 +361,160 @@ BM_Assembler(benchmark::State &state)
 }
 BENCHMARK(BM_Assembler);
 
+// --------------------------------------------------------------------------
+// JSON snapshot + smoke modes.
+// --------------------------------------------------------------------------
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** Mops/s of the heap op mix at @p depth over @p iterations. */
+template <typename Harness>
+double
+measureOpsPerSec(std::size_t depth, std::uint64_t iterations)
+{
+    Harness harness(depth);
+    // Warm the queue into steady state before timing.
+    for (std::uint64_t i = 0; i < iterations / 10; ++i)
+        harness.step(i);
+    auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        harness.step(i);
+    double elapsed = secondsSince(start);
+    return static_cast<double>(iterations) / elapsed;
+}
+
+int
+writeSnapshot(const std::string &path)
+{
+    constexpr std::size_t depths[] = {64, 256, 1024, 4096};
+    constexpr std::uint64_t iterations = 2'000'000;
+    constexpr double network_seconds = 0.5;
+
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+
+    std::fprintf(out, "{\n  \"schema\": \"ulpsn-simkernel-bench/1\",\n");
+    std::fprintf(out, "  \"event_queue\": [\n");
+    bool first = true;
+    for (std::size_t depth : depths) {
+        double heap = measureOpsPerSec<HeapHarness>(depth, iterations);
+        double set = measureOpsPerSec<SetHarness>(depth, iterations);
+        std::printf("depth %5zu: heap %8.2f Mops/s  set %8.2f Mops/s  "
+                    "speedup %.2fx\n",
+                    depth, heap / 1e6, set / 1e6, heap / set);
+        std::fprintf(out,
+                     "%s    {\"depth\": %zu, \"heap_mops\": %.3f, "
+                     "\"set_baseline_mops\": %.3f, \"speedup\": %.3f}",
+                     first ? "" : ",\n", depth, heap / 1e6, set / 1e6,
+                     heap / set);
+        first = false;
+    }
+    std::fprintf(out, "\n  ],\n  \"network_scale\": [\n");
+
+    first = true;
+    for (unsigned nodes : {1u, 8u, 32u, 64u}) {
+        auto start = std::chrono::steady_clock::now();
+        NetworkResult result = runNetwork(nodes, network_seconds);
+        double elapsed = secondsSince(start);
+        double events_per_sec =
+            static_cast<double>(result.eventsProcessed) / elapsed;
+        std::printf("nodes %3u: %9llu events in %6.3f s host "
+                    "(%7.2f Mev/s), %llu frames sent, %llu delivered, "
+                    "%llu collisions\n",
+                    nodes,
+                    static_cast<unsigned long long>(result.eventsProcessed),
+                    elapsed, events_per_sec / 1e6,
+                    static_cast<unsigned long long>(result.framesSent),
+                    static_cast<unsigned long long>(result.framesDelivered),
+                    static_cast<unsigned long long>(result.collisions));
+        std::fprintf(
+            out,
+            "%s    {\"nodes\": %u, \"simulated_seconds\": %.2f, "
+            "\"events\": %llu, \"host_seconds\": %.4f, "
+            "\"events_per_host_second\": %.0f, \"frames_sent\": %llu, "
+            "\"frames_delivered\": %llu, \"collisions\": %llu}",
+            first ? "" : ",\n", nodes, network_seconds,
+            static_cast<unsigned long long>(result.eventsProcessed), elapsed,
+            events_per_sec,
+            static_cast<unsigned long long>(result.framesSent),
+            static_cast<unsigned long long>(result.framesDelivered),
+            static_cast<unsigned long long>(result.collisions));
+        first = false;
+    }
+
+    // Determinism: two seeded 64-node runs must agree on every stat.
+    NetworkResult a = runNetwork(64, network_seconds);
+    NetworkResult b = runNetwork(64, network_seconds);
+    bool deterministic = a == b;
+    std::printf("64-node determinism check: %s\n",
+                deterministic ? "PASS" : "FAIL");
+    std::fprintf(out,
+                 "\n  ],\n  \"determinism_64_nodes\": {\"deterministic\": "
+                 "%s, \"events\": %llu, \"frames_sent\": %llu, "
+                 "\"frames_delivered\": %llu, \"collisions\": %llu}\n}\n",
+                 deterministic ? "true" : "false",
+                 static_cast<unsigned long long>(a.eventsProcessed),
+                 static_cast<unsigned long long>(a.framesSent),
+                 static_cast<unsigned long long>(a.framesDelivered),
+                 static_cast<unsigned long long>(a.collisions));
+    std::fclose(out);
+    std::printf("snapshot written to %s\n", path.c_str());
+    return deterministic ? 0 : 1;
+}
+
+int
+runSmoke()
+{
+    for (unsigned nodes : {1u, 8u, 32u, 64u}) {
+        NetworkResult result = runNetwork(nodes, 0.05);
+        if (result.eventsProcessed == 0 || result.framesSent == 0 ||
+            (nodes > 1 &&
+             result.framesDelivered + result.collisions == 0)) {
+            std::fprintf(stderr, "smoke: %u-node run looks dead\n", nodes);
+            return 1;
+        }
+        std::printf("smoke %2u nodes: %llu events, %llu frames\n", nodes,
+                    static_cast<unsigned long long>(result.eventsProcessed),
+                    static_cast<unsigned long long>(result.framesSent));
+    }
+    NetworkResult a = runNetwork(64, 0.05);
+    NetworkResult b = runNetwork(64, 0.05);
+    if (!(a == b)) {
+        std::fprintf(stderr, "smoke: 64-node run is not deterministic\n");
+        return 1;
+    }
+    std::printf("smoke OK (64-node rerun bit-identical)\n");
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return runSmoke();
+        if (std::strncmp(argv[i], "--json", 6) == 0) {
+            std::string path = "BENCH_simkernel.json";
+            if (argv[i][6] == '=')
+                path = argv[i] + 7;
+            return writeSnapshot(path);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -120,7 +120,7 @@ class EventProcessor : public sim::SimObject
     std::uint16_t wakeupHandler = 0;
 
     power::EnergyTracker tracker;
-    sim::EventFunctionWrapper advanceEvent;
+    sim::MemberEventWrapper<EventProcessor> advanceEvent;
 
     sim::stats::Scalar statIsrs;
     sim::stats::Scalar statInstructions;

@@ -18,12 +18,14 @@ RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
                   {map::radioBase, map::radioSize}, irq_bus, probes, clock,
                   model, wakeup_ticks, true),
       channel(channel), random(seed),
-      txDoneEvent([this] { txDone(); }, name + ".txDone"),
-      macCcaEvent([this] { macCcaDecide(); }, name + ".macCca"),
-      macAirEndEvent([this] { macAirEnd(); }, name + ".macAirEnd"),
-      macAckTimeoutEvent([this] { macAckTimeout(); }, name + ".macAckWait"),
-      macAckTxEvent([this] { macSendAck(); }, name + ".macAckTx"),
-      macAckAirEndEvent([this] { macAckAirEnd(); }, name + ".macAckAirEnd"),
+      txDoneEvent(this, &RadioDevice::txDone, name + ".txDone"),
+      macCcaEvent(this, &RadioDevice::macCcaDecide, name + ".macCca"),
+      macAirEndEvent(this, &RadioDevice::macAirEnd, name + ".macAirEnd"),
+      macAckTimeoutEvent(this, &RadioDevice::macAckTimeout,
+                         name + ".macAckWait"),
+      macAckTxEvent(this, &RadioDevice::macSendAck, name + ".macAckTx"),
+      macAckAirEndEvent(this, &RadioDevice::macAckAirEnd,
+                        name + ".macAckAirEnd"),
       statTx(this, "framesSent", "frames transmitted"),
       statRx(this, "framesReceived", "intact frames received"),
       statCrcErrors(this, "crcErrors",
@@ -417,7 +419,7 @@ RadioDevice::onPowerOff()
 {
     if (txDoneEvent.scheduled())
         eventq().deschedule(&txDoneEvent);
-    for (sim::EventFunctionWrapper *ev :
+    for (sim::Event *ev :
          {&macCcaEvent, &macAirEndEvent, &macAckTimeoutEvent,
           &macAckTxEvent, &macAckAirEndEvent}) {
         if (ev->scheduled())

@@ -165,7 +165,7 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     std::array<std::uint8_t, fifoBytes> txFifo{};
     std::array<std::uint8_t, fifoBytes> rxFifo{};
     net::Frame lastTx;
-    sim::EventFunctionWrapper txDoneEvent;
+    sim::MemberEventWrapper<RadioDevice> txDoneEvent;
 
     // MAC transaction state.
     std::uint8_t macCtrlReg = 0;     ///< persists across power gating
@@ -178,11 +178,11 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     sim::Tick mediumBusyUntil = 0;   ///< carrier sense from frameStarted
     bool ackTxPending = false;
     net::Frame ackTx;
-    sim::EventFunctionWrapper macCcaEvent;
-    sim::EventFunctionWrapper macAirEndEvent;
-    sim::EventFunctionWrapper macAckTimeoutEvent;
-    sim::EventFunctionWrapper macAckTxEvent;
-    sim::EventFunctionWrapper macAckAirEndEvent;
+    sim::MemberEventWrapper<RadioDevice> macCcaEvent;
+    sim::MemberEventWrapper<RadioDevice> macAirEndEvent;
+    sim::MemberEventWrapper<RadioDevice> macAckTimeoutEvent;
+    sim::MemberEventWrapper<RadioDevice> macAckTxEvent;
+    sim::MemberEventWrapper<RadioDevice> macAckAirEndEvent;
 
     sim::stats::Scalar statTx;
     sim::stats::Scalar statRx;

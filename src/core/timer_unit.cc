@@ -19,7 +19,7 @@ TimerUnit::TimerUnit(sim::Simulation &simulation, const std::string &name,
                                     block_model.idleWatts,
                                     block_model.gatedWatts},
                   wakeup_ticks, true),
-      wdtEvent([this] { wdtBark(); }, name + ".wdtBark"),
+      wdtEvent(this, &TimerUnit::wdtBark, name + ".wdtBark"),
       statAlarms(this, "alarms", "alarm interrupts posted"),
       statReconfigs(this, "reconfigs", "load/control register writes"),
       statWatchdogBarks(this, "watchdogBarks",
@@ -30,8 +30,12 @@ TimerUnit::TimerUnit(sim::Simulation &simulation, const std::string &name,
     double delta = (block_model.activeWatts - block_model.idleWatts) /
                    numTimers;
     for (unsigned i = 0; i < numTimers; ++i) {
-        timers[i].fireEvent = std::make_unique<sim::EventFunctionWrapper>(
-            [this, i] { fire(i); }, name + ".fire" + std::to_string(i));
+        timers[i].unit = this;
+        timers[i].index = i;
+        timers[i].fireEvent =
+            std::make_unique<sim::MemberEventWrapper<Timer>>(
+                &timers[i], &Timer::fired,
+                name + ".fire" + std::to_string(i));
         timers[i].tracker = std::make_unique<power::EnergyTracker>(
             *this, power::PowerModel{delta, 0.0, 0.0},
             power::PowerState::Idle, "timer" + std::to_string(i));
@@ -79,7 +83,7 @@ TimerUnit::busRead(map::Addr offset)
     map::Addr reg = offset % map::timerStride;
     if (idx >= numTimers)
         return 0xFF;
-    const Timer &timer = timers[idx];
+    Timer &timer = timers[idx];
     switch (reg) {
       case map::timerCtrl:
         return timer.ctrl;
@@ -87,10 +91,16 @@ TimerUnit::busRead(map::Addr offset)
         return static_cast<std::uint8_t>(timer.load >> 8);
       case map::timerLoadLo:
         return static_cast<std::uint8_t>(timer.load & 0xFF);
-      case map::timerCountHi:
-        return static_cast<std::uint8_t>(timerCount(idx) >> 8);
+      case map::timerCountHi: {
+        // Standard MCU timer-latch semantics: the two byte-wide bus
+        // transactions of a 16-bit COUNT read can straddle a decrement,
+        // so sample the counter once and latch the low byte here.
+        std::uint16_t count = timerCount(idx);
+        timer.countLatchLo = static_cast<std::uint8_t>(count & 0xFF);
+        return static_cast<std::uint8_t>(count >> 8);
+      }
       case map::timerCountLo:
-        return static_cast<std::uint8_t>(timerCount(idx) & 0xFF);
+        return timer.countLatchLo;
       default:
         return 0xFF;
     }

@@ -88,9 +88,16 @@ class TimerUnit : public SlaveDevice
         std::uint8_t ctrl = 0;
         std::uint16_t load = 0;
         std::uint16_t count = 0;
+        /** COUNT low byte latched when the high byte is read, so a
+         *  two-transaction 16-bit read cannot straddle a decrement. */
+        std::uint8_t countLatchLo = 0;
         sim::Tick fireAt = sim::maxTick;
-        std::unique_ptr<sim::EventFunctionWrapper> fireEvent;
+        TimerUnit *unit = nullptr;
+        unsigned index = 0;
+        std::unique_ptr<sim::MemberEventWrapper<Timer>> fireEvent;
         std::unique_ptr<power::EnergyTracker> tracker;
+
+        void fired() { unit->fire(index); }
     };
 
     void writeCtrl(unsigned idx, std::uint8_t value);
@@ -111,7 +118,7 @@ class TimerUnit : public SlaveDevice
     std::uint8_t wdtCtrlReg = 0;
     std::uint16_t wdtLoad = 0;
     std::function<void()> wdtResetHook;
-    sim::EventFunctionWrapper wdtEvent;
+    sim::MemberEventWrapper<TimerUnit> wdtEvent;
 
     sim::stats::Scalar statAlarms;
     sim::stats::Scalar statReconfigs;

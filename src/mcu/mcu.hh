@@ -138,7 +138,7 @@ class Mcu : public sim::SimObject
     std::function<void()> haltCb;
     MarkCallback markCb;
 
-    sim::EventFunctionWrapper tickEvent;
+    sim::MemberEventWrapper<Mcu> tickEvent;
 
     sim::stats::Scalar statInstructions;
     sim::stats::Scalar statIrqsTaken;

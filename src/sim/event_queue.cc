@@ -1,11 +1,16 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace ulp::sim {
 
 Event::~Event()
 {
+    // Flag first: should the deschedule below panic, the diagnostics must
+    // not virtual-dispatch into the already-destroyed derived object.
+    _destructing = true;
     if (_scheduled && _queue)
         _queue->deschedule(this);
 }
@@ -14,9 +19,70 @@ EventQueue::~EventQueue()
 {
     // Orphan any events still pending so their destructors do not try to
     // deschedule themselves from a dead queue.
-    for (Event *event : events) {
-        event->_scheduled = false;
-        event->_queue = nullptr;
+    for (Event *event : heap)
+        orphan(event);
+}
+
+void
+EventQueue::orphan(Event *event)
+{
+    event->_scheduled = false;
+    event->_queue = nullptr;
+    event->_heapIndex = Event::badHeapIndex;
+}
+
+void
+EventQueue::siftUp(std::size_t idx)
+{
+    Event *event = heap[idx];
+    while (idx > 0) {
+        std::size_t parent = (idx - 1) / arity;
+        if (!less(event, heap[parent]))
+            break;
+        heap[idx] = heap[parent];
+        heap[idx]->_heapIndex = idx;
+        idx = parent;
+    }
+    heap[idx] = event;
+    event->_heapIndex = idx;
+}
+
+void
+EventQueue::siftDown(std::size_t idx)
+{
+    Event *event = heap[idx];
+    const std::size_t n = heap.size();
+    for (;;) {
+        std::size_t first = idx * arity + 1;
+        if (first >= n)
+            break;
+        std::size_t last = std::min(first + arity, n);
+        std::size_t best = first;
+        for (std::size_t child = first + 1; child < last; ++child) {
+            if (less(heap[child], heap[best]))
+                best = child;
+        }
+        if (!less(heap[best], event))
+            break;
+        heap[idx] = heap[best];
+        heap[idx]->_heapIndex = idx;
+        idx = best;
+    }
+    heap[idx] = event;
+    event->_heapIndex = idx;
+}
+
+void
+EventQueue::removeAt(std::size_t idx)
+{
+    Event *last = heap.back();
+    heap.pop_back();
+    if (idx < heap.size()) {
+        heap[idx] = last;
+        last->_heapIndex = idx;
+        siftUp(idx);
+        if (last->_heapIndex == idx)
+            siftDown(idx);
     }
 }
 
@@ -25,12 +91,12 @@ EventQueue::schedule(Event *event, Tick when)
 {
     if (event->_scheduled) {
         panic("schedule: event '%s' is already scheduled at %llu",
-              event->description().c_str(),
+              event->debugName().c_str(),
               static_cast<unsigned long long>(event->_when));
     }
     if (when < _curTick) {
         panic("schedule: event '%s' into the past (%llu < %llu)",
-              event->description().c_str(),
+              event->debugName().c_str(),
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_curTick));
     }
@@ -38,7 +104,8 @@ EventQueue::schedule(Event *event, Tick when)
     event->_seq = nextSeq++;
     event->_scheduled = true;
     event->_queue = this;
-    events.insert(event);
+    heap.push_back(event);
+    siftUp(heap.size() - 1);
 }
 
 void
@@ -46,40 +113,58 @@ EventQueue::deschedule(Event *event)
 {
     if (!event->_scheduled || event->_queue != this) {
         panic("deschedule: event '%s' is not scheduled on this queue",
-              event->description().c_str());
+              event->debugName().c_str());
     }
-    events.erase(event);
-    event->_scheduled = false;
-    event->_queue = nullptr;
+    std::size_t idx = event->_heapIndex;
+    if (idx >= heap.size() || heap[idx] != event) {
+        panic("deschedule: event '%s' has a corrupt heap index",
+              event->debugName().c_str());
+    }
+    removeAt(idx);
+    orphan(event);
 }
 
 void
 EventQueue::reschedule(Event *event, Tick when)
 {
-    if (event->_scheduled)
-        deschedule(event);
-    schedule(event, when);
-}
-
-Tick
-EventQueue::nextTick() const
-{
-    if (events.empty())
-        return maxTick;
-    return (*events.begin())->_when;
+    if (!event->_scheduled) {
+        schedule(event, when);
+        return;
+    }
+    if (event->_queue != this) {
+        panic("reschedule: event '%s' is scheduled on another queue",
+              event->debugName().c_str());
+    }
+    if (when < _curTick) {
+        panic("reschedule: event '%s' into the past (%llu < %llu)",
+              event->debugName().c_str(),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    }
+    event->_when = when;
+    // Fresh sequence number: identical ordering to deschedule()+schedule().
+    event->_seq = nextSeq++;
+    std::size_t idx = event->_heapIndex;
+    siftUp(idx);
+    if (event->_heapIndex == idx)
+        siftDown(idx);
 }
 
 bool
 EventQueue::runOne()
 {
-    if (events.empty())
+    if (heap.empty())
         return false;
-    auto it = events.begin();
-    Event *event = *it;
-    events.erase(it);
+    Event *event = heap.front();
+    Event *last = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+        heap.front() = last;
+        last->_heapIndex = 0;
+        siftDown(0);
+    }
     _curTick = event->_when;
-    event->_scheduled = false;
-    event->_queue = nullptr;
+    orphan(event);
     ++_numProcessed;
     event->process();
     return true;
@@ -89,7 +174,7 @@ std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t processed = 0;
-    while (!events.empty() && (*events.begin())->_when <= limit) {
+    while (!heap.empty() && heap.front()->_when <= limit) {
         runOne();
         ++processed;
     }

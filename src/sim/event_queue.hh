@@ -8,15 +8,32 @@
  * only keep events in the queue while they have work to do, so an idle
  * sensor node consumes no host cycles between events — mirroring the
  * event-driven idle behaviour of the architecture being modelled.
+ *
+ * The queue is an indexed d-ary min-heap over intrusive events: each Event
+ * carries its own heap slot, so schedule/deschedule/reschedule are pointer
+ * swaps in one contiguous vector with no per-event allocation, nextTick()
+ * is O(1), and reschedule() — the dominant operation for clocked
+ * components — re-sifts the event in place. The ordering contract is a
+ * strict total order:
+ *
+ *   1. earlier tick first;
+ *   2. at the same tick, lower priority value first;
+ *   3. at the same (tick, priority), FIFO by scheduling sequence —
+ *      reschedule() (even to the same tick) counts as a fresh scheduling
+ *      and moves the event behind existing same-key events.
+ *
+ * This makes every run of a seeded simulation bit-identical regardless of
+ * the heap's internal layout.
  */
 
 #ifndef ULP_SIM_EVENT_QUEUE_HH
 #define ULP_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -26,7 +43,8 @@ class EventQueue;
 
 /**
  * An occurrence scheduled at a simulated tick. Subclasses implement
- * process(); alternatively use EventFunctionWrapper for lambda callbacks.
+ * process(); use MemberEventWrapper for the common bound-member case or
+ * EventFunctionWrapper for arbitrary callables.
  */
 class Event
 {
@@ -54,6 +72,18 @@ class Event
     /** Human-readable description for tracing. */
     virtual std::string description() const { return "generic event"; }
 
+    /**
+     * Diagnostic name that never virtual-dispatches into a derived object
+     * that is already destroyed: the destructor path flags the event, and
+     * any queue panic raised from it falls back to a fixed name.
+     */
+    std::string
+    debugName() const
+    {
+        return _destructing ? std::string("<event in destruction>")
+                            : description();
+    }
+
     bool scheduled() const { return _scheduled; }
     Tick when() const { return _when; }
     Priority priority() const { return _priority; }
@@ -61,14 +91,18 @@ class Event
   private:
     friend class EventQueue;
 
+    static constexpr std::size_t badHeapIndex = ~std::size_t{0};
+
     Tick _when = 0;
     std::uint64_t _seq = 0;
+    std::size_t _heapIndex = badHeapIndex;
     Priority _priority;
     bool _scheduled = false;
+    bool _destructing = false;
     EventQueue *_queue = nullptr;
 };
 
-/** An Event that invokes a bound callable; the common case. */
+/** An Event that invokes a bound callable (std::function; allocates). */
 class EventFunctionWrapper : public Event
 {
   public:
@@ -87,13 +121,39 @@ class EventFunctionWrapper : public Event
 };
 
 /**
+ * An Event bound to a member function of @p T without std::function:
+ * no heap allocation, no type erasure — one indirect call through a
+ * member pointer. The wrapper for the per-cycle events of clocked
+ * components (CPU tick, EP advance, timer fire, radio MAC phases).
+ */
+template <typename T>
+class MemberEventWrapper : public Event
+{
+  public:
+    using MemberFn = void (T::*)();
+
+    MemberEventWrapper(T *object, MemberFn fn, std::string name,
+                       Priority priority = defaultPriority)
+        : Event(priority), object(object), fn(fn), _name(std::move(name))
+    {}
+
+    void process() override { (object->*fn)(); }
+    std::string description() const override { return _name; }
+
+  private:
+    T *object;
+    MemberFn fn;
+    std::string _name;
+};
+
+/**
  * The global event queue for one simulation. Not thread-safe; one queue
  * per simulated system (all nodes of a network share a queue).
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() { heap.reserve(initialCapacity); }
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -112,17 +172,26 @@ class EventQueue
     /** Remove a scheduled event from the queue. */
     void deschedule(Event *event);
 
-    /** Move an already-scheduled (or unscheduled) event to @p when. */
+    /**
+     * Move an already-scheduled (or unscheduled) event to @p when,
+     * re-sifting it in place. The event receives a fresh scheduling
+     * sequence number, exactly as a deschedule()+schedule() pair would,
+     * so same-tick FIFO ordering is unchanged from that idiom.
+     */
     void reschedule(Event *event, Tick when);
 
     /** True when no events are pending. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return heap.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return events.size(); }
+    std::size_t size() const { return heap.size(); }
 
-    /** Tick of the next pending event; maxTick when empty. */
-    Tick nextTick() const;
+    /** Tick of the next pending event; maxTick when empty. O(1). */
+    Tick
+    nextTick() const
+    {
+        return heap.empty() ? maxTick : heap.front()->_when;
+    }
 
     /**
      * Process events until the queue is empty or simulated time would
@@ -138,20 +207,32 @@ class EventQueue
     std::uint64_t numProcessed() const { return _numProcessed; }
 
   private:
-    struct Compare
-    {
-        bool
-        operator()(const Event *a, const Event *b) const
-        {
-            if (a->_when != b->_when)
-                return a->_when < b->_when;
-            if (a->_priority != b->_priority)
-                return a->_priority < b->_priority;
-            return a->_seq < b->_seq;
-        }
-    };
+    /**
+     * Heap arity. Four keeps the tree shallow (fewer cache lines touched
+     * per sift than a binary heap) while the child scan still fits in one
+     * 64-byte line of Event pointers.
+     */
+    static constexpr std::size_t arity = 4;
+    static constexpr std::size_t initialCapacity = 64;
 
-    std::set<Event *, Compare> events;
+    static bool
+    less(const Event *a, const Event *b)
+    {
+        if (a->_when != b->_when)
+            return a->_when < b->_when;
+        if (a->_priority != b->_priority)
+            return a->_priority < b->_priority;
+        return a->_seq < b->_seq;
+    }
+
+    void siftUp(std::size_t idx);
+    void siftDown(std::size_t idx);
+    /** Unlink the event at heap slot @p idx and restore the heap. */
+    void removeAt(std::size_t idx);
+    /** Detach @p event's queue bookkeeping (after heap removal). */
+    void orphan(Event *event);
+
+    std::vector<Event *> heap;
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t _numProcessed = 0;

@@ -256,6 +256,28 @@ TEST_F(DeviceTest, PauseRetainsCount)
     EXPECT_EQ(node->probes().count(Probe::TimerAlarm), 0u);
 }
 
+TEST_F(DeviceTest, CountReadLatchesAcrossByteTransactions)
+{
+    // Regression: COUNT is read as two byte-wide bus transactions; if the
+    // counter decrements through a 256 boundary between them, the combined
+    // value tears (e.g. 0x0106 then 0x00F2 reads as 0x01F2 > load). The
+    // high-byte read must latch the low byte.
+    wr(map::timerBase + map::timerLoadHi, 0x01);
+    wr(map::timerBase + map::timerLoadLo, 0x10); // load = 0x0110 (272)
+    wr(map::timerBase + map::timerCtrl, TimerUnit::ctrlEnable);
+
+    advance(0.0001); // 10 cycles in: count = 0x0106
+    std::uint8_t hi = rd(map::timerBase + map::timerCountHi);
+    EXPECT_EQ(hi, 0x01);
+
+    advance(0.0002); // 20 more cycles: live count = 0x00F2
+    std::uint8_t lo = rd(map::timerBase + map::timerCountLo);
+    std::uint16_t combined = static_cast<std::uint16_t>((hi << 8) | lo);
+
+    EXPECT_EQ(combined, 0x0106); // the value when the high byte was read
+    EXPECT_LE(combined, 0x0110); // and never an impossible torn value
+}
+
 TEST_F(DeviceTest, ChainedTimerExtendsRange)
 {
     // Timer 0: 100-cycle periodic tick; timer 1 counts 5 completions.

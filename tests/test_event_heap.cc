@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Property tests for the event queue's indexed d-ary heap: randomized
+ * schedule/deschedule/reschedule/run sequences are replayed against a
+ * reference std::multiset model of the (when, priority, seq) ordering
+ * contract, plus directed edge cases for same-tick priority/FIFO order
+ * and the reschedule-gets-a-fresh-sequence rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace ulp::sim;
+
+namespace {
+
+/** An event that logs its id when processed. */
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(int id, std::vector<int> &log,
+                   Priority priority = defaultPriority)
+        : Event(priority), id(id), log(log)
+    {}
+
+    void process() override { log.push_back(id); }
+    std::string description() const override
+    {
+        return "rec" + std::to_string(id);
+    }
+
+    const int id;
+
+  private:
+    std::vector<int> &log;
+};
+
+/** Reference model key: the documented total order, with the event id. */
+using ModelKey = std::tuple<Tick, int, std::uint64_t, int>;
+
+/**
+ * Mirror of the queue's bookkeeping: the model assigns sequence numbers
+ * in the same call order the queue does (every schedule and every
+ * reschedule of a scheduled event consumes one).
+ */
+struct ReferenceModel
+{
+    std::multiset<ModelKey> entries;
+    std::uint64_t nextSeq = 0;
+    // id -> current key, for erase-on-deschedule.
+    std::vector<ModelKey> keyOf;
+    std::vector<bool> scheduled;
+
+    explicit ReferenceModel(std::size_t pool)
+        : keyOf(pool), scheduled(pool, false)
+    {}
+
+    void
+    schedule(int id, Tick when, int priority)
+    {
+        ModelKey key{when, priority, nextSeq++, id};
+        entries.insert(key);
+        keyOf[id] = key;
+        scheduled[id] = true;
+    }
+
+    void
+    deschedule(int id)
+    {
+        entries.erase(keyOf[id]);
+        scheduled[id] = false;
+    }
+
+    void
+    reschedule(int id, Tick when, int priority)
+    {
+        if (scheduled[id])
+            deschedule(id);
+        schedule(id, when, priority);
+    }
+
+    int
+    pop()
+    {
+        auto it = entries.begin();
+        int id = std::get<3>(*it);
+        scheduled[id] = false;
+        entries.erase(it);
+        return id;
+    }
+};
+
+} // namespace
+
+TEST(EventHeapProperty, MatchesMultisetModelOverRandomOps)
+{
+    constexpr int poolSize = 96;
+    constexpr int iterations = 20'000;
+    constexpr Event::Priority priorities[] = {
+        Event::interruptPriority, -1, 0, 0, 0, 1, Event::maxPriority};
+
+    EventQueue queue;
+    ReferenceModel model(poolSize);
+    std::vector<int> log;
+    std::vector<std::unique_ptr<RecordingEvent>> pool;
+    std::mt19937 rng(0xC0FFEE);
+
+    for (int i = 0; i < poolSize; ++i) {
+        pool.push_back(std::make_unique<RecordingEvent>(
+            i, log, priorities[i % std::size(priorities)]));
+    }
+
+    auto pick = [&]() -> RecordingEvent & {
+        return *pool[rng() % poolSize];
+    };
+    auto future = [&]() -> Tick {
+        return queue.curTick() + rng() % 1'000;
+    };
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        unsigned op = rng() % 10;
+        if (op < 4) {
+            RecordingEvent &e = pick();
+            Tick when = future();
+            if (e.scheduled()) {
+                queue.reschedule(&e, when);
+                model.reschedule(e.id, when, e.priority());
+            } else {
+                queue.schedule(&e, when);
+                model.schedule(e.id, when, e.priority());
+            }
+        } else if (op < 6) {
+            RecordingEvent &e = pick();
+            Tick when = future();
+            queue.reschedule(&e, when);
+            model.reschedule(e.id, when, e.priority());
+        } else if (op == 6) {
+            RecordingEvent &e = pick();
+            if (e.scheduled()) {
+                queue.deschedule(&e);
+                model.deschedule(e.id);
+            }
+        } else if (op < 9) {
+            if (!model.entries.empty()) {
+                Tick expected_when = std::get<0>(*model.entries.begin());
+                int expected = model.pop();
+                ASSERT_TRUE(queue.runOne());
+                ASSERT_EQ(log.back(), expected) << "iteration " << iter;
+                ASSERT_EQ(queue.curTick(), expected_when);
+            } else {
+                ASSERT_FALSE(queue.runOne());
+            }
+        } else {
+            Tick limit = queue.curTick() + rng() % 400;
+            std::size_t before = log.size();
+            queue.runUntil(limit);
+            // The model pops everything due by the limit, in order.
+            while (!model.entries.empty() &&
+                   std::get<0>(*model.entries.begin()) <= limit) {
+                int expected = model.pop();
+                ASSERT_LT(before, log.size());
+                ASSERT_EQ(log[before++], expected) << "iteration " << iter;
+            }
+            ASSERT_EQ(before, log.size());
+        }
+
+        ASSERT_EQ(queue.size(), model.entries.size());
+        Tick expected_next = model.entries.empty()
+                                 ? maxTick
+                                 : std::get<0>(*model.entries.begin());
+        ASSERT_EQ(queue.nextTick(), expected_next);
+    }
+
+    // Drain: the tail must also come out in model order.
+    while (!model.entries.empty()) {
+        int expected = model.pop();
+        ASSERT_TRUE(queue.runOne());
+        ASSERT_EQ(log.back(), expected);
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(queue.runOne());
+}
+
+TEST(EventHeap, SameTickSamePriorityIsFifoAtScale)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    for (int i = 0; i < 64; ++i) {
+        events.push_back(std::make_unique<RecordingEvent>(i, log));
+        queue.schedule(events.back().get(), 100);
+    }
+    queue.runUntil(100);
+    ASSERT_EQ(log.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(log[i], i);
+}
+
+TEST(EventHeap, RescheduleToSameTickMovesBehindFifoPeers)
+{
+    // The contract pins reschedule() to deschedule()+schedule() semantics:
+    // a fresh sequence number, so the event drops behind same-key peers.
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent a(0, log), b(1, log);
+    queue.schedule(&a, 100);
+    queue.schedule(&b, 100);
+    queue.reschedule(&a, 100);
+    queue.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{1, 0}));
+}
+
+TEST(EventHeap, PriorityStillBeatsSequenceAfterReschedule)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent normal(0, log);
+    RecordingEvent urgent(1, log, Event::interruptPriority);
+    queue.schedule(&normal, 100);
+    queue.schedule(&urgent, 200);
+    queue.reschedule(&urgent, 100); // later seq, but lower priority value
+    queue.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{1, 0}));
+}
+
+TEST(EventHeap, ReschedulePastPanics)
+{
+    EventQueue queue;
+    std::vector<int> log;
+    RecordingEvent e(0, log);
+    queue.schedule(&e, 500);
+    queue.runUntil(100);
+    EXPECT_THROW(queue.reschedule(&e, 50), PanicError);
+}
+
+TEST(EventHeap, DescheduleFromWrongQueuePanics)
+{
+    EventQueue q1, q2;
+    std::vector<int> log;
+    RecordingEvent e(0, log);
+    q1.schedule(&e, 10);
+    EXPECT_THROW(q2.deschedule(&e), PanicError);
+    q1.deschedule(&e); // still intact on its own queue
+    EXPECT_FALSE(e.scheduled());
+}
+
+TEST(EventHeap, InterleavedGrowShrinkKeepsOrder)
+{
+    // Exercise removeAt() on interior slots while the heap grows and
+    // shrinks through several capacity doublings.
+    EventQueue queue;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    for (int i = 0; i < 512; ++i) {
+        events.push_back(std::make_unique<RecordingEvent>(i, log));
+        queue.schedule(events.back().get(), 1 + (i * 7919) % 4096);
+    }
+    // Deschedule every third event from the middle of the heap.
+    for (int i = 0; i < 512; i += 3)
+        queue.deschedule(events[i].get());
+    queue.runUntil(8192);
+
+    ASSERT_FALSE(log.empty());
+    Tick last = 0;
+    std::set<int> seen;
+    for (int id : log) {
+        EXPECT_NE(id % 3, 0);
+        EXPECT_TRUE(seen.insert(id).second);
+        Tick when = 1 + (id * 7919) % 4096;
+        EXPECT_GE(when, last);
+        last = when;
+    }
+    EXPECT_EQ(log.size(), 512u - 171u);
+    EXPECT_TRUE(queue.empty());
+}

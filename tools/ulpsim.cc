@@ -19,8 +19,10 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <numbers>
 #include <string>
+#include <vector>
 
 #include "baseline/mica2_platform.hh"
 #include "baseline/minios.hh"
@@ -38,6 +40,7 @@ struct Options
 {
     std::string platform = "node";
     std::string app = "app1";
+    unsigned nodes = 1;
     std::uint32_t period = 1000;
     unsigned threshold = 0;
     unsigned dest = 0;
@@ -57,6 +60,8 @@ usage(int code)
         "ulpsim: run the ultra-low-power sensor node simulator\n\n"
         "  --platform=node|mica2   which full-system model (default node)\n"
         "  --app=app1|app2|app3|app4|blink|sense\n"
+        "  --nodes=N               simulate N nodes on one broadcast "
+        "channel (node platform)\n"
         "  --period=N              sampling period in system cycles "
         "(default 1000 = 100 Hz)\n"
         "  --threshold=N           filter threshold (app2+)\n"
@@ -91,6 +96,8 @@ parse(int argc, char **argv)
             opt.platform = v;
         } else if (const char *v = value("--app")) {
             opt.app = v;
+        } else if (const char *v = value("--nodes")) {
+            opt.nodes = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
         } else if (const char *v = value("--period")) {
             opt.period = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
         } else if (const char *v = value("--threshold")) {
@@ -148,6 +155,84 @@ makeSignal(const std::string &spec)
     sim::fatal("unknown signal spec '%s'", spec.c_str());
 }
 
+core::apps::NodeApp
+buildNodeApp(const Options &opt, const core::apps::AppParams &params)
+{
+    if (opt.app == "app1")
+        return core::apps::buildApp1(params);
+    if (opt.app == "app2")
+        return core::apps::buildApp2(params);
+    if (opt.app == "app3")
+        return core::apps::buildApp3(params);
+    if (opt.app == "app4")
+        return core::apps::buildApp4(params);
+    if (opt.app == "blink")
+        return core::apps::buildBlink(params);
+    if (opt.app == "sense")
+        return core::apps::buildSense(params);
+    sim::fatal("unknown app '%s'", opt.app.c_str());
+}
+
+/** N nodes on one broadcast channel: the scaling configuration the
+ *  simulation kernel's heap queue is built for. */
+int
+runNetwork(const Options &opt)
+{
+    sim::Simulation simulation;
+    net::Channel channel(simulation, "channel",
+                         net::Channel::defaultBitRate, opt.seed);
+
+    std::string app_name;
+    std::vector<std::unique_ptr<core::SensorNode>> nodes;
+    for (unsigned i = 0; i < opt.nodes; ++i) {
+        core::NodeConfig cfg;
+        cfg.address = static_cast<std::uint16_t>(1 + i);
+        cfg.seed = opt.seed + i;
+        cfg.sensorSignal = makeSignal(opt.signal);
+        cfg.sensorNoiseStddev = opt.noise;
+        nodes.push_back(std::make_unique<core::SensorNode>(
+            simulation, "node" + std::to_string(i), cfg, &channel));
+
+        core::apps::AppParams params;
+        // Stagger the sampling period a little per node so the network
+        // does not transmit in artificial lockstep.
+        params.samplePeriodCycles = opt.period + 37 * i;
+        params.threshold = static_cast<std::uint8_t>(opt.threshold);
+        params.dest = static_cast<std::uint16_t>(opt.dest);
+        core::apps::NodeApp app = buildNodeApp(opt, params);
+        app_name = app.name;
+        core::apps::install(*nodes.back(), app);
+    }
+
+    simulation.runForSeconds(opt.seconds);
+
+    std::uint64_t sent = 0, isrs = 0, wakeups = 0;
+    for (const auto &node : nodes) {
+        sent += node->radio().framesSent();
+        isrs += node->ep().isrsExecuted();
+        wakeups += node->micro().wakeups();
+    }
+    std::printf("platform=node app=%s nodes=%u simulated=%.3fs\n",
+                app_name.c_str(), opt.nodes, opt.seconds);
+    std::printf("events processed:  %llu\n",
+                static_cast<unsigned long long>(
+                    simulation.eventq().numProcessed()));
+    std::printf("frames sent:       %llu\n",
+                static_cast<unsigned long long>(sent));
+    std::printf("frames delivered:  %llu (collisions %llu)\n",
+                static_cast<unsigned long long>(channel.framesDelivered()),
+                static_cast<unsigned long long>(channel.collisions()));
+    std::printf("EP ISRs:           %llu\n",
+                static_cast<unsigned long long>(isrs));
+    std::printf("uC wakeups:        %llu\n",
+                static_cast<unsigned long long>(wakeups));
+    if (opt.stats) {
+        std::printf("\n");
+        simulation.dumpStats(std::cout);
+    }
+    return 0;
+}
+
 int
 runNode(const Options &opt)
 {
@@ -163,21 +248,7 @@ runNode(const Options &opt)
     params.threshold = static_cast<std::uint8_t>(opt.threshold);
     params.dest = static_cast<std::uint16_t>(opt.dest);
 
-    core::apps::NodeApp app;
-    if (opt.app == "app1")
-        app = core::apps::buildApp1(params);
-    else if (opt.app == "app2")
-        app = core::apps::buildApp2(params);
-    else if (opt.app == "app3")
-        app = core::apps::buildApp3(params);
-    else if (opt.app == "app4")
-        app = core::apps::buildApp4(params);
-    else if (opt.app == "blink")
-        app = core::apps::buildBlink(params);
-    else if (opt.app == "sense")
-        app = core::apps::buildSense(params);
-    else
-        sim::fatal("unknown app '%s'", opt.app.c_str());
+    core::apps::NodeApp app = buildNodeApp(opt, params);
 
     core::apps::install(node, app);
     simulation.runForSeconds(opt.seconds);
@@ -286,7 +357,9 @@ main(int argc, char **argv)
         if (!opt.trace.empty())
             sim::Trace::enableFromString(opt.trace);
         if (opt.platform == "node")
-            return runNode(opt);
+            return opt.nodes > 1 ? runNetwork(opt) : runNode(opt);
+        if (opt.nodes > 1)
+            sim::fatal("--nodes requires --platform=node");
         if (opt.platform == "mica2")
             return runMica2(opt);
         sim::fatal("unknown platform '%s'", opt.platform.c_str());
