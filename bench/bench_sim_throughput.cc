@@ -16,27 +16,39 @@
  * Special modes (no google-benchmark):
  *  --json[=PATH]  run the kernel benchmarks and write a machine-readable
  *                 BENCH_simkernel.json snapshot (default ./BENCH_simkernel.json),
- *                 including a 64-node two-run determinism check;
+ *                 including host metadata, a sharded-kernel thread sweep,
+ *                 and a 64-node two-run determinism check;
  *  --smoke        one short N-node run at each scale + the determinism
  *                 check; asserts completion, not speed (CI under ASan).
+ *  --threads=K    shard the --smoke networks across K worker threads and
+ *                 additionally assert the stats match the sequential run
+ *                 (CI under TSan).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/mica2_platform.hh"
 #include "baseline/minios.hh"
 #include "core/apps.hh"
+#include "core/network.hh"
 #include "core/sensor_node.hh"
 #include "net/channel.hh"
 #include "sim/simulation.hh"
+
+#ifndef ULP_BUILD_TYPE
+#define ULP_BUILD_TYPE "unspecified"
+#endif
 
 using namespace ulp;
 using namespace ulp::core;
@@ -245,44 +257,45 @@ struct NetworkResult
 
 /**
  * Simulate @p num_nodes complete sensor nodes on one broadcast channel
- * for @p seconds. Every node runs app v1 (sample -> transmit) with a
- * slightly staggered period so the network is not in artificial lockstep.
+ * for @p seconds, sharded over @p threads (1 = the sequential kernel).
+ * Every node runs app v1 (sample -> transmit) with a slightly staggered
+ * period so the network is not in artificial lockstep. Counters are
+ * identical for every thread count (core::Network's contract).
  */
 NetworkResult
-runNetwork(unsigned num_nodes, double seconds)
+runNetwork(unsigned num_nodes, double seconds, unsigned threads = 1)
 {
-    sim::Simulation simulation;
-    net::Channel channel(simulation, "channel",
-                         net::Channel::defaultBitRate, /*seed=*/42);
-
-    std::vector<std::unique_ptr<SensorNode>> nodes;
-    for (unsigned i = 0; i < num_nodes; ++i) {
-        NodeConfig cfg;
-        cfg.address = static_cast<std::uint16_t>(1 + i);
-        cfg.seed = 1000 + i;
-        cfg.sensorSignal = [](sim::Tick) { return 200; };
-        nodes.push_back(std::make_unique<SensorNode>(
-            simulation, "node" + std::to_string(i), cfg, &channel));
-
-        // ~40 Hz sampling: 64 nodes x 40 fps x 384 us airtime ~ 98% of
-        // channel capacity, so the largest scale runs near saturation
-        // (heavy but not total collisions) instead of collapsing.
+    Network::Config cfg;
+    cfg.numNodes = num_nodes;
+    cfg.threads = threads;
+    cfg.channelSeed = 42;
+    cfg.nodeConfig = [](unsigned i) {
+        NodeConfig nc;
+        nc.address = static_cast<std::uint16_t>(1 + i);
+        nc.seed = 1000 + i;
+        nc.sensorSignal = [](sim::Tick) { return 200; };
+        return nc;
+    };
+    // ~40 Hz sampling: 64 nodes x 40 fps x 384 us airtime ~ 98% of
+    // channel capacity, so the largest scale runs near saturation
+    // (heavy but not total collisions) instead of collapsing.
+    cfg.nodeApp = [](unsigned i) {
         apps::AppParams params;
         params.samplePeriodCycles = 2500 + 37 * i;
-        apps::install(*nodes.back(), apps::buildApp1(params));
-    }
+        return apps::buildApp1(params);
+    };
 
-    simulation.runForSeconds(seconds);
+    Network network(cfg);
+    network.runForSeconds(seconds);
+    const Network::Counters c = network.counters();
 
     NetworkResult result;
-    result.eventsProcessed = simulation.eventq().numProcessed();
-    result.framesDelivered = channel.framesDelivered();
-    result.collisions = channel.collisions();
-    result.endTick = simulation.curTick();
-    for (const auto &node : nodes) {
-        result.framesSent += node->radio().framesSent();
-        result.epIsrs += node->ep().isrsExecuted();
-    }
+    result.eventsProcessed = c.eventsProcessed;
+    result.framesSent = c.framesSent;
+    result.framesDelivered = c.framesDelivered;
+    result.collisions = c.collisions;
+    result.epIsrs = c.epIsrs;
+    result.endTick = c.endTick;
     return result;
 }
 
@@ -389,6 +402,18 @@ measureOpsPerSec(std::size_t depth, std::uint64_t iterations)
     return static_cast<double>(iterations) / elapsed;
 }
 
+const char *
+compilerId()
+{
+#if defined(__clang__)
+    return "clang " __VERSION__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
 int
 writeSnapshot(const std::string &path)
 {
@@ -402,7 +427,14 @@ writeSnapshot(const std::string &path)
         return 1;
     }
 
-    std::fprintf(out, "{\n  \"schema\": \"ulpsn-simkernel-bench/1\",\n");
+    // Host metadata: throughput numbers are meaningless without knowing
+    // what produced them (a 1-core CI box cannot show parallel speedup).
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::fprintf(out, "{\n  \"schema\": \"ulpsn-simkernel-bench/2\",\n");
+    std::fprintf(out,
+                 "  \"host\": {\"hardware_concurrency\": %u, "
+                 "\"build_type\": \"%s\", \"compiler\": \"%s\"},\n",
+                 cores, ULP_BUILD_TYPE, compilerId());
     std::fprintf(out, "  \"event_queue\": [\n");
     bool first = true;
     for (std::size_t depth : depths) {
@@ -451,6 +483,41 @@ writeSnapshot(const std::string &path)
         first = false;
     }
 
+    std::fprintf(out, "\n  ],\n  \"parallel_scale\": [\n");
+
+    // Sharded-kernel scaling at the largest configuration. Every thread
+    // count must reproduce the sequential counters exactly; the speedup
+    // column only means anything on a host with enough cores (see the
+    // host block above).
+    NetworkResult seq;
+    double seq_elapsed = 0.0;
+    bool parallel_match = true;
+    first = true;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        auto start = std::chrono::steady_clock::now();
+        NetworkResult result = runNetwork(64, network_seconds, threads);
+        double elapsed = secondsSince(start);
+        if (threads == 1) {
+            seq = result;
+            seq_elapsed = elapsed;
+        }
+        bool match = result == seq;
+        parallel_match = parallel_match && match;
+        double speedup = seq_elapsed / elapsed;
+        std::printf("threads %u: 64 nodes in %6.3f s host (speedup %.2fx, "
+                    "stats %s)\n",
+                    threads, elapsed, speedup,
+                    match ? "identical" : "DIVERGED");
+        std::fprintf(out,
+                     "%s    {\"threads\": %u, \"nodes\": 64, "
+                     "\"simulated_seconds\": %.2f, \"host_seconds\": %.4f, "
+                     "\"speedup_vs_sequential\": %.3f, "
+                     "\"stats_identical\": %s}",
+                     first ? "" : ",\n", threads, network_seconds, elapsed,
+                     speedup, match ? "true" : "false");
+        first = false;
+    }
+
     // Determinism: two seeded 64-node runs must agree on every stat.
     NetworkResult a = runNetwork(64, network_seconds);
     NetworkResult b = runNetwork(64, network_seconds);
@@ -468,29 +535,41 @@ writeSnapshot(const std::string &path)
                  static_cast<unsigned long long>(a.collisions));
     std::fclose(out);
     std::printf("snapshot written to %s\n", path.c_str());
-    return deterministic ? 0 : 1;
+    return (deterministic && parallel_match) ? 0 : 1;
 }
 
 int
-runSmoke()
+runSmoke(unsigned threads)
 {
     for (unsigned nodes : {1u, 8u, 32u, 64u}) {
-        NetworkResult result = runNetwork(nodes, 0.05);
+        const unsigned t = std::min(threads, nodes);
+        NetworkResult result = runNetwork(nodes, 0.05, t);
         if (result.eventsProcessed == 0 || result.framesSent == 0 ||
             (nodes > 1 &&
              result.framesDelivered + result.collisions == 0)) {
             std::fprintf(stderr, "smoke: %u-node run looks dead\n", nodes);
             return 1;
         }
-        std::printf("smoke %2u nodes: %llu events, %llu frames\n", nodes,
+        std::printf("smoke %2u nodes (%u threads): %llu events, "
+                    "%llu frames\n",
+                    nodes, t,
                     static_cast<unsigned long long>(result.eventsProcessed),
                     static_cast<unsigned long long>(result.framesSent));
     }
-    NetworkResult a = runNetwork(64, 0.05);
-    NetworkResult b = runNetwork(64, 0.05);
+    NetworkResult a = runNetwork(64, 0.05, threads);
+    NetworkResult b = runNetwork(64, 0.05, threads);
     if (!(a == b)) {
         std::fprintf(stderr, "smoke: 64-node run is not deterministic\n");
         return 1;
+    }
+    if (threads > 1) {
+        NetworkResult seq = runNetwork(64, 0.05, 1);
+        if (!(a == seq)) {
+            std::fprintf(stderr,
+                         "smoke: %u-thread stats diverge from sequential\n",
+                         threads);
+            return 1;
+        }
     }
     std::printf("smoke OK (64-node rerun bit-identical)\n");
     return 0;
@@ -501,16 +580,22 @@ runSmoke()
 int
 main(int argc, char **argv)
 {
+    bool smoke = false;
+    unsigned threads = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            return runSmoke();
-        if (std::strncmp(argv[i], "--json", 6) == 0) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+        } else if (std::strncmp(argv[i], "--json", 6) == 0) {
             std::string path = "BENCH_simkernel.json";
             if (argv[i][6] == '=')
                 path = argv[i] + 7;
             return writeSnapshot(path);
         }
     }
+    if (smoke)
+        return runSmoke(threads == 0 ? 1 : threads);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

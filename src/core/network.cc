@@ -1,0 +1,121 @@
+#include "core/network.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+
+namespace ulp::core {
+
+Network::Network(const Config &config)
+{
+    if (config.numNodes == 0)
+        sim::fatal("Network: need at least one node");
+    if (config.threads == 0)
+        sim::fatal("Network: need at least one thread");
+    if (config.threads > config.numNodes)
+        sim::fatal("Network: more threads (%u) than nodes (%u)",
+                   config.threads, config.numNodes);
+    if (!config.nodeConfig || !config.nodeApp)
+        sim::fatal("Network: nodeConfig and nodeApp must be set");
+
+    const unsigned K = config.threads;
+    const unsigned N = config.numNodes;
+
+    if (K > 1)
+        relay = std::make_unique<net::FrameRelay>(K, config.bitRate);
+
+    nodeByIndex.resize(N, nullptr);
+    shards.resize(K);
+    for (unsigned s = 0; s < K; ++s) {
+        Shard &shard = shards[s];
+        shard.simulation = std::make_unique<sim::Simulation>();
+        net::Medium *medium = nullptr;
+        if (K == 1) {
+            shard.channel = std::make_unique<net::Channel>(
+                *shard.simulation, "channel", config.bitRate,
+                config.channelSeed);
+            medium = shard.channel.get();
+        } else {
+            shard.shardChannel = std::make_unique<net::ShardChannel>(
+                *shard.simulation, "channel", *relay, s);
+            medium = shard.shardChannel.get();
+        }
+
+        // Contiguous block partition; nodes keep their global names so
+        // the merged stat tree matches the sequential kernel's.
+        const unsigned first = s * N / K;
+        const unsigned last = (s + 1) * N / K;
+        for (unsigned i = first; i < last; ++i) {
+            shard.nodes.push_back(std::make_unique<SensorNode>(
+                *shard.simulation, "node" + std::to_string(i),
+                config.nodeConfig(i), medium));
+            nodeByIndex[i] = shard.nodes.back().get();
+            apps::install(*shard.nodes.back(), config.nodeApp(i));
+        }
+    }
+}
+
+Network::~Network() = default;
+
+void
+Network::runForSeconds(double seconds)
+{
+    const sim::Tick end = ran + sim::secondsToTicks(seconds);
+    if (shards.size() == 1) {
+        shards[0].simulation->runUntil(end);
+    } else {
+        sim::ParallelScheduler scheduler(relay->lookahead());
+        for (Shard &shard : shards) {
+            scheduler.addShard(shard.simulation->eventq(),
+                               shard.shardChannel.get());
+        }
+        scheduler.run(end);
+    }
+    ran = end;
+}
+
+Network::Counters
+Network::counters() const
+{
+    Counters c;
+    for (const Shard &shard : shards) {
+        c.eventsProcessed += shard.simulation->eventq().numProcessed();
+        if (shard.channel) {
+            c.framesDelivered += shard.channel->framesDelivered();
+            c.collisions += shard.channel->collisions();
+        } else {
+            c.eventsProcessed -= shard.shardChannel->auxiliaryEvents();
+            c.framesDelivered += shard.shardChannel->framesDelivered();
+            c.collisions += shard.shardChannel->collisions();
+        }
+        for (const auto &node : shard.nodes) {
+            c.framesSent += node->radio().framesSent();
+            c.epIsrs += node->ep().isrsExecuted();
+            c.mcuWakeups += node->micro().wakeups();
+        }
+    }
+    c.endTick = shards[0].simulation->curTick();
+    return c;
+}
+
+void
+Network::dumpStats(std::ostream &os)
+{
+    if (shards.size() == 1) {
+        shards[0].simulation->dumpStats(os);
+        return;
+    }
+    // Fold every shard's channel stats into shard 0's (once), then print
+    // in the sequential layout: channel first, nodes in index order.
+    if (!statsMerged) {
+        for (std::size_t s = 1; s < shards.size(); ++s)
+            shards[0].shardChannel->mergeFrom(*shards[s].shardChannel);
+        statsMerged = true;
+    }
+    shards[0].shardChannel->printStats(os);
+    for (SensorNode *node : nodeByIndex)
+        node->printStats(os);
+}
+
+} // namespace ulp::core

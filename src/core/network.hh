@@ -1,0 +1,109 @@
+/**
+ * @file
+ * N sensor nodes on one broadcast channel, runnable on either simulation
+ * kernel: the single-threaded kernel (one Simulation, one net::Channel)
+ * or the sharded parallel kernel (K Simulations, net::ShardChannels
+ * coupled by a net::FrameRelay under sim::ParallelScheduler).
+ *
+ * The two kernels are required to produce identical statistics for the
+ * same configuration — `threads=1` *is* the regression oracle for
+ * `threads=K` — so this class is also where the per-shard stat trees are
+ * merged back into the exact report the sequential kernel prints.
+ *
+ * Parallel-mode restrictions (enforced here): no channel loss model and
+ * no Gilbert-Elliott bursts (see net/relay.hh for why), at most one
+ * shard per node.
+ */
+
+#ifndef ULP_CORE_NETWORK_HH
+#define ULP_CORE_NETWORK_HH
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
+#include "net/channel.hh"
+#include "net/relay.hh"
+#include "sim/simulation.hh"
+
+namespace ulp::core {
+
+class Network
+{
+  public:
+    struct Config
+    {
+        unsigned numNodes = 1;
+        /** Simulation shards (worker threads). 1 = sequential kernel. */
+        unsigned threads = 1;
+        /** Seed for the sequential channel's loss RNG (kept for layout
+         *  parity; neither kernel draws from it while loss is off). */
+        std::uint64_t channelSeed = 1;
+        double bitRate = net::Channel::defaultBitRate;
+        /** Per-node configuration, called with the global node index. */
+        std::function<NodeConfig(unsigned)> nodeConfig;
+        /** Per-node application, called with the global node index. */
+        std::function<apps::NodeApp(unsigned)> nodeApp;
+    };
+
+    /** The headline counters both kernels must agree on. */
+    struct Counters
+    {
+        /** Logical events: the parallel kernel's auxiliary cross-shard
+         *  delivery copies are subtracted out. */
+        std::uint64_t eventsProcessed = 0;
+        std::uint64_t framesSent = 0;
+        std::uint64_t framesDelivered = 0;
+        std::uint64_t collisions = 0;
+        std::uint64_t epIsrs = 0;
+        std::uint64_t mcuWakeups = 0;
+        sim::Tick endTick = 0;
+
+        bool operator==(const Counters &) const = default;
+    };
+
+    explicit Network(const Config &config);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    unsigned numNodes() const { return static_cast<unsigned>(nodeByIndex.size()); }
+    unsigned threads() const { return static_cast<unsigned>(shards.size()); }
+
+    SensorNode &node(unsigned index) { return *nodeByIndex[index]; }
+
+    /** Run all shards for @p seconds of simulated time. */
+    void runForSeconds(double seconds);
+
+    Counters counters() const;
+
+    /**
+     * Print the full statistics tree in the sequential kernel's layout:
+     * merged channel stats first, then every node in global index order.
+     * Byte-identical across thread counts for oracle workloads.
+     */
+    void dumpStats(std::ostream &os);
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<sim::Simulation> simulation;
+        std::unique_ptr<net::Channel> channel;           ///< threads == 1
+        std::unique_ptr<net::ShardChannel> shardChannel; ///< threads > 1
+        std::vector<std::unique_ptr<SensorNode>> nodes;
+    };
+
+    std::unique_ptr<net::FrameRelay> relay;
+    std::vector<Shard> shards;
+    std::vector<SensorNode *> nodeByIndex;
+    sim::Tick ran = 0;        ///< total ticks simulated so far
+    bool statsMerged = false; ///< channel stats folded into shard 0
+};
+
+} // namespace ulp::core
+
+#endif // ULP_CORE_NETWORK_HH

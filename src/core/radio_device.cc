@@ -12,7 +12,7 @@ RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
                          ProbeRecorder *probes,
                          const sim::ClockDomain &clock,
                          const power::PowerModel &model,
-                         sim::Tick wakeup_ticks, net::Channel *channel,
+                         sim::Tick wakeup_ticks, net::Medium *channel,
                          std::uint64_t seed)
     : SlaveDevice(simulation, name, parent,
                   {map::radioBase, map::radioSize}, irq_bus, probes, clock,

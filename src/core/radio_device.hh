@@ -71,7 +71,7 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
                 sim::SimObject *parent, InterruptBus &irq_bus,
                 ProbeRecorder *probes, const sim::ClockDomain &clock,
                 const power::PowerModel &model, sim::Tick wakeup_ticks,
-                net::Channel *channel, std::uint64_t seed = 0x5eed);
+                net::Medium *channel, std::uint64_t seed = 0x5eed);
 
     ~RadioDevice() override;
 
@@ -155,7 +155,7 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     void macAckAirEnd();
     bool mediumBusy() const { return curTick() < mediumBusyUntil; }
 
-    net::Channel *channel;
+    net::Medium *channel;
     sim::Random random;
     bool rxEnabled = false;
     bool txBusy = false;

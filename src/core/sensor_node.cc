@@ -5,7 +5,7 @@
 namespace ulp::core {
 
 SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
-                       const NodeConfig &config, net::Channel *channel)
+                       const NodeConfig &config, net::Medium *channel)
     : sim::SimObject(simulation, name),
       cfg(config), clockDomain(config.clockHz)
 {

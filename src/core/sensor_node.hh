@@ -46,7 +46,7 @@ class SensorNode : public sim::SimObject
 {
   public:
     SensorNode(sim::Simulation &simulation, const std::string &name,
-               const NodeConfig &config, net::Channel *channel = nullptr);
+               const NodeConfig &config, net::Medium *channel = nullptr);
 
     // --- program loading -------------------------------------------------
     /** Load EP ISR code and bind its .isr entries in the lookup table. */

@@ -31,13 +31,25 @@ Channel::Channel(sim::Simulation &simulation, const std::string &name,
 void
 Channel::attach(Transceiver *transceiver)
 {
+    if (std::find(transceivers.begin(), transceivers.end(), transceiver) !=
+        transceivers.end()) {
+        sim::panic("%s: transceiver attached twice", name().c_str());
+    }
     transceivers.push_back(transceiver);
 }
 
 void
 Channel::detach(Transceiver *transceiver)
 {
-    std::erase(transceivers, transceiver);
+    // Swap-remove: detach is O(1) and never shifts the tail. Receiver
+    // order past the detach point changes, which only affects the order
+    // of same-frame deliveries — never which frames are delivered.
+    auto it = std::find(transceivers.begin(), transceivers.end(),
+                        transceiver);
+    if (it == transceivers.end())
+        return;
+    *it = transceivers.back();
+    transceivers.pop_back();
 }
 
 void

@@ -25,30 +25,13 @@
 #include <vector>
 
 #include "net/frame.hh"
+#include "net/medium.hh"
 #include "sim/random.hh"
 #include "sim/sim_object.hh"
 
 namespace ulp::net {
 
-/** Callback interface a radio device implements to hear the channel. */
-class Transceiver
-{
-  public:
-    virtual ~Transceiver() = default;
-
-    /**
-     * A frame addressed through the air has fully arrived.
-     * @param frame the frame (header-valid; FCS already applied)
-     * @param corrupted true when loss/collision damaged the frame; a real
-     *        radio would fail the FCS check
-     */
-    virtual void frameArrived(const Frame &frame, bool corrupted) = 0;
-
-    /** The first symbol of a frame is on the air (start-symbol detect). */
-    virtual void frameStarted(sim::Tick end_tick) { (void)end_tick; }
-};
-
-class Channel : public sim::SimObject
+class Channel : public sim::SimObject, public Medium
 {
   public:
     /** 802.15.4: 250 kbit/s. */
@@ -57,8 +40,12 @@ class Channel : public sim::SimObject
     Channel(sim::Simulation &simulation, const std::string &name,
             double bit_rate = defaultBitRate, std::uint64_t seed = 1);
 
-    void attach(Transceiver *transceiver);
-    void detach(Transceiver *transceiver);
+    /** Register a transceiver. It is a bug (panic) to attach one twice. */
+    void attach(Transceiver *transceiver) override;
+
+    /** Remove a transceiver (swap-remove; receiver order is not
+     *  preserved past a detach). */
+    void detach(Transceiver *transceiver) override;
 
     /** Per-receiver independent frame-loss probability. */
     void setLossProbability(double p) { lossProbability = p; }
@@ -96,10 +83,10 @@ class Channel : public sim::SimObject
      * attached transceiver happens when the last byte has been sent.
      * @return the tick at which transmission completes.
      */
-    sim::Tick transmit(Transceiver *sender, const Frame &frame);
+    sim::Tick transmit(Transceiver *sender, const Frame &frame) override;
 
     /** Frame airtime at the channel bit rate. */
-    sim::Tick frameAirTicks(const Frame &frame) const;
+    sim::Tick frameAirTicks(const Frame &frame) const override;
 
     /** True while any transmission is in flight. */
     bool busy() const { return activeTransmissions > 0; }

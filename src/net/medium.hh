@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Abstract radio medium: the surface a transceiver (radio device) needs
+ * from whatever carries its frames. Two implementations exist:
+ *
+ *  - net::Channel — the single broadcast domain of the single-threaded
+ *    kernel (one EventQueue simulates every node);
+ *  - net::ShardChannel — the shard-local medium of the parallel kernel,
+ *    which relays transmissions to the other shards' media through the
+ *    conservative cross-shard FrameRelay.
+ *
+ * Keeping the transceiver side behind this interface is what lets one
+ * RadioDevice implementation run unmodified under both kernels.
+ */
+
+#ifndef ULP_NET_MEDIUM_HH
+#define ULP_NET_MEDIUM_HH
+
+#include "net/frame.hh"
+#include "sim/types.hh"
+
+namespace ulp::net {
+
+/** Callback interface a radio device implements to hear the channel. */
+class Transceiver
+{
+  public:
+    virtual ~Transceiver() = default;
+
+    /**
+     * A frame addressed through the air has fully arrived.
+     * @param frame the frame (header-valid; FCS already applied)
+     * @param corrupted true when loss/collision damaged the frame; a real
+     *        radio would fail the FCS check
+     */
+    virtual void frameArrived(const Frame &frame, bool corrupted) = 0;
+
+    /** The first symbol of a frame is on the air (start-symbol detect). */
+    virtual void frameStarted(sim::Tick end_tick) { (void)end_tick; }
+};
+
+/** The medium a transceiver transmits into and receives from. */
+class Medium
+{
+  public:
+    virtual ~Medium() = default;
+
+    /** Register @p transceiver as a receiver on this medium. */
+    virtual void attach(Transceiver *transceiver) = 0;
+
+    /** Remove @p transceiver from this medium. */
+    virtual void detach(Transceiver *transceiver) = 0;
+
+    /**
+     * Begin transmitting @p frame from @p sender. Delivery to the other
+     * attached transceivers happens when the last byte has been sent.
+     * @return the tick at which transmission completes.
+     */
+    virtual sim::Tick transmit(Transceiver *sender, const Frame &frame) = 0;
+
+    /** Frame airtime at the medium's bit rate. */
+    virtual sim::Tick frameAirTicks(const Frame &frame) const = 0;
+};
+
+} // namespace ulp::net
+
+#endif // ULP_NET_MEDIUM_HH

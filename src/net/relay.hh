@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Cross-shard frame relay for the parallel simulation kernel.
+ *
+ * Under sim::ParallelScheduler every shard simulates its slice of the
+ * network on a private EventQueue; the radio channel is the only coupling
+ * between slices. Three pieces implement it:
+ *
+ *  - FlightRecord: one transmission as seen from outside its shard — the
+ *    air interval [start, end), a canonical (originShard, originSeq)
+ *    identity, and the frame bytes.
+ *  - FlightMailbox: a lock-free single-producer single-consumer ring; one
+ *    per ordered shard pair. The origin shard publishes a record the
+ *    moment the transmission starts; the destination drains only at its
+ *    deterministic sync points.
+ *  - ShardChannel: the shard-local implementation of net::Medium. It
+ *    looks exactly like net::Channel to the radios attached to it, but
+ *    resolves collision/corruption lazily, at delivery time, from the
+ *    full multiset of transmission intervals (local + relayed): a flight
+ *    f is corrupted iff some other flight g strictly overlaps it
+ *    (g.start < f.end && f.start < g.end). That predicate — and the
+ *    collision counter derived from it — is order-independent, which is
+ *    what lets K shards reproduce the single-queue kernel's statistics
+ *    exactly.
+ *
+ * Restrictions relative to net::Channel: no loss model and no
+ * Gilbert-Elliott bursts (both draw from the channel RNG in an
+ * order-dependent way; the sequential kernel makes zero draws when they
+ * are disabled, so disabled-vs-absent is exactly equivalent), and
+ * collisions are always modelled. Carrier sense (frameStarted) for
+ * remote transmissions is applied at sync points rather than at the
+ * exact start tick; it is deterministic for a fixed shard count but an
+ * approximation across shard counts — fine for the default applications,
+ * which do not run the CSMA MAC.
+ */
+
+#ifndef ULP_NET_RELAY_HH
+#define ULP_NET_RELAY_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/frame.hh"
+#include "net/medium.hh"
+#include "sim/parallel.hh"
+#include "sim/sim_object.hh"
+
+namespace ulp::net {
+
+/** One transmission, published by its origin shard to every other. */
+struct FlightRecord
+{
+    sim::Tick start = 0;       ///< first symbol on the air
+    sim::Tick end = 0;         ///< last symbol off the air (delivery tick)
+    std::uint32_t originShard = 0;
+    std::uint64_t originSeq = 0; ///< per-origin-shard transmit counter
+    Frame frame;
+};
+
+/**
+ * Lock-free SPSC ring of FlightRecords. The producer is the origin
+ * shard's worker thread (publishing at transmit time); the consumer is
+ * the destination shard's worker thread (draining at sync points).
+ * Capacity is sized for worst-case sync lag: the epoch barrier bounds
+ * producer lead to under two epochs, and a node can start at most two
+ * frames per epoch, so even a 64-node shard stays far below this.
+ */
+class FlightMailbox
+{
+  public:
+    static constexpr std::size_t capacity = 1024;
+
+    /** Producer side. @return false when the ring is full. */
+    bool
+    push(const FlightRecord &record)
+    {
+        const std::size_t t = _tail.load(std::memory_order_relaxed);
+        if (t - _head.load(std::memory_order_acquire) == capacity)
+            return false;
+        slots[t % capacity] = record;
+        _tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: pop everything currently visible into @p fn. */
+    template <typename Fn>
+    void
+    drain(Fn &&fn)
+    {
+        std::size_t h = _head.load(std::memory_order_relaxed);
+        const std::size_t t = _tail.load(std::memory_order_acquire);
+        while (h != t) {
+            fn(slots[h % capacity]);
+            ++h;
+        }
+        _head.store(h, std::memory_order_release);
+    }
+
+  private:
+    std::array<FlightRecord, capacity> slots;
+    alignas(64) std::atomic<std::size_t> _head{0};
+    alignas(64) std::atomic<std::size_t> _tail{0};
+};
+
+class ShardChannel;
+
+/**
+ * The shared broadcast domain of a sharded network: one mailbox per
+ * ordered shard pair plus the common channel parameters. Outlives the
+ * per-shard Simulations; owns no SimObjects.
+ */
+class FrameRelay
+{
+  public:
+    explicit FrameRelay(unsigned num_shards,
+                        double bit_rate = Channel::defaultBitRate);
+
+    unsigned numShards() const { return shards; }
+    double bitRate() const { return _bitRate; }
+
+    /**
+     * The PDES lookahead: the airtime of the smallest possible frame
+     * (header + FCS, no payload). No transmission can deliver sooner
+     * than this after it starts.
+     */
+    sim::Tick lookahead() const;
+
+    /** Mailbox carrying records from shard @p from to shard @p to. */
+    FlightMailbox &
+    mailbox(unsigned from, unsigned to)
+    {
+        return *boxes[from * shards + to];
+    }
+
+  private:
+    unsigned shards;
+    double _bitRate;
+    std::vector<std::unique_ptr<FlightMailbox>> boxes;
+};
+
+/**
+ * One shard's view of the broadcast channel: a net::Medium for the
+ * radios that live on this shard and the sim::ShardCoupling hooks for
+ * the parallel scheduler. Statistics carry the same names, descriptions
+ * and declaration order as net::Channel, so the per-shard groups merge
+ * into a report byte-identical to the sequential kernel's.
+ */
+class ShardChannel : public sim::SimObject,
+                     public Medium,
+                     public sim::ShardCoupling
+{
+  public:
+    ShardChannel(sim::Simulation &simulation, const std::string &name,
+                 FrameRelay &relay, unsigned shard);
+    ~ShardChannel() override;
+
+    // --- net::Medium ------------------------------------------------------
+    void attach(Transceiver *transceiver) override;
+    void detach(Transceiver *transceiver) override;
+    sim::Tick transmit(Transceiver *sender, const Frame &frame) override;
+    sim::Tick frameAirTicks(const Frame &frame) const override;
+
+    // --- sim::ShardCoupling ----------------------------------------------
+    sim::Tick nextSyncTick() const override;
+    void applyInbound(sim::Tick up_to) override;
+    void syncDone(sim::Tick tick) override;
+    void finalize(sim::Tick end) override;
+
+    /** True while a local transmission is in flight. */
+    bool busy() const { return activeLocal > 0; }
+
+    std::uint64_t framesSent() const
+    {
+        return static_cast<std::uint64_t>(statFramesSent.value());
+    }
+    std::uint64_t framesDelivered() const
+    {
+        return static_cast<std::uint64_t>(statFramesDelivered.value());
+    }
+    std::uint64_t collisions() const
+    {
+        return static_cast<std::uint64_t>(statCollisions.value());
+    }
+
+    /**
+     * Delivery events processed for *remote* flights. The sequential
+     * kernel delivers each frame with a single event; a K-shard run uses
+     * K events (one per shard). Subtracting this from the summed
+     * EventQueue::numProcessed() recovers the logical event count.
+     */
+    std::uint64_t auxiliaryEvents() const { return auxEvents; }
+
+  private:
+    /** A transmission interval retained for overlap queries. */
+    struct Flight
+    {
+        sim::Tick start;
+        sim::Tick end;
+        std::uint32_t originShard;
+        std::uint64_t originSeq;
+    };
+
+    /** A pending delivery (local or relayed) and its queue event. */
+    struct Delivery
+    {
+        FlightRecord rec;
+        bool local;
+        bool counted = false; ///< collision stat already settled
+        Transceiver *sender;  ///< null for relayed flights
+        std::unique_ptr<sim::EventFunctionWrapper> event;
+    };
+
+    /** Whether the sequential kernel counts @p rec as a collision. */
+    bool collidesAtStart(const FlightRecord &rec) const;
+
+    void applyRecord(const FlightRecord &record);
+    void deliver(Delivery &delivery);
+    void scheduleDelivery(std::unique_ptr<Delivery> delivery,
+                          bool cross_shard);
+
+    FrameRelay &relay;
+    unsigned shard;
+    std::uint64_t nextLocalSeq = 0;
+    unsigned activeLocal = 0;
+    std::uint64_t auxEvents = 0;
+    sim::Tick maxAirTicks;
+
+    std::vector<Transceiver *> transceivers;
+    std::vector<Flight> window;
+    std::vector<std::unique_ptr<Delivery>> deliveries;
+    /** Delivery ticks that still need a pre-delivery sync. */
+    std::multiset<sim::Tick> pendingSyncs;
+    /** Per-source records drained but not yet applicable (start >= upTo). */
+    std::vector<std::deque<FlightRecord>> staged;
+
+    sim::stats::Scalar statFramesSent;
+    sim::stats::Scalar statFramesDelivered;
+    sim::stats::Scalar statFramesLost;
+    sim::stats::Scalar statFramesCorrupted;
+    sim::stats::Scalar statCollisions;
+    sim::stats::Scalar statGeBadFrames;
+};
+
+} // namespace ulp::net
+
+#endif // ULP_NET_RELAY_HH

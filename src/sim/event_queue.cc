@@ -101,6 +101,35 @@ EventQueue::schedule(Event *event, Tick when)
               static_cast<unsigned long long>(_curTick));
     }
     event->_when = when;
+    event->_originTick = _curTick;
+    event->_seq = nextSeq++;
+    event->_scheduled = true;
+    event->_queue = this;
+    heap.push_back(event);
+    siftUp(heap.size() - 1);
+}
+
+void
+EventQueue::scheduleCrossShard(Event *event, Tick when, Tick origin_tick)
+{
+    if (event->_scheduled) {
+        panic("scheduleCrossShard: event '%s' is already scheduled",
+              event->debugName().c_str());
+    }
+    if (when < _curTick) {
+        panic("scheduleCrossShard: event '%s' into the past (%llu < %llu)",
+              event->debugName().c_str(),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    }
+    if (origin_tick > when) {
+        panic("scheduleCrossShard: origin tick %llu after the event tick "
+              "%llu",
+              static_cast<unsigned long long>(origin_tick),
+              static_cast<unsigned long long>(when));
+    }
+    event->_when = when;
+    event->_originTick = origin_tick;
     event->_seq = nextSeq++;
     event->_scheduled = true;
     event->_queue = this;
@@ -142,7 +171,8 @@ EventQueue::reschedule(Event *event, Tick when)
               static_cast<unsigned long long>(_curTick));
     }
     event->_when = when;
-    // Fresh sequence number: identical ordering to deschedule()+schedule().
+    // Fresh sequence key: identical ordering to deschedule()+schedule().
+    event->_originTick = _curTick;
     event->_seq = nextSeq++;
     std::size_t idx = event->_heapIndex;
     siftUp(idx);

@@ -22,6 +22,16 @@
  *      reschedule() (even to the same tick) counts as a fresh scheduling
  *      and moves the event behind existing same-key events.
  *
+ * The scheduling sequence is the pair (origin tick, counter): the
+ * simulated time at which the scheduling happened, then a per-queue
+ * counter. For a single queue this is exactly the old plain-counter FIFO
+ * (simulated time never decreases across schedule calls, so the pair is
+ * lexicographically monotone in call order). The split exists for the
+ * parallel kernel: an event relayed from another shard can be inserted
+ * with scheduleCrossShard() carrying the origin tick at which the remote
+ * shard scheduled it, which slots it among same-(tick, priority) local
+ * events exactly where the single-queue kernel would have placed it.
+ *
  * This makes every run of a seeded simulation bit-identical regardless of
  * the heap's internal layout.
  */
@@ -94,6 +104,7 @@ class Event
     static constexpr std::size_t badHeapIndex = ~std::size_t{0};
 
     Tick _when = 0;
+    Tick _originTick = 0;
     std::uint64_t _seq = 0;
     std::size_t _heapIndex = badHeapIndex;
     Priority _priority;
@@ -169,6 +180,16 @@ class EventQueue
      */
     void schedule(Event *event, Tick when);
 
+    /**
+     * Schedule @p event at @p when, ordering it among same-(tick,
+     * priority) events as if it had been scheduled while simulated time
+     * was @p origin_tick (which may lie in the past). Used by the
+     * cross-shard relay to place frame deliveries from other shards in
+     * the same total order the single-queue kernel produces; ties against
+     * local events scheduled exactly at @p origin_tick break after them.
+     */
+    void scheduleCrossShard(Event *event, Tick when, Tick origin_tick);
+
     /** Remove a scheduled event from the queue. */
     void deschedule(Event *event);
 
@@ -222,6 +243,8 @@ class EventQueue
             return a->_when < b->_when;
         if (a->_priority != b->_priority)
             return a->_priority < b->_priority;
+        if (a->_originTick != b->_originTick)
+            return a->_originTick < b->_originTick;
         return a->_seq < b->_seq;
     }
 

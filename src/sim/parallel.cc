@@ -1,0 +1,144 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace ulp::sim {
+
+ParallelScheduler::ParallelScheduler(Tick lookahead)
+    : _lookahead(lookahead)
+{
+    if (lookahead == 0)
+        panic("ParallelScheduler: lookahead must be positive");
+}
+
+void
+ParallelScheduler::addShard(EventQueue &queue, ShardCoupling *coupling)
+{
+    Shard &shard = shards.emplace_back();
+    shard.queue = &queue;
+    shard.coupling = coupling;
+}
+
+namespace {
+
+/** Block until @p safe reaches at least @p target. */
+void
+waitFor(const std::atomic<Tick> &safe, Tick target)
+{
+    for (;;) {
+        Tick seen = safe.load(std::memory_order_acquire);
+        if (seen >= target)
+            return;
+        safe.wait(seen, std::memory_order_acquire);
+    }
+}
+
+} // namespace
+
+void
+ParallelScheduler::syncTo(std::size_t idx, Tick target)
+{
+    Shard &self = shards[idx];
+    // Publish before waiting: the shard holding the minimum outstanding
+    // target then always finds every peer at or above it, so the wait
+    // graph cannot cycle.
+    self.safe.store(target, std::memory_order_release);
+    self.safe.notify_all();
+    for (Shard &other : shards) {
+        if (&other != &self)
+            waitFor(other.safe, target);
+    }
+    if (self.coupling)
+        self.coupling->applyInbound(target);
+}
+
+void
+ParallelScheduler::runShard(std::size_t idx, Tick end)
+{
+    Shard &self = shards[idx];
+    EventQueue &queue = *self.queue;
+
+    Tick epoch_start = 0;
+    for (;;) {
+        // Inclusive last tick of this epoch, clipped to the horizon.
+        const Tick epoch_end =
+            std::min(epoch_start + (_lookahead - 1), end);
+
+        // Run the epoch, stopping at every pending delivery tick to
+        // resolve it against the peers' published transmissions.
+        for (;;) {
+            const Tick sync =
+                self.coupling ? self.coupling->nextSyncTick() : maxTick;
+            if (sync > epoch_end) {
+                queue.runUntil(epoch_end);
+                break;
+            }
+            queue.runUntil(sync - 1);
+            syncTo(idx, sync);
+            self.coupling->syncDone(sync);
+        }
+
+        if (epoch_end >= end)
+            break;
+        epoch_start += _lookahead;
+        syncTo(idx, epoch_start);
+    }
+
+    // Done: everything this shard will ever publish is published.
+    self.safe.store(maxTick, std::memory_order_release);
+    self.safe.notify_all();
+}
+
+void
+ParallelScheduler::run(Tick end)
+{
+    if (shards.empty())
+        return;
+    if (shards.size() == 1) {
+        shards[0].queue->runUntil(end);
+        if (shards[0].coupling)
+            shards[0].coupling->finalize(end);
+        return;
+    }
+
+    // A worker that dies (uncaught exception) would leave its safe tick
+    // frozen and hang every peer; release the others first, then rethrow
+    // on the caller's thread.
+    std::vector<std::exception_ptr> errors(shards.size());
+    auto body = [&](std::size_t idx) {
+        try {
+            runShard(idx, end);
+        } catch (...) {
+            errors[idx] = std::current_exception();
+            shards[idx].safe.store(maxTick, std::memory_order_release);
+            shards[idx].safe.notify_all();
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(shards.size() - 1);
+    for (std::size_t i = 1; i < shards.size(); ++i)
+        workers.emplace_back(body, i);
+    body(0);
+    for (std::thread &w : workers)
+        w.join();
+
+    for (std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+
+    // All records are published; settle cross-shard state that straddles
+    // the horizon (single-threaded: the workers are gone).
+    for (Shard &shard : shards) {
+        if (shard.coupling)
+            shard.coupling->finalize(end);
+    }
+}
+
+} // namespace ulp::sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Conservative parallel discrete-event scheduler (PDES).
+ *
+ * The single-threaded kernel simulates every node of a network on one
+ * EventQueue. This scheduler partitions the nodes into K shards, each
+ * owning a private Simulation/EventQueue run by its own worker thread.
+ * The only cross-shard coupling in the system is the radio channel, whose
+ * minimal frame airtime is a hard lower bound on how far one shard's
+ * actions can be from affecting another — the classic PDES *lookahead*.
+ *
+ * Time is carved into epochs of exactly one lookahead. Within an epoch a
+ * shard runs its queue freely; because every frame is on the air for at
+ * least one lookahead, a transmission started by a peer during the same
+ * epoch cannot *deliver* before the next epoch begins, so the shard never
+ * processes an event it should not have. Two synchronisation mechanisms
+ * keep the shards honest:
+ *
+ *  - an epoch barrier: all shards meet at each multiple of the lookahead
+ *    and apply the frame records their peers published;
+ *  - fine-grained safe-time syncs at every frame-delivery tick: before a
+ *    shard resolves a delivery at tick e (deciding collision/corruption),
+ *    it publishes its own progress, waits until every peer has advanced
+ *    to at least e, and applies all peer transmissions that started
+ *    strictly before e. Corruption is a pure function of the multiset of
+ *    transmission intervals, so once every interval starting before e is
+ *    known, the outcome at e is final — this is what makes the parallel
+ *    kernel's statistics *identical* to the sequential kernel's, not just
+ *    statistically equivalent.
+ *
+ * Deadlock-freedom: a shard always publishes its own target tick (the
+ * `safe` atomic) before waiting for the others, and targets are strictly
+ * increasing; the shard holding the minimum outstanding target can always
+ * proceed, so some shard always makes progress.
+ *
+ * The cross-shard mechanics (what gets published, how inbound records are
+ * applied, which ticks need a sync) live behind the ShardCoupling
+ * interface, implemented by net::ShardChannel.
+ */
+
+#ifndef ULP_SIM_PARALLEL_HH
+#define ULP_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace ulp::sim {
+
+/**
+ * The conservative-sync hooks one shard exposes to the scheduler. All
+ * methods are invoked on the shard's own worker thread.
+ */
+class ShardCoupling
+{
+  public:
+    virtual ~ShardCoupling() = default;
+
+    /**
+     * Earliest tick at which this shard must synchronise with its peers
+     * before processing further events (a pending frame-delivery tick);
+     * maxTick when none is outstanding.
+     */
+    virtual Tick nextSyncTick() const = 0;
+
+    /**
+     * Every shard has advanced to at least @p up_to: consume the inbound
+     * mailboxes and apply all records timestamped strictly before
+     * @p up_to, in a deterministic total order.
+     */
+    virtual void applyInbound(Tick up_to) = 0;
+
+    /** The sync at @p tick is complete; drop it from the pending set. */
+    virtual void syncDone(Tick tick) = 0;
+
+    /**
+     * The run has ended at @p end with every shard's records published.
+     * Apply whatever is still inbound and settle statistics owed for
+     * flights that started before the horizon but deliver after it (the
+     * sequential kernel counts a collision at *transmit* time; a parallel
+     * shard resolves it at delivery, which may never come). Called once
+     * per run, single-threaded, after all workers have joined.
+     */
+    virtual void finalize(Tick end) { (void)end; }
+};
+
+/**
+ * Runs K shards in lockstep epochs of one lookahead. Build with the
+ * channel lookahead, add the shards, then run() once; the object is not
+ * reusable across runs (the per-shard safe ticks are monotone).
+ */
+class ParallelScheduler
+{
+  public:
+    explicit ParallelScheduler(Tick lookahead);
+
+    ParallelScheduler(const ParallelScheduler &) = delete;
+    ParallelScheduler &operator=(const ParallelScheduler &) = delete;
+
+    /** Register one shard. @p coupling may be null (an uncoupled shard). */
+    void addShard(EventQueue &queue, ShardCoupling *coupling);
+
+    std::size_t numShards() const { return shards.size(); }
+    Tick lookahead() const { return _lookahead; }
+
+    /**
+     * Run every shard to @p end (inclusive, like EventQueue::runUntil) on
+     * one thread per shard; returns when all shards are done. Shard 0
+     * runs on the calling thread.
+     */
+    void run(Tick end);
+
+  private:
+    struct Shard
+    {
+        EventQueue *queue = nullptr;
+        ShardCoupling *coupling = nullptr;
+        /**
+         * The tick this shard has published everything before: peers
+         * waiting on `safe >= e` may assume every cross-shard record
+         * with timestamp < e from this shard is visible. Padded so the
+         * per-shard hot atomics never share a cache line.
+         */
+        alignas(64) std::atomic<Tick> safe{0};
+    };
+
+    void runShard(std::size_t idx, Tick end);
+
+    /**
+     * Publish progress up to @p target, wait until every shard has done
+     * the same, then apply inbound records older than @p target.
+     */
+    void syncTo(std::size_t idx, Tick target);
+
+    Tick _lookahead;
+    std::deque<Shard> shards; // deque: stable addresses for the atomics
+};
+
+} // namespace ulp::sim
+
+#endif // ULP_SIM_PARALLEL_HH

@@ -110,4 +110,35 @@ Group::findStat(const std::string &name) const
     return nullptr;
 }
 
+Group *
+Group::findChild(const std::string &name) const
+{
+    for (Group *child : _children) {
+        if (child->groupName() == name)
+            return child;
+    }
+    return nullptr;
+}
+
+void
+Group::mergeFrom(const Group &other)
+{
+    for (Info *info : _stats) {
+        const Info *src = other.findStat(info->name());
+        if (!src)
+            continue;
+        if (auto *dst_s = dynamic_cast<Scalar *>(info)) {
+            if (auto *src_s = dynamic_cast<const Scalar *>(src))
+                *dst_s += src_s->value();
+        } else if (auto *dst_d = dynamic_cast<Distribution *>(info)) {
+            if (auto *src_d = dynamic_cast<const Distribution *>(src))
+                dst_d->merge(*src_d);
+        }
+    }
+    for (Group *child : _children) {
+        if (const Group *src = other.findChild(child->groupName()))
+            child->mergeFrom(*src);
+    }
+}
+
 } // namespace ulp::sim::stats

@@ -104,6 +104,17 @@ class Distribution : public Info
         _max = std::max(_max, v);
     }
 
+    /** Fold another distribution's samples into this one. */
+    void
+    merge(const Distribution &other)
+    {
+        _count += other._count;
+        _sum += other._sum;
+        _sumSq += other._sumSq;
+        _min = std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+    }
+
     std::uint64_t count() const { return _count; }
     double sum() const { return _sum; }
     double mean() const { return _count ? _sum / _count : 0.0; }
@@ -166,9 +177,22 @@ class Group
     void resetStats();
 
     const std::vector<Info *> &statsList() const { return _stats; }
+    const std::vector<Group *> &childGroups() const { return _children; }
 
     /** Find a statistic by name in this group only; nullptr if absent. */
     Info *findStat(const std::string &name) const;
+
+    /** Find a direct child group by name; nullptr if absent. */
+    Group *findChild(const std::string &name) const;
+
+    /**
+     * Fold @p other into this group: same-named Scalars accumulate,
+     * same-named Distributions merge their sample sets, and same-named
+     * child groups merge recursively. Stats present only on one side are
+     * left alone; Formulas recompute from their merged inputs. Used by the
+     * parallel kernel to combine per-shard stat trees into one report.
+     */
+    void mergeFrom(const Group &other);
 
   private:
     std::string _groupName;

@@ -253,6 +253,44 @@ TEST(Channel, DetachStopsDelivery)
     EXPECT_TRUE(rx.got.empty());
 }
 
+TEST(Channel, DuplicateAttachPanics)
+{
+    sim::Simulation simulation;
+    Channel channel(simulation, "ch");
+    Listener rx;
+    channel.attach(&rx);
+    EXPECT_THROW(channel.attach(&rx), sim::PanicError);
+}
+
+TEST(Channel, DetachIsSwapRemoveAndIdempotent)
+{
+    sim::Simulation simulation;
+    Channel channel(simulation, "ch");
+    Listener tx, a, b, c;
+    channel.attach(&tx);
+    channel.attach(&a);
+    channel.attach(&b);
+    channel.attach(&c);
+
+    // Remove from the middle (swap-remove moves `c` into `a`'s slot);
+    // the remaining receivers must still all hear the frame, and a
+    // second detach of the same transceiver must be a no-op.
+    channel.detach(&a);
+    channel.detach(&a);
+
+    channel.transmit(&tx, makeFrame(3));
+    simulation.runForSeconds(0.01);
+    EXPECT_TRUE(a.got.empty());
+    EXPECT_EQ(b.got.size(), 1u);
+    EXPECT_EQ(c.got.size(), 1u);
+
+    // And `a` can come back after detaching (not "attached twice").
+    channel.attach(&a);
+    channel.transmit(&tx, makeFrame(4));
+    simulation.runForSeconds(0.01);
+    EXPECT_EQ(a.got.size(), 1u);
+}
+
 TEST(PacketSink, DeduplicatesAndCounts)
 {
     sim::Simulation simulation;

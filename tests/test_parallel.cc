@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Parallel-kernel tests: the sharded conservative-sync simulation must
+ * reproduce the single-threaded kernel exactly, not approximately. The
+ * core oracle is a 64-node near-saturation network (heavy collisions)
+ * run at 1, 2 and 4 shards: every headline counter must be identical,
+ * and the merged statistics tree must be byte-identical.
+ *
+ * Also covers the kernel-level machinery the parallel mode leans on:
+ * the (origin tick, sequence) event ordering key, scheduleCrossShard
+ * placement, the SPSC flight mailbox, and stats tree merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/apps.hh"
+#include "core/network.hh"
+#include "core/sensor_node.hh"
+#include "net/channel.hh"
+#include "net/relay.hh"
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+
+using namespace ulp;
+
+namespace {
+
+/** The bench workload: app v1 nodes near channel saturation. */
+core::Network::Config
+benchConfig(unsigned nodes, unsigned threads)
+{
+    core::Network::Config cfg;
+    cfg.numNodes = nodes;
+    cfg.threads = threads;
+    cfg.channelSeed = 42;
+    cfg.nodeConfig = [](unsigned i) {
+        core::NodeConfig nc;
+        nc.address = static_cast<std::uint16_t>(1 + i);
+        nc.seed = 1000 + i;
+        nc.sensorSignal = [](sim::Tick) { return 200; };
+        return nc;
+    };
+    cfg.nodeApp = [](unsigned i) {
+        core::apps::AppParams params;
+        params.samplePeriodCycles = 2500 + 37 * i;
+        return core::apps::buildApp1(params);
+    };
+    return cfg;
+}
+
+core::Network::Counters
+runBenchNetwork(unsigned nodes, unsigned threads, double seconds)
+{
+    core::Network network(benchConfig(nodes, threads));
+    network.runForSeconds(seconds);
+    return network.counters();
+}
+
+TEST(ParallelNetwork, MatchesDirectSequentialBuild)
+{
+    // Guard the Network refactor: threads=1 through core::Network must be
+    // bit-identical to building the simulation by hand the way the bench
+    // and ulpsim always did.
+    sim::Simulation simulation;
+    net::Channel channel(simulation, "channel",
+                         net::Channel::defaultBitRate, 42);
+    std::vector<std::unique_ptr<core::SensorNode>> nodes;
+    for (unsigned i = 0; i < 8; ++i) {
+        core::NodeConfig nc;
+        nc.address = static_cast<std::uint16_t>(1 + i);
+        nc.seed = 1000 + i;
+        nc.sensorSignal = [](sim::Tick) { return 200; };
+        nodes.push_back(std::make_unique<core::SensorNode>(
+            simulation, "node" + std::to_string(i), nc, &channel));
+        core::apps::AppParams params;
+        params.samplePeriodCycles = 2500 + 37 * i;
+        core::apps::install(*nodes.back(), core::apps::buildApp1(params));
+    }
+    simulation.runForSeconds(0.05);
+
+    core::Network::Counters got = runBenchNetwork(8, 1, 0.05);
+    EXPECT_EQ(got.eventsProcessed, simulation.eventq().numProcessed());
+    EXPECT_EQ(got.framesDelivered, channel.framesDelivered());
+    EXPECT_EQ(got.collisions, channel.collisions());
+    EXPECT_EQ(got.endTick, simulation.curTick());
+    std::uint64_t sent = 0;
+    for (const auto &node : nodes)
+        sent += node->radio().framesSent();
+    EXPECT_EQ(got.framesSent, sent);
+    EXPECT_GT(got.framesSent, 0u);
+}
+
+TEST(ParallelNetwork, DeterminismAcrossThreadCounts)
+{
+    // The acceptance oracle: 64 nodes near saturation, so the run is
+    // dense with cross-shard collisions, at K = 1, 2, 4 shards.
+    core::Network::Counters k1 = runBenchNetwork(64, 1, 0.05);
+    core::Network::Counters k2 = runBenchNetwork(64, 2, 0.05);
+    core::Network::Counters k4 = runBenchNetwork(64, 4, 0.05);
+
+    EXPECT_GT(k1.framesSent, 0u);
+    EXPECT_GT(k1.collisions, 0u); // saturation: the hard case is exercised
+
+    EXPECT_EQ(k1, k2);
+    EXPECT_EQ(k1, k4);
+}
+
+TEST(ParallelNetwork, RepeatedParallelRunsAreDeterministic)
+{
+    core::Network::Counters a = runBenchNetwork(16, 4, 0.05);
+    core::Network::Counters b = runBenchNetwork(16, 4, 0.05);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ParallelNetwork, MergedStatsByteIdentical)
+{
+    core::Network seq(benchConfig(16, 1));
+    core::Network par(benchConfig(16, 4));
+    seq.runForSeconds(0.05);
+    par.runForSeconds(0.05);
+
+    std::ostringstream a, b;
+    seq.dumpStats(a);
+    par.dumpStats(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ParallelNetwork, ConfigValidation)
+{
+    core::Network::Config cfg = benchConfig(2, 4);
+    EXPECT_THROW(core::Network{cfg}, sim::FatalError); // threads > nodes
+    cfg = benchConfig(2, 0);
+    EXPECT_THROW(core::Network{cfg}, sim::FatalError);
+    cfg = benchConfig(4, 2);
+    cfg.nodeApp = nullptr;
+    EXPECT_THROW(core::Network{cfg}, sim::FatalError);
+}
+
+// --------------------------------------------------------------------------
+// Event-queue ordering machinery.
+// --------------------------------------------------------------------------
+
+TEST(EventQueueCrossShard, OriginTickOrdersSameTickEvents)
+{
+    sim::EventQueue queue;
+    std::vector<int> order;
+
+    // Local event scheduled "now" (origin 0) at tick 100.
+    sim::EventFunctionWrapper local([&] { order.push_back(1); }, "local");
+    queue.schedule(&local, 100);
+
+    // A relayed event carrying an *earlier* origin must run first even
+    // though it was inserted later; one carrying the same origin ties
+    // after the local event (later sequence number).
+    sim::EventFunctionWrapper early([&] { order.push_back(0); }, "early");
+    queue.scheduleCrossShard(&early, 100, 0);
+    sim::EventFunctionWrapper tied([&] { order.push_back(2); }, "tied");
+    queue.scheduleCrossShard(&tied, 100, 0);
+
+    // With a *later* origin than a subsequently scheduled local event,
+    // the relayed event runs after it. (Origin ticks dominate sequence.)
+    sim::EventFunctionWrapper late([&] { order.push_back(4); }, "late");
+    queue.scheduleCrossShard(&late, 100, 50);
+
+    queue.runUntil(100);
+    // local(origin 0, seq 0), early(origin 0, seq 1), tied(origin 0,
+    // seq 2), late(origin 50).
+    EXPECT_EQ(order, (std::vector<int>{1, 0, 2, 4}));
+}
+
+TEST(EventQueueCrossShard, RejectsOriginAfterEventTick)
+{
+    sim::EventQueue queue;
+    sim::EventFunctionWrapper ev([] {}, "ev");
+    EXPECT_THROW(queue.scheduleCrossShard(&ev, 10, 20), sim::PanicError);
+}
+
+TEST(EventQueueCrossShard, DescheduleRescheduleAcrossEpochKeepsFifo)
+{
+    // A component descheduling an event in one epoch and rescheduling it
+    // in a later one (MAC timers do this) must land *behind* same-tick
+    // events already queued: the fresh (origin, seq) key is larger.
+    sim::EventQueue queue;
+    std::vector<char> order;
+
+    sim::EventFunctionWrapper a([&] { order.push_back('a'); }, "a");
+    sim::EventFunctionWrapper b([&] { order.push_back('b'); }, "b");
+    sim::EventFunctionWrapper tick([&] {}, "tick");
+
+    queue.schedule(&a, 1'000'000);
+    queue.schedule(&b, 1'000'000);
+
+    // Cross an epoch boundary (352 us lookahead => epoch ~352,000 ticks):
+    // advance time, then pull 'a' out and put it back at the same tick.
+    queue.schedule(&tick, 400'000);
+    queue.runUntil(500'000);
+    queue.deschedule(&a);
+    queue.schedule(&a, 1'000'000);
+
+    queue.runUntil(2'000'000);
+    EXPECT_EQ(order, (std::vector<char>{'b', 'a'}));
+
+    // reschedule() must behave exactly like deschedule()+schedule().
+    order.clear();
+    sim::EventFunctionWrapper c([&] { order.push_back('c'); }, "c");
+    sim::EventFunctionWrapper d([&] { order.push_back('d'); }, "d");
+    queue.schedule(&c, 3'000'000);
+    queue.schedule(&d, 3'000'000);
+    queue.runUntil(2'500'000);
+    queue.reschedule(&c, 3'000'000);
+    queue.runUntil(3'000'000);
+    EXPECT_EQ(order, (std::vector<char>{'d', 'c'}));
+}
+
+// --------------------------------------------------------------------------
+// Flight mailbox and relay.
+// --------------------------------------------------------------------------
+
+TEST(FlightMailbox, FifoAndCapacity)
+{
+    net::FlightMailbox box;
+    for (std::uint64_t i = 0; i < net::FlightMailbox::capacity; ++i) {
+        net::FlightRecord rec;
+        rec.start = i;
+        rec.originSeq = i;
+        ASSERT_TRUE(box.push(rec));
+    }
+    EXPECT_FALSE(box.push(net::FlightRecord{})); // full
+
+    std::uint64_t expect = 0;
+    box.drain([&](const net::FlightRecord &rec) {
+        EXPECT_EQ(rec.originSeq, expect);
+        ++expect;
+    });
+    EXPECT_EQ(expect, net::FlightMailbox::capacity);
+    EXPECT_TRUE(box.push(net::FlightRecord{})); // space again
+}
+
+TEST(FrameRelay, LookaheadIsMinimalFrameAirtime)
+{
+    net::FrameRelay relay(2);
+    // Smallest frame: 11 bytes of header+FCS at 250 kbit/s = 352 us.
+    EXPECT_EQ(relay.lookahead(), sim::secondsToTicks(11 * 8.0 / 250'000.0));
+    EXPECT_EQ(relay.lookahead(), 352'000u);
+}
+
+// --------------------------------------------------------------------------
+// Stats merging.
+// --------------------------------------------------------------------------
+
+TEST(StatsMerge, ScalarsAndDistributionsFold)
+{
+    sim::stats::Group a, b;
+    sim::stats::Scalar sa(&a, "frames", "d");
+    sim::stats::Scalar sb(&b, "frames", "d");
+    sim::stats::Distribution da(&a, "lat", "d");
+    sim::stats::Distribution db(&b, "lat", "d");
+
+    sa += 3;
+    sb += 4;
+    da.sample(1.0);
+    da.sample(3.0);
+    db.sample(5.0);
+
+    a.mergeFrom(b);
+    EXPECT_DOUBLE_EQ(sa.value(), 7.0);
+    EXPECT_EQ(da.count(), 3u);
+    EXPECT_DOUBLE_EQ(da.max(), 5.0);
+    EXPECT_DOUBLE_EQ(da.mean(), 3.0);
+    // The source is untouched.
+    EXPECT_DOUBLE_EQ(sb.value(), 4.0);
+}
+
+} // namespace

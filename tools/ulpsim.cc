@@ -14,6 +14,7 @@
  *   ulpsim --app=app1 --signal=sine:60,5 --noise=2 --trace=EP,Bus
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "baseline/mica2_platform.hh"
 #include "baseline/minios.hh"
 #include "core/apps.hh"
+#include "core/network.hh"
 #include "core/sensor_node.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
@@ -41,6 +43,7 @@ struct Options
     std::string platform = "node";
     std::string app = "app1";
     unsigned nodes = 1;
+    unsigned threads = 1;
     std::uint32_t period = 1000;
     unsigned threshold = 0;
     unsigned dest = 0;
@@ -62,6 +65,9 @@ usage(int code)
         "  --app=app1|app2|app3|app4|blink|sense\n"
         "  --nodes=N               simulate N nodes on one broadcast "
         "channel (node platform)\n"
+        "  --threads=K             shard the network across K worker "
+        "threads (node platform, K <= N; statistics are identical for "
+        "every K)\n"
         "  --period=N              sampling period in system cycles "
         "(default 1000 = 100 Hz)\n"
         "  --threshold=N           filter threshold (app2+)\n"
@@ -98,6 +104,8 @@ parse(int argc, char **argv)
             opt.app = v;
         } else if (const char *v = value("--nodes")) {
             opt.nodes = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        } else if (const char *v = value("--threads")) {
+            opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
         } else if (const char *v = value("--period")) {
             opt.period = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
         } else if (const char *v = value("--threshold")) {
@@ -124,6 +132,52 @@ parse(int argc, char **argv)
         }
     }
     return opt;
+}
+
+/**
+ * Reject bad flags and bad flag *combinations* before any simulation
+ * object is built: a typo should earn the usage text, not a mid-build
+ * sim::fatal with half a node tree constructed.
+ */
+void
+validate(const Options &opt)
+{
+    std::vector<std::string> errors;
+    auto complain = [&](std::string msg) { errors.push_back(std::move(msg)); };
+
+    if (opt.platform != "node" && opt.platform != "mica2")
+        complain("unknown platform '" + opt.platform + "'");
+    static const char *apps[] = {"app1", "app2", "app3",
+                                 "app4", "blink", "sense"};
+    if (std::find(std::begin(apps), std::end(apps), opt.app) ==
+        std::end(apps)) {
+        complain("unknown app '" + opt.app + "'");
+    }
+    std::string kind = opt.signal.substr(0, opt.signal.find(':'));
+    if (kind != "const" && kind != "sine" && kind != "ramp")
+        complain("unknown signal spec '" + opt.signal + "'");
+    if (opt.nodes == 0)
+        complain("--nodes must be at least 1");
+    if (opt.threads == 0)
+        complain("--threads must be at least 1");
+    if (opt.nodes > 1 && opt.platform != "node")
+        complain("--nodes requires --platform=node");
+    if (opt.threads > 1 && opt.platform != "node")
+        complain("--threads requires --platform=node");
+    if (opt.threads > opt.nodes) {
+        complain("--threads=" + std::to_string(opt.threads) +
+                 " exceeds --nodes=" + std::to_string(opt.nodes) +
+                 " (at most one thread per node)");
+    }
+    if (!(opt.seconds > 0.0))
+        complain("--seconds must be positive");
+
+    if (errors.empty())
+        return;
+    for (const std::string &e : errors)
+        std::fprintf(stderr, "ulpsim: %s\n", e.c_str());
+    std::fprintf(stderr, "\n");
+    usage(2);
 }
 
 std::function<std::uint8_t(sim::Tick)>
@@ -173,26 +227,26 @@ buildNodeApp(const Options &opt, const core::apps::AppParams &params)
     sim::fatal("unknown app '%s'", opt.app.c_str());
 }
 
-/** N nodes on one broadcast channel: the scaling configuration the
- *  simulation kernel's heap queue is built for. */
+/** N nodes on one broadcast channel, on 1..K shard threads. The
+ *  statistics are identical for every K (see core::Network). */
 int
 runNetwork(const Options &opt)
 {
-    sim::Simulation simulation;
-    net::Channel channel(simulation, "channel",
-                         net::Channel::defaultBitRate, opt.seed);
-
     std::string app_name;
-    std::vector<std::unique_ptr<core::SensorNode>> nodes;
-    for (unsigned i = 0; i < opt.nodes; ++i) {
-        core::NodeConfig cfg;
-        cfg.address = static_cast<std::uint16_t>(1 + i);
-        cfg.seed = opt.seed + i;
-        cfg.sensorSignal = makeSignal(opt.signal);
-        cfg.sensorNoiseStddev = opt.noise;
-        nodes.push_back(std::make_unique<core::SensorNode>(
-            simulation, "node" + std::to_string(i), cfg, &channel));
 
+    core::Network::Config cfg;
+    cfg.numNodes = opt.nodes;
+    cfg.threads = opt.threads;
+    cfg.channelSeed = opt.seed;
+    cfg.nodeConfig = [&](unsigned i) {
+        core::NodeConfig nc;
+        nc.address = static_cast<std::uint16_t>(1 + i);
+        nc.seed = opt.seed + i;
+        nc.sensorSignal = makeSignal(opt.signal);
+        nc.sensorNoiseStddev = opt.noise;
+        return nc;
+    };
+    cfg.nodeApp = [&](unsigned i) {
         core::apps::AppParams params;
         // Stagger the sampling period a little per node so the network
         // does not transmit in artificial lockstep.
@@ -201,34 +255,32 @@ runNetwork(const Options &opt)
         params.dest = static_cast<std::uint16_t>(opt.dest);
         core::apps::NodeApp app = buildNodeApp(opt, params);
         app_name = app.name;
-        core::apps::install(*nodes.back(), app);
-    }
+        return app;
+    };
 
-    simulation.runForSeconds(opt.seconds);
+    core::Network network(cfg);
+    network.runForSeconds(opt.seconds);
+    const core::Network::Counters c = network.counters();
 
-    std::uint64_t sent = 0, isrs = 0, wakeups = 0;
-    for (const auto &node : nodes) {
-        sent += node->radio().framesSent();
-        isrs += node->ep().isrsExecuted();
-        wakeups += node->micro().wakeups();
-    }
-    std::printf("platform=node app=%s nodes=%u simulated=%.3fs\n",
+    std::printf("platform=node app=%s nodes=%u simulated=%.3fs",
                 app_name.c_str(), opt.nodes, opt.seconds);
+    if (opt.threads > 1)
+        std::printf(" threads=%u", opt.threads);
+    std::printf("\n");
     std::printf("events processed:  %llu\n",
-                static_cast<unsigned long long>(
-                    simulation.eventq().numProcessed()));
+                static_cast<unsigned long long>(c.eventsProcessed));
     std::printf("frames sent:       %llu\n",
-                static_cast<unsigned long long>(sent));
+                static_cast<unsigned long long>(c.framesSent));
     std::printf("frames delivered:  %llu (collisions %llu)\n",
-                static_cast<unsigned long long>(channel.framesDelivered()),
-                static_cast<unsigned long long>(channel.collisions()));
+                static_cast<unsigned long long>(c.framesDelivered),
+                static_cast<unsigned long long>(c.collisions));
     std::printf("EP ISRs:           %llu\n",
-                static_cast<unsigned long long>(isrs));
+                static_cast<unsigned long long>(c.epIsrs));
     std::printf("uC wakeups:        %llu\n",
-                static_cast<unsigned long long>(wakeups));
+                static_cast<unsigned long long>(c.mcuWakeups));
     if (opt.stats) {
         std::printf("\n");
-        simulation.dumpStats(std::cout);
+        network.dumpStats(std::cout);
     }
     return 0;
 }
@@ -354,15 +406,12 @@ main(int argc, char **argv)
 {
     try {
         Options opt = parse(argc, argv);
+        validate(opt);
         if (!opt.trace.empty())
             sim::Trace::enableFromString(opt.trace);
         if (opt.platform == "node")
             return opt.nodes > 1 ? runNetwork(opt) : runNode(opt);
-        if (opt.nodes > 1)
-            sim::fatal("--nodes requires --platform=node");
-        if (opt.platform == "mica2")
-            return runMica2(opt);
-        sim::fatal("unknown platform '%s'", opt.platform.c_str());
+        return runMica2(opt);
     } catch (const sim::SimError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
