@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Telemetry overhead: how much does the obs::EventLog cost the 64-node
+ * oracle workload, in three configurations —
+ *
+ *   off        telemetry not attached (sink pointer is null): the price
+ *              of the `if (obs)` tests added at every hook site; the
+ *              acceptance bound is < 2% vs the untraced kernel;
+ *   buffered   all channels recording into the rings, no flusher thread
+ *              (finish() writes everything at the end);
+ *   streaming  all channels + the background flusher draining to disk
+ *              during the run (the ulpsim --trace-out configuration).
+ *
+ * Each configuration is timed over several repetitions of the same
+ * fixed-seed network; the median is reported. Run with no arguments.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/apps.hh"
+#include "core/network.hh"
+#include "core/sensor_node.hh"
+#include "obs/event_log.hh"
+
+using namespace ulp;
+
+namespace {
+
+core::Network::Config
+oracleConfig(unsigned nodes)
+{
+    core::Network::Config cfg;
+    cfg.numNodes = nodes;
+    cfg.threads = 1;
+    cfg.channelSeed = 42;
+    cfg.nodeConfig = [](unsigned i) {
+        core::NodeConfig nc;
+        nc.address = static_cast<std::uint16_t>(1 + i);
+        nc.seed = 1000 + i;
+        nc.sensorSignal = [](sim::Tick) { return 200; };
+        return nc;
+    };
+    cfg.nodeApp = [](unsigned i) {
+        core::apps::AppParams params;
+        params.samplePeriodCycles = 2500 + 37 * i;
+        return core::apps::buildApp1(params);
+    };
+    return cfg;
+}
+
+enum class Mode { Off, Buffered, Streaming };
+
+double
+runOnce(Mode mode, unsigned nodes, double seconds, std::uint64_t *records)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "bench_obs_overhead";
+    std::filesystem::remove_all(dir);
+
+    std::unique_ptr<obs::EventLog> log;
+    core::Network::Config cfg = oracleConfig(nodes);
+    if (mode != Mode::Off) {
+        obs::EventLogConfig ecfg;
+        ecfg.dir = dir.string();
+        ecfg.ringCapacity = std::size_t{1} << 20;
+        ecfg.streaming = mode == Mode::Streaming;
+        log = std::make_unique<obs::EventLog>(ecfg, 1);
+        cfg.telemetrySink = [&log](unsigned s) { return &log->sink(s); };
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    core::Network network(cfg);
+    if (log)
+        log->attachSampler(0, network.shardSimulation(0));
+    network.runForSeconds(seconds);
+    if (log)
+        log->finish();
+    auto stop = std::chrono::steady_clock::now();
+
+    if (log && records)
+        *records = log->totalRecorded();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+double
+median(Mode mode, unsigned nodes, double seconds, unsigned reps,
+       std::uint64_t *records)
+{
+    std::vector<double> times;
+    for (unsigned r = 0; r < reps; ++r)
+        times.push_back(runOnce(mode, nodes, seconds, records));
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned nodes = 64;
+    const double seconds = 0.5;
+    const unsigned reps = 5;
+
+    bench::banner("Telemetry overhead: 64-node oracle workload, "
+                  "0.5 simulated seconds");
+
+    std::uint64_t records = 0;
+    double off = median(Mode::Off, nodes, seconds, reps, nullptr);
+    double buffered =
+        median(Mode::Buffered, nodes, seconds, reps, &records);
+    double streaming =
+        median(Mode::Streaming, nodes, seconds, reps, nullptr);
+
+    std::printf("%-42s %10s %10s\n", "configuration", "host s",
+                "vs off");
+    bench::rule();
+    std::printf("%-42s %10.4f %9s\n",
+                "telemetry off (null sink at every hook)", off, "-");
+    std::printf("%-42s %10.4f %+9.1f%%\n",
+                "all channels, buffered (no flusher)", buffered,
+                100.0 * (buffered - off) / off);
+    std::printf("%-42s %10.4f %+9.1f%%\n",
+                "all channels, streaming to disk", streaming,
+                100.0 * (streaming - off) / off);
+    bench::rule();
+    std::printf("records per traced run: %llu (%.1f per simulated ms)\n",
+                static_cast<unsigned long long>(records),
+                records / (seconds * 1e3));
+    return 0;
+}

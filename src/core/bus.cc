@@ -1,6 +1,7 @@
 #include "core/bus.hh"
 
 #include "sim/logging.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 
 namespace ulp::core {
@@ -11,8 +12,23 @@ DataBus::DataBus(sim::Simulation &simulation, const std::string &name,
       statReads(this, "reads", "read transactions"),
       statWrites(this, "writes", "write transactions"),
       statUnmapped(this, "unmapped", "accesses no slave claimed"),
-      statWedged(this, "wedged", "accesses to a wedged (stuck) slave")
+      statWedged(this, "wedged", "accesses to a wedged (stuck) slave"),
+      obs(simulation.telemetry())
 {
+    if (obs)
+        obsId = obs->registerComponent(this->name());
+}
+
+void
+DataBus::setMcuHoldsBus(bool holds)
+{
+    if (holds == mcuHoldsBus)
+        return;
+    mcuHoldsBus = holds;
+    if (obs && obs->wants(sim::TelemetryChannel::Bus)) {
+        obs->record(curTick(), obsId, sim::TelemetryChannel::Bus,
+                    holds ? 1 : 0, 0, 0);
+    }
 }
 
 void

@@ -74,7 +74,7 @@ class DataBus : public sim::SimObject
      * The mux: the microcontroller owns the bus while awake. Set by the
      * microcontroller wrapper on wake/sleep.
      */
-    void setMcuHoldsBus(bool holds) { mcuHoldsBus = holds; }
+    void setMcuHoldsBus(bool holds);
 
     /** May the event processor drive the bus right now? */
     bool availableForEp() const { return !mcuHoldsBus; }
@@ -95,6 +95,9 @@ class DataBus : public sim::SimObject
 
     std::vector<BusSlave *> slaves;
     bool mcuHoldsBus = false;
+
+    sim::TelemetrySink *obs = nullptr;
+    std::uint32_t obsId = 0;
 
     sim::stats::Scalar statReads;
     sim::stats::Scalar statWrites;

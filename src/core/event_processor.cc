@@ -2,6 +2,7 @@
 
 #include "core/memory_map.hh"
 #include "sim/logging.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 
 namespace ulp::core {
@@ -28,6 +29,29 @@ EventProcessor::EventProcessor(sim::Simulation &simulation,
       statWakeups(this, "wakeups", "WAKEUP instructions executed")
 {
     irqBus.setListener([this] { wakeup(); });
+    obs = simulation.telemetry();
+    if (obs) {
+        obsId = obs->registerComponent(this->name());
+        if (obs->wants(sim::TelemetryChannel::EpFsm)) {
+            obs->record(curTick(), obsId, sim::TelemetryChannel::EpFsm,
+                        static_cast<std::uint8_t>(_state),
+                        static_cast<std::uint16_t>(_state), 0);
+        }
+    }
+}
+
+void
+EventProcessor::setFsmState(State next)
+{
+    if (next == _state)
+        return;
+    if (obs && obs->wants(sim::TelemetryChannel::EpFsm)) {
+        obs->record(curTick(), obsId, sim::TelemetryChannel::EpFsm,
+                    static_cast<std::uint8_t>(next),
+                    static_cast<std::uint16_t>(_state),
+                    static_cast<std::uint64_t>(servicing));
+    }
+    _state = next;
 }
 
 void
@@ -79,14 +103,14 @@ EventProcessor::beginService()
         consume(_timing.lookup);
         return;
     }
-    _state = State::Fetch;
+    setFsmState(State::Fetch);
     consume(_timing.lookup);
 }
 
 void
 EventProcessor::enterReady()
 {
-    _state = State::Ready;
+    setFsmState(State::Ready);
     if (probes)
         probes->record(Probe::EpIsrEnd);
     servicing = Irq::None;
@@ -109,14 +133,14 @@ EventProcessor::advance()
       case State::Ready:
       case State::WaitBus:
         if (!irqBus.pending()) {
-            _state = State::Ready;
+            setFsmState(State::Ready);
             tracker.setState(power::PowerState::Idle);
             return; // idle: no events in the queue
         }
         if (!bus.availableForEp()) {
             if (_state != State::WaitBus)
                 ++statBusWaits;
-            _state = State::WaitBus;
+            setFsmState(State::WaitBus);
             tracker.setState(power::PowerState::Idle);
             return; // poked by busReleased()
         }
@@ -142,7 +166,7 @@ EventProcessor::advance()
         current = *decoded;
         ULP_TRACE("EP", this, "fetched @%#06x: %s", pc,
                   current.toString().c_str());
-        _state = State::Execute;
+        setFsmState(State::Execute);
         consume(_timing.fetchPerWord * words);
         return;
       }
@@ -219,7 +243,7 @@ EventProcessor::executeCurrent()
     } else {
         pc = static_cast<std::uint16_t>(pc +
                                         epInstrWords(current.opcode));
-        _state = State::Fetch;
+        setFsmState(State::Fetch);
     }
     consume(cycles, extra);
     return cycles;

@@ -103,6 +103,9 @@ class EventProcessor : public sim::SimObject
     void beginService();
     sim::Cycles executeCurrent();
 
+    /** Transition the FSM, recording the edge on the telemetry sink. */
+    void setFsmState(State next);
+
     DataBus &bus;
     InterruptBus &irqBus;
     PowerController &powerCtrl;
@@ -121,6 +124,9 @@ class EventProcessor : public sim::SimObject
 
     power::EnergyTracker tracker;
     sim::MemberEventWrapper<EventProcessor> advanceEvent;
+
+    sim::TelemetrySink *obs = nullptr;
+    std::uint32_t obsId = 0;
 
     sim::stats::Scalar statIsrs;
     sim::stats::Scalar statInstructions;

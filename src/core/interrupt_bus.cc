@@ -1,9 +1,17 @@
 #include "core/interrupt_bus.hh"
 
 #include "sim/logging.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 
 namespace ulp::core {
+
+namespace {
+
+/** Irq channel record kinds (the Record's `b` field). */
+enum : std::uint16_t { irqPost = 0, irqDeliver = 1, irqDrop = 2 };
+
+} // namespace
 
 InterruptBus::InterruptBus(sim::Simulation &simulation,
                            const std::string &name, sim::SimObject *parent)
@@ -11,8 +19,11 @@ InterruptBus::InterruptBus(sim::Simulation &simulation,
       statPosted(this, "posted", "interrupt assertions accepted"),
       statDropped(this, "dropped",
                   "events lost because the code was already asserted"),
-      statTaken(this, "taken", "interrupts granted to the event processor")
+      statTaken(this, "taken", "interrupts granted to the event processor"),
+      obs(simulation.telemetry())
 {
+    if (obs)
+        obsId = obs->registerComponent(this->name());
 }
 
 void
@@ -26,11 +37,21 @@ InterruptBus::post(Irq irq)
         ++statDropped;
         ULP_TRACE("IrqBus", this, "dropped %s (already asserted)",
                   irqName(irq));
+        if (obs && obs->wants(sim::TelemetryChannel::Irq)) {
+            obs->record(curTick(), obsId, sim::TelemetryChannel::Irq,
+                        static_cast<std::uint8_t>(code), irqDrop,
+                        asserted.to_ullong());
+        }
         return;
     }
     asserted.set(code);
     ++statPosted;
     ULP_TRACE("IrqBus", this, "posted %s", irqName(irq));
+    if (obs && obs->wants(sim::TelemetryChannel::Irq)) {
+        obs->record(curTick(), obsId, sim::TelemetryChannel::Irq,
+                    static_cast<std::uint8_t>(code), irqPost,
+                    asserted.to_ullong());
+    }
     if (listener)
         listener();
 }
@@ -55,6 +76,11 @@ InterruptBus::take()
         asserted.reset(static_cast<unsigned>(*irq));
         ++statTaken;
         ULP_TRACE("IrqBus", this, "granted %s", irqName(*irq));
+        if (obs && obs->wants(sim::TelemetryChannel::Irq)) {
+            obs->record(curTick(), obsId, sim::TelemetryChannel::Irq,
+                        static_cast<std::uint8_t>(*irq), irqDeliver,
+                        asserted.to_ullong());
+        }
     }
     return irq;
 }

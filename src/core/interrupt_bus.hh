@@ -62,6 +62,9 @@ class InterruptBus : public sim::SimObject
     std::bitset<numIrqCodes> asserted;
     std::function<void()> listener;
 
+    sim::TelemetrySink *obs = nullptr;
+    std::uint32_t obsId = 0;
+
     sim::stats::Scalar statPosted;
     sim::stats::Scalar statDropped;
     sim::stats::Scalar statTaken;

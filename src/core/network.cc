@@ -30,6 +30,8 @@ Network::Network(const Config &config)
     for (unsigned s = 0; s < K; ++s) {
         Shard &shard = shards[s];
         shard.simulation = std::make_unique<sim::Simulation>();
+        if (config.telemetrySink)
+            shard.simulation->setTelemetry(config.telemetrySink(s));
         net::Medium *medium = nullptr;
         if (K == 1) {
             shard.channel = std::make_unique<net::Channel>(

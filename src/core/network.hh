@@ -47,6 +47,12 @@ class Network
         std::function<NodeConfig(unsigned)> nodeConfig;
         /** Per-node application, called with the global node index. */
         std::function<apps::NodeApp(unsigned)> nodeApp;
+        /**
+         * Optional per-shard telemetry sink factory (obs::EventLog::sink
+         * wrapped in a lambda). Installed on each shard's Simulation
+         * before any node is constructed, so every component registers.
+         */
+        std::function<sim::TelemetrySink *(unsigned)> telemetrySink;
     };
 
     /** The headline counters both kernels must agree on. */
@@ -75,6 +81,12 @@ class Network
     unsigned threads() const { return static_cast<unsigned>(shards.size()); }
 
     SensorNode &node(unsigned index) { return *nodeByIndex[index]; }
+
+    /** Shard simulations, e.g. for attaching telemetry energy samplers. */
+    sim::Simulation &shardSimulation(unsigned shard)
+    {
+        return *shards[shard].simulation;
+    }
 
     /** Run all shards for @p seconds of simulated time. */
     void runForSeconds(double seconds);

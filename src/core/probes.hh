@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/sim_object.hh"
+#include "sim/telemetry.hh"
 #include "sim/types.hh"
 
 namespace ulp::core {
@@ -40,15 +41,53 @@ enum class Probe : unsigned {
     NumProbes,
 };
 
+constexpr const char *
+probeName(Probe probe)
+{
+    switch (probe) {
+      case Probe::TimerAlarm: return "TimerAlarm";
+      case Probe::AdcSampled: return "AdcSampled";
+      case Probe::FilterDecision: return "FilterDecision";
+      case Probe::MsgPrepared: return "MsgPrepared";
+      case Probe::MsgRxProcessed: return "MsgRxProcessed";
+      case Probe::RadioTxCmd: return "RadioTxCmd";
+      case Probe::RadioTxDone: return "RadioTxDone";
+      case Probe::RadioRxDone: return "RadioRxDone";
+      case Probe::McuWoken: return "McuWoken";
+      case Probe::McuSlept: return "McuSlept";
+      case Probe::TimerReconfigured: return "TimerReconfigured";
+      case Probe::FilterReconfigured: return "FilterReconfigured";
+      case Probe::EpIsrStart: return "EpIsrStart";
+      case Probe::EpIsrEnd: return "EpIsrEnd";
+      case Probe::RadioRetry: return "RadioRetry";
+      case Probe::RadioAckSent: return "RadioAckSent";
+      case Probe::WatchdogBark: return "WatchdogBark";
+      case Probe::McuForcedReset: return "McuForcedReset";
+      default: return "unknown";
+    }
+}
+
+/** MAC-layer milestones go out on the Mac telemetry channel. */
+constexpr bool
+isMacProbe(Probe probe)
+{
+    return probe == Probe::RadioTxCmd || probe == Probe::RadioTxDone ||
+           probe == Probe::RadioRxDone || probe == Probe::RadioRetry ||
+           probe == Probe::RadioAckSent;
+}
+
 class ProbeRecorder : public sim::SimObject
 {
   public:
     ProbeRecorder(sim::Simulation &simulation, const std::string &name,
                   sim::SimObject *parent = nullptr)
-        : sim::SimObject(simulation, name, parent)
+        : sim::SimObject(simulation, name, parent),
+          obs(simulation.telemetry())
     {
         lastTicks.fill(sim::maxTick);
         counts.fill(0);
+        if (obs)
+            obsId = obs->registerComponent(this->name());
     }
 
     void
@@ -57,8 +96,23 @@ class ProbeRecorder : public sim::SimObject
         auto idx = static_cast<unsigned>(probe);
         lastTicks[idx] = curTick();
         ++counts[idx];
-        if (keepHistory)
-            history[idx].push_back(curTick());
+        if (keepHistory) {
+            auto &ticks = history[idx];
+            if (ticks.size() < historyLimit)
+                ticks.push_back(curTick());
+            else
+                ++overflows;
+        }
+        if (obs) {
+            auto channel = isMacProbe(probe)
+                               ? sim::TelemetryChannel::Mac
+                               : sim::TelemetryChannel::Probe;
+            if (obs->wants(channel)) {
+                obs->record(curTick(), obsId, channel,
+                            static_cast<std::uint8_t>(idx), 0,
+                            counts[idx]);
+            }
+        }
     }
 
     /** Last tick the probe fired, or maxTick if never. */
@@ -79,6 +133,20 @@ class ProbeRecorder : public sim::SimObject
         keepHistory = keep;
     }
 
+    /**
+     * Cap the per-probe history length (default 64 Ki entries). Ticks
+     * beyond the cap are not stored; historyOverflows() counts them so
+     * long campaigns see bounded memory instead of unbounded growth.
+     */
+    void
+    setHistoryLimit(std::size_t limit)
+    {
+        historyLimit = limit;
+    }
+
+    std::size_t historyCap() const { return historyLimit; }
+    std::uint64_t historyOverflows() const { return overflows; }
+
     const std::vector<sim::Tick> &
     ticks(Probe probe) const
     {
@@ -91,6 +159,11 @@ class ProbeRecorder : public sim::SimObject
     std::array<std::uint64_t, n> counts;
     std::array<std::vector<sim::Tick>, n> history;
     bool keepHistory = false;
+    std::size_t historyLimit = 64 * 1024;
+    std::uint64_t overflows = 0;
+
+    sim::TelemetrySink *obs = nullptr;
+    std::uint32_t obsId = 0;
 };
 
 } // namespace ulp::core

@@ -1,0 +1,178 @@
+#include "obs/trace_reader.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ulp::obs {
+
+namespace {
+
+struct ShardMeta
+{
+    std::uint64_t dropped = 0;
+    std::vector<std::string> components; ///< index == shard-local id
+};
+
+struct Meta
+{
+    unsigned shards = 0;
+    std::uint64_t ticksPerSecond = 0;
+    std::uint32_t channelMask = 0;
+    std::uint64_t samplePeriod = 0;
+    std::vector<ShardMeta> perShard;
+};
+
+Meta
+readMeta(const std::string &dir)
+{
+    std::string path = dir + "/meta.ulpt";
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("ulptrace: cannot open '%s'", path.c_str());
+
+    Meta meta;
+    std::string line;
+    if (!std::getline(in, line) || line.rfind("ulptrace-meta ", 0) != 0)
+        sim::fatal("ulptrace: '%s' is not a trace meta file", path.c_str());
+
+    while (std::getline(in, line)) {
+        std::istringstream is(line);
+        std::string key;
+        is >> key;
+        if (key == "shards") {
+            is >> meta.shards;
+            meta.perShard.resize(meta.shards);
+        } else if (key == "ticks_per_second") {
+            is >> meta.ticksPerSecond;
+        } else if (key == "channel_mask") {
+            is >> std::hex >> meta.channelMask >> std::dec;
+        } else if (key == "sample_period") {
+            is >> meta.samplePeriod;
+        } else if (key == "dropped") {
+            unsigned shard = 0;
+            std::uint64_t count = 0;
+            is >> shard >> count;
+            if (shard >= meta.perShard.size())
+                sim::fatal("ulptrace: dropped line for unknown shard %u",
+                           shard);
+            meta.perShard[shard].dropped = count;
+        } else if (key == "component") {
+            unsigned shard = 0;
+            std::size_t id = 0;
+            std::string name;
+            is >> shard >> id >> name;
+            if (shard >= meta.perShard.size())
+                sim::fatal("ulptrace: component line for unknown shard %u",
+                           shard);
+            auto &names = meta.perShard[shard].components;
+            if (id != names.size())
+                sim::fatal("ulptrace: non-contiguous component id %zu", id);
+            names.push_back(name);
+        }
+        // Unknown keys are skipped: newer writers stay readable.
+    }
+    if (meta.shards == 0)
+        sim::fatal("ulptrace: '%s' declares no shards", path.c_str());
+    return meta;
+}
+
+std::vector<Record>
+readShardFile(const std::string &dir, unsigned shard)
+{
+    std::string path = dir + "/shard-" + std::to_string(shard) + ".ulpt";
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        sim::fatal("ulptrace: cannot open '%s'", path.c_str());
+
+    ShardFileHeader header{};
+    if (!in.read(reinterpret_cast<char *>(&header), sizeof(header)) ||
+        std::memcmp(header.magic, shardFileMagic, sizeof(header.magic)) !=
+            0) {
+        sim::fatal("ulptrace: '%s' is not a shard trace file", path.c_str());
+    }
+    if (header.shard != shard)
+        sim::fatal("ulptrace: '%s' claims to be shard %u", path.c_str(),
+                   header.shard);
+
+    std::vector<Record> records;
+    Record r;
+    while (in.read(reinterpret_cast<char *>(&r), sizeof(r)))
+        records.push_back(r);
+    if (in.gcount() != 0)
+        sim::fatal("ulptrace: '%s' ends mid-record", path.c_str());
+    return records;
+}
+
+} // namespace
+
+MergedLog
+readTraceDir(const std::string &dir)
+{
+    Meta meta = readMeta(dir);
+
+    MergedLog merged;
+    merged.ticksPerSecond = meta.ticksPerSecond;
+    merged.channelMask = meta.channelMask;
+    merged.samplePeriod = meta.samplePeriod;
+    merged.shards = meta.shards;
+    for (const ShardMeta &sm : meta.perShard)
+        merged.droppedPerShard.push_back(sm.dropped);
+
+    // Canonical component table: all names, sorted. Names are unique
+    // across shards (hierarchical SimObject names).
+    std::map<std::string, std::uint32_t> canonical;
+    for (const ShardMeta &sm : meta.perShard) {
+        for (const std::string &name : sm.components)
+            canonical.emplace(name, 0);
+    }
+    for (auto &[name, id] : canonical) {
+        id = static_cast<std::uint32_t>(merged.components.size());
+        merged.components.push_back(name);
+    }
+
+    // Concatenate (shard order), re-map ids, stable-sort.
+    for (unsigned s = 0; s < meta.shards; ++s) {
+        const auto &names = meta.perShard[s].components;
+        for (Record r : readShardFile(dir, s)) {
+            if (r.component >= names.size())
+                sim::fatal("ulptrace: shard %u record names unregistered "
+                           "component %u", s, r.component);
+            r.component = canonical.at(names[r.component]);
+            merged.records.push_back(r);
+        }
+    }
+    std::stable_sort(merged.records.begin(), merged.records.end(),
+                     [](const Record &x, const Record &y) {
+                         if (x.tick != y.tick)
+                             return x.tick < y.tick;
+                         return x.component < y.component;
+                     });
+    return merged;
+}
+
+std::string
+serializeMerged(const MergedLog &log)
+{
+    std::string out;
+    out += "ULPTRACE-MERGED 1\n";
+    out += "ticks_per_second " + std::to_string(log.ticksPerSecond) + "\n";
+    char mask[16];
+    std::snprintf(mask, sizeof(mask), "%#x", log.channelMask);
+    out += std::string("channel_mask ") + mask + "\n";
+    out += "sample_period " + std::to_string(log.samplePeriod) + "\n";
+    out += "components " + std::to_string(log.components.size()) + "\n";
+    for (const std::string &name : log.components)
+        out += name + "\n";
+    out += "records " + std::to_string(log.records.size()) + "\n";
+    out.append(reinterpret_cast<const char *>(log.records.data()),
+               log.records.size() * sizeof(Record));
+    return out;
+}
+
+} // namespace ulp::obs

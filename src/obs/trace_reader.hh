@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reader side of the binary trace: loads a trace directory written by
+ * obs::EventLog and merges the per-shard record streams into one
+ * canonical stream.
+ *
+ * Canonical order and byte-identity. A component lives on exactly one
+ * shard, and the PDES kernel guarantees each component's behaviour is
+ * identical for every shard count, so each component's record stream is
+ * shard-count-invariant. Shard-local component ids are therefore
+ * re-mapped to canonical ids (components sorted by name across all
+ * shards) and the concatenated streams are stably sorted by
+ * (tick, canonical component id); the stable tie-break preserves each
+ * component's own causal order (its per-shard sequence). The serialized
+ * result — header, component table, records — is byte-identical across
+ * --threads=1/2/4 for a fixed seed, which makes the merged trace a
+ * correctness oracle for the parallel kernel. Per-shard drop counters
+ * are deliberately excluded from the serialization (flusher timing is
+ * host-dependent); they are surfaced in the summary instead.
+ */
+
+#ifndef ULP_OBS_TRACE_READER_HH
+#define ULP_OBS_TRACE_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hh"
+
+namespace ulp::obs {
+
+/** A whole trace directory, merged into canonical form. */
+struct MergedLog
+{
+    std::uint64_t ticksPerSecond = 0;
+    std::uint32_t channelMask = 0;
+    std::uint64_t samplePeriod = 0;
+    unsigned shards = 0;
+    std::vector<std::uint64_t> droppedPerShard;
+
+    /** Canonical component table: index == id in records, sorted by name. */
+    std::vector<std::string> components;
+
+    /** All records, canonical ids, sorted by (tick, component, seq). */
+    std::vector<Record> records;
+};
+
+/** Load and merge @p dir; throws sim::FatalError on malformed input. */
+MergedLog readTraceDir(const std::string &dir);
+
+/**
+ * Canonical binary serialization of the merged log (drop counters
+ * excluded): the byte string asserted identical across thread counts.
+ */
+std::string serializeMerged(const MergedLog &log);
+
+} // namespace ulp::obs
+
+#endif // ULP_OBS_TRACE_READER_HH

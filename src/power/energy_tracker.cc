@@ -1,13 +1,27 @@
 #include "power/energy_tracker.hh"
 
+#include "sim/telemetry.hh"
+
 namespace ulp::power {
 
 EnergyTracker::EnergyTracker(sim::SimObject &owner, const PowerModel &model,
                              PowerState initial, const std::string &name)
     : sim::stats::Group(&owner, name),
       owner(owner), _model(model), _state(initial),
-      stintStart(owner.curTick()), epoch(owner.curTick())
+      stintStart(owner.curTick()), epoch(owner.curTick()),
+      obs(owner.simulation().telemetry())
 {
+    if (obs) {
+        obsId = obs->registerComponent(owner.name() + "." + name);
+        if (obs->wants(sim::TelemetryChannel::Power)) {
+            obs->record(owner.curTick(), obsId,
+                        sim::TelemetryChannel::Power,
+                        static_cast<std::uint8_t>(initial),
+                        static_cast<std::uint16_t>(initial), 0);
+        }
+        if (obs->wants(sim::TelemetryChannel::Energy))
+            obs->addEnergyProbe(obsId, [this] { return energyJoules(); });
+    }
 }
 
 void
@@ -17,6 +31,11 @@ EnergyTracker::setState(PowerState state)
         return;
     sim::Tick t = now();
     closedResidency[static_cast<unsigned>(_state)] += t - stintStart;
+    if (obs && obs->wants(sim::TelemetryChannel::Power)) {
+        obs->record(t, obsId, sim::TelemetryChannel::Power,
+                    static_cast<std::uint8_t>(state),
+                    static_cast<std::uint16_t>(_state), 0);
+    }
     _state = state;
     stintStart = t;
 }

@@ -19,6 +19,10 @@
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 
+namespace ulp::sim {
+class TelemetrySink;
+} // namespace ulp::sim
+
 namespace ulp::power {
 
 class EnergyTracker : public sim::stats::Group
@@ -70,6 +74,10 @@ class EnergyTracker : public sim::stats::Group
     sim::Tick stintStart;
     sim::Tick epoch;
     std::array<sim::Tick, numPowerStates> closedResidency{};
+
+    /** Telemetry sink of the owning simulation; null when not tracing. */
+    sim::TelemetrySink *obs = nullptr;
+    std::uint32_t obsId = 0;
 };
 
 } // namespace ulp::power

@@ -17,6 +17,8 @@
 
 namespace ulp::sim {
 
+class TelemetrySink;
+
 class Simulation
 {
   public:
@@ -31,6 +33,15 @@ class Simulation
     Tick curTick() const { return _eventq.curTick(); }
 
     stats::Group &rootStats() { return _rootStats; }
+
+    /**
+     * Telemetry sink for components built on this simulation, or null
+     * (the default) when telemetry is disabled. Install before
+     * constructing the components that should record — instrumentation
+     * hooks latch the sink at construction time.
+     */
+    TelemetrySink *telemetry() const { return _telemetry; }
+    void setTelemetry(TelemetrySink *sink) { _telemetry = sink; }
 
     /** Run until @p limit (inclusive); returns events processed. */
     std::uint64_t runUntil(Tick limit) { return _eventq.runUntil(limit); }
@@ -69,6 +80,7 @@ class Simulation
   private:
     EventQueue _eventq;
     stats::Group _rootStats;
+    TelemetrySink *_telemetry = nullptr;
 };
 
 } // namespace ulp::sim

@@ -1,6 +1,7 @@
 #include "sim/trace.hh"
 
 #include <cstdio>
+#include <mutex>
 #include <set>
 
 #include "sim/logging.hh"
@@ -52,9 +53,16 @@ void
 Trace::output(const std::string &category, Tick when, const std::string &who,
               const std::string &message)
 {
-    std::fprintf(stderr, "%12llu: %s: [%s] %s\n",
-                 static_cast<unsigned long long>(when), who.c_str(),
-                 category.c_str(), message.c_str());
+    // Under --threads=K several shard workers trace concurrently:
+    // assemble the whole line first and emit it with one locked write so
+    // lines never interleave mid-line.
+    std::string line = csprintf("%12llu: %s: [%s] %s\n",
+                                static_cast<unsigned long long>(when),
+                                who.c_str(), category.c_str(),
+                                message.c_str());
+    static std::mutex outputMutex;
+    std::lock_guard<std::mutex> lock(outputMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void

@@ -84,6 +84,35 @@ TEST_F(EnergyTrackerTest, OpenStintCountsUpToNow)
     EXPECT_NEAR(tracker.energyJoules(), 1e-6, 1e-15);
 }
 
+TEST_F(EnergyTrackerTest, SetModelMidRunLeavesResidencyIntact)
+{
+    EnergyTracker tracker(owner, PowerModel{10e-6, 1e-6, 1e-9},
+                          PowerState::Active);
+    advance(1.0);
+    tracker.setState(PowerState::Idle);
+    advance(0.5);
+
+    tracker.setModel(PowerModel{20e-6, 2e-6, 2e-9});
+
+    // Swapping the model (an ablation knob) must not disturb the
+    // accumulated residency, the current state, or the open stint.
+    EXPECT_EQ(tracker.state(), PowerState::Idle);
+    EXPECT_EQ(tracker.residency(PowerState::Active),
+              sim::secondsToTicks(1.0));
+    EXPECT_EQ(tracker.residency(PowerState::Idle),
+              sim::secondsToTicks(0.5));
+    EXPECT_EQ(tracker.observed(), sim::secondsToTicks(1.5));
+
+    advance(0.5); // the open Idle stint keeps accruing seamlessly
+    EXPECT_EQ(tracker.residency(PowerState::Idle),
+              sim::secondsToTicks(1.0));
+
+    // Energy is re-integrated under the new model over the intact
+    // residency — exactly what an ablation sweep expects.
+    double expected = 20e-6 * 1.0 + 2e-6 * 1.0;
+    EXPECT_NEAR(tracker.energyJoules(), expected, expected * 1e-9);
+}
+
 TEST(EnergyStore, ClampsAtBounds)
 {
     EnergyStore store(1.0, 0.5);

@@ -30,6 +30,7 @@
 #include "core/apps.hh"
 #include "core/network.hh"
 #include "core/sensor_node.hh"
+#include "obs/event_log.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
@@ -54,6 +55,8 @@ struct Options
     bool stats = false;
     bool power = false;
     std::string trace;
+    std::string traceOut;
+    std::string traceChannels = "all";
 };
 
 [[noreturn]] void
@@ -80,7 +83,12 @@ usage(int code)
         "  --stats                 dump the full statistics tree\n"
         "  --trace=FLAGS           comma-separated trace categories "
         "(EP,Bus,IrqBus,Timer,MsgProc,Radio,Mcu,Sram,Power,All)\n"
-        "  --help\n");
+        "  --trace-out=DIR         write a binary telemetry trace to DIR "
+        "(node platform; analyze with ulptrace)\n"
+        "  --trace-channels=LIST   comma-separated telemetry channels "
+        "(%s or all; default all)\n"
+        "  --help\n",
+        obs::allChannelNames().c_str());
     std::exit(code);
 }
 
@@ -124,6 +132,10 @@ parse(int argc, char **argv)
             opt.power = true;
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (const char *v = value("--trace-out")) {
+            opt.traceOut = v;
+        } else if (const char *v = value("--trace-channels")) {
+            opt.traceChannels = v;
         } else if (const char *v = value("--trace")) {
             opt.trace = v;
         } else {
@@ -171,6 +183,16 @@ validate(const Options &opt)
     }
     if (!(opt.seconds > 0.0))
         complain("--seconds must be positive");
+    if (!opt.traceOut.empty() && opt.platform != "node")
+        complain("--trace-out requires --platform=node");
+    if (opt.traceChannels != "all" && opt.traceOut.empty())
+        complain("--trace-channels requires --trace-out");
+    std::uint32_t mask = 0;
+    std::string bad;
+    if (!obs::parseChannelList(opt.traceChannels, &mask, &bad)) {
+        complain("unknown trace channel '" + bad + "' (valid: " +
+                 obs::allChannelNames() + ", all)");
+    }
 
     if (errors.empty())
         return;
@@ -258,8 +280,27 @@ runNetwork(const Options &opt)
         return app;
     };
 
+    std::unique_ptr<obs::EventLog> log;
+    if (!opt.traceOut.empty()) {
+        obs::EventLogConfig ecfg;
+        ecfg.dir = opt.traceOut;
+        std::string bad;
+        if (!obs::parseChannelList(opt.traceChannels, &ecfg.channelMask,
+                                   &bad)) {
+            sim::fatal("bad trace channel '%s'", bad.c_str());
+        }
+        log = std::make_unique<obs::EventLog>(ecfg, opt.threads);
+        cfg.telemetrySink = [&log](unsigned s) { return &log->sink(s); };
+    }
+
     core::Network network(cfg);
+    if (log) {
+        for (unsigned s = 0; s < opt.threads; ++s)
+            log->attachSampler(s, network.shardSimulation(s));
+    }
     network.runForSeconds(opt.seconds);
+    if (log)
+        log->finish();
     const core::Network::Counters c = network.counters();
 
     std::printf("platform=node app=%s nodes=%u simulated=%.3fs",
@@ -278,6 +319,12 @@ runNetwork(const Options &opt)
                 static_cast<unsigned long long>(c.epIsrs));
     std::printf("uC wakeups:        %llu\n",
                 static_cast<unsigned long long>(c.mcuWakeups));
+    if (log) {
+        std::printf("trace records:     %llu (%llu dropped) -> %s\n",
+                    static_cast<unsigned long long>(log->totalRecorded()),
+                    static_cast<unsigned long long>(log->totalDropped()),
+                    log->dir().c_str());
+    }
     if (opt.stats) {
         std::printf("\n");
         network.dumpStats(std::cout);
@@ -409,8 +456,12 @@ main(int argc, char **argv)
         validate(opt);
         if (!opt.trace.empty())
             sim::Trace::enableFromString(opt.trace);
-        if (opt.platform == "node")
-            return opt.nodes > 1 ? runNetwork(opt) : runNode(opt);
+        if (opt.platform == "node") {
+            // Tracing always goes through the Network path so the trace
+            // layout is the same for 1 and N nodes.
+            bool net = opt.nodes > 1 || !opt.traceOut.empty();
+            return net ? runNetwork(opt) : runNode(opt);
+        }
         return runMica2(opt);
     } catch (const sim::SimError &e) {
         std::fprintf(stderr, "%s\n", e.what());
