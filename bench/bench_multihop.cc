@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Multi-hop scaling sweep: packets delivered at the sink and energy per
+ * delivered payload bit as the network grows (64 / 256 / 1024 nodes on
+ * a constant-density grid) and as the node density changes (grid pitch
+ * sweep at 64 nodes, which moves the hop count of the far corner).
+ *
+ * Every configuration runs through the scenario engine on the spatial
+ * radio model with BFS routes toward a corner sink, and every scale is
+ * gated on the cross-thread-count oracle: the merged statistics of the
+ * 2- and 4-shard runs must be byte-identical to the sequential run
+ * before the row is reported.
+ *
+ * Modes:
+ *   (none)         the full table on stdout
+ *   --smoke        one short gated run at 64 nodes (CI under sanitizers)
+ *   --json[=PATH]  machine-readable BENCH_multihop.json snapshot
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/network.hh"
+#include "scenario/lower.hh"
+#include "scenario/scenario.hh"
+#include "sim/logging.hh"
+
+using namespace ulp;
+
+namespace {
+
+/** Payload bits per delivered sample frame (1 data byte). */
+constexpr double payloadBits = 8.0;
+
+scenario::Scenario
+gridScenario(unsigned nodes, unsigned threads, double spacing,
+             double seconds)
+{
+    scenario::Scenario sc;
+    sc.name = "bench-multihop";
+    sc.seconds = seconds;
+    sc.seed = 42;
+    sc.threads = threads;
+    sc.nodes.count = nodes;
+    sc.nodes.app = "app3";
+    sc.nodes.period = 2000;
+    sc.nodes.placement = scenario::Placement::Grid;
+    sc.nodes.spacing = spacing;
+    sc.radio.model = scenario::RadioModel::Spatial;
+    sc.radio.spatial.pathLossExponent = 2.8;
+    sc.radio.spatial.sensitivityDbm = -90.0;
+    sc.routes.sink = 0;
+    return sc;
+}
+
+struct Row
+{
+    unsigned nodes = 0;
+    double spacing = 0.0;
+    double seconds = 0.0;
+    unsigned maxDepth = 0;
+    std::uint64_t framesSent = 0;
+    std::uint64_t sinkPackets = 0;
+    std::size_t origins = 0;
+    double totalEnergyJ = 0.0;
+    double energyPerBitJ = 0.0; ///< network energy per delivered payload bit
+    bool oracleOk = false;      ///< K = 2/4 stats byte-identical to K = 1
+};
+
+struct RunResult
+{
+    core::Network::Counters counters;
+    std::uint64_t sinkPackets = 0;
+    std::size_t origins = 0;
+    double totalEnergyJ = 0.0;
+    std::string stats;
+};
+
+RunResult
+run(const scenario::Scenario &sc)
+{
+    scenario::Lowered low = scenario::lower(sc);
+    core::Network network(low.spec);
+    network.runForSeconds(low.seconds);
+
+    RunResult r;
+    r.counters = network.counters();
+    const core::MessageProcessor &mp = network.node(*low.sink).msgProc();
+    r.sinkPackets = mp.localDeliveries();
+    r.origins = mp.localDeliveriesBySource().size();
+    for (unsigned i = 0; i < network.numNodes(); ++i)
+        r.totalEnergyJ += network.node(i).totalAverageWatts() * low.seconds;
+    std::ostringstream os;
+    network.dumpStats(os);
+    r.stats = os.str();
+    return r;
+}
+
+Row
+sweepPoint(unsigned nodes, double spacing, double seconds,
+           double min_prob = 1.0)
+{
+    scenario::Scenario sc = gridScenario(nodes, 1, spacing, seconds);
+    sc.routes.minProb = min_prob;
+    RunResult k1 = run(sc);
+
+    Row row;
+    row.nodes = nodes;
+    row.spacing = spacing;
+    row.seconds = seconds;
+    row.maxDepth = scenario::lower(sc).maxDepth();
+    row.framesSent = k1.counters.framesSent;
+    row.sinkPackets = k1.sinkPackets;
+    row.origins = k1.origins;
+    row.totalEnergyJ = k1.totalEnergyJ;
+    row.energyPerBitJ =
+        k1.sinkPackets
+            ? k1.totalEnergyJ / (static_cast<double>(k1.sinkPackets) *
+                                 payloadBits)
+            : 0.0;
+
+    // The determinism gate: the same workload on 2 and 4 shards must
+    // merge to the identical counters and the identical stats tree.
+    row.oracleOk = true;
+    for (unsigned threads : {2u, 4u}) {
+        sc.threads = threads;
+        RunResult kn = run(sc);
+        if (!(kn.counters == k1.counters) || kn.stats != k1.stats ||
+            kn.sinkPackets != k1.sinkPackets) {
+            row.oracleOk = false;
+            std::fprintf(stderr,
+                         "bench_multihop: %u nodes: threads=%u diverged "
+                         "from the sequential run\n",
+                         nodes, threads);
+        }
+    }
+    return row;
+}
+
+void
+printTable(const std::vector<Row> &rows)
+{
+    std::printf("%7s %8s %6s %6s %9s %9s %8s %13s %7s\n", "nodes",
+                "spacing", "hops", "sink", "sent", "packets", "origins",
+                "energy/bit", "oracle");
+    for (const Row &r : rows) {
+        std::printf("%7u %7gm %6u %6s %9llu %9llu %8zu %10.3f nJ %7s\n",
+                    r.nodes, r.spacing, r.maxDepth, "0",
+                    static_cast<unsigned long long>(r.framesSent),
+                    static_cast<unsigned long long>(r.sinkPackets),
+                    r.origins, r.energyPerBitJ * 1e9,
+                    r.oracleOk ? "ok" : "FAIL");
+    }
+}
+
+int
+writeJson(const std::vector<Row> &rows, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_multihop: cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"multihop\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"nodes\": %u, \"spacing_m\": %g, \"seconds\": %g, "
+            "\"max_depth\": %u, \"frames_sent\": %llu, "
+            "\"sink_packets\": %llu, \"origins\": %zu, "
+            "\"total_energy_j\": %.9g, \"energy_per_bit_j\": %.9g, "
+            "\"threads_oracle_ok\": %s}%s\n",
+            r.nodes, r.spacing, r.seconds, r.maxDepth,
+            static_cast<unsigned long long>(r.framesSent),
+            static_cast<unsigned long long>(r.sinkPackets), r.origins,
+            r.totalEnergyJ, r.energyPerBitJ, r.oracleOk ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool json = false;
+    std::string jsonPath = "BENCH_multihop.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json = true;
+            jsonPath = argv[i] + 7;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_multihop [--smoke] [--json[=PATH]]\n");
+            return 2;
+        }
+    }
+
+    sim::setQuiet(true); // keep the table clean of msgProc-busy warnings
+
+    try {
+        std::vector<Row> rows;
+        if (smoke) {
+            rows.push_back(sweepPoint(64, 40.0, 0.4));
+        } else {
+            // Scale sweep at constant density, then a density sweep at 64
+            // nodes (a wider pitch stretches the route tree: more hops).
+            rows.push_back(sweepPoint(64, 40.0, 2.0));
+            rows.push_back(sweepPoint(256, 40.0, 1.0));
+            rows.push_back(sweepPoint(1024, 40.0, 0.5));
+            rows.push_back(sweepPoint(64, 30.0, 2.0));
+            // 55 m pitch: the grid links fade (delivery probability
+            // ~0.4), so routing must accept lossy hops.
+            rows.push_back(sweepPoint(64, 55.0, 2.0, 0.4));
+        }
+
+        printTable(rows);
+        bool ok = true;
+        for (const Row &r : rows) {
+            ok = ok && r.oracleOk && r.sinkPackets > 0;
+            if (r.sinkPackets == 0) {
+                std::fprintf(stderr,
+                             "bench_multihop: %u nodes delivered nothing "
+                             "to the sink\n",
+                             r.nodes);
+            }
+        }
+        if (json && ok)
+            return writeJson(rows, jsonPath);
+        return ok ? 0 : 1;
+    } catch (const sim::SimError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

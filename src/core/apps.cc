@@ -528,6 +528,45 @@ sense_isr:
     return finish("sense", ep, mc);
 }
 
+NodeApp
+buildSink(const AppParams &params)
+{
+    // Listen-only: the receive pipeline of app3 with no timer, filter or
+    // send path. The forward ISR stays bound so a sink given routing-CAM
+    // entries can still relay (tree roots that uplink elsewhere).
+    std::string ep = std::string(epTxDoneKeepRadio) + epRxIsrs +
+                     ".isr RadioTxDone, txdone_isr\n"
+                     ".isr RadioTxFail, txdone_isr\n" +
+                     epIsrBindingsRx;
+    AppParams p = params;
+    p.macRetries = 0;
+    p.watchdogCycles = 0;
+    std::string mc = mcuParamHeader(p) + mcuInit(p, false, true, false);
+    return finish("sink-listen", ep, mc);
+}
+
+NodeApp
+buildByName(const std::string &name, const AppParams &params)
+{
+    if (name == "app1")
+        return buildApp1(params);
+    if (name == "app2")
+        return buildApp2(params);
+    if (name == "app3")
+        return buildApp3(params);
+    if (name == "app4")
+        return buildApp4(params);
+    if (name == "blink")
+        return buildBlink(params);
+    if (name == "sense")
+        return buildSense(params);
+    if (name == "sink")
+        return buildSink(params);
+    sim::fatal("unknown app '%s' (valid: app1, app2, app3, app4, blink, "
+               "sense, sink)",
+               name.c_str());
+}
+
 void
 install(SensorNode &node, const NodeApp &app)
 {

@@ -92,6 +92,18 @@ NodeApp buildApp4(const AppParams &params = {});
 NodeApp buildBlink(const AppParams &params = {});
 NodeApp buildSense(const AppParams &params = {});
 
+/**
+ * Listen-only base station: the radio stays in RX, received frames run
+ * through the message processor (duplicate suppression, local-delivery
+ * accounting), and nothing is sampled or transmitted. Scenario sinks
+ * default to this app.
+ */
+NodeApp buildSink(const AppParams &params = {});
+
+/** Build an application by scenario name: app1..app4, blink, sense,
+ *  sink. Unknown names are fatal (the message lists the valid set). */
+NodeApp buildByName(const std::string &name, const AppParams &params = {});
+
 /** Load programs and vectors into @p node and run the uC init code. */
 void install(SensorNode &node, const NodeApp &app);
 

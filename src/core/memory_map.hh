@@ -82,6 +82,12 @@ constexpr Addr msgBatch = 0x0D;     ///< samples per packet (0 = no batching)
 constexpr Addr msgPayload = 0x10;   ///< staged payload area (21 B)
 constexpr Addr msgOutBuf = 0x28;    ///< prepared frame buffer (32 B)
 constexpr Addr msgInBuf = 0x48;     ///< incoming frame buffer (32 B)
+// Route-CAM staging registers: CmdRouteAdd latches (origin -> next hop)
+// into the routing CAM; origin 0xFFFF is the wildcard (default route).
+constexpr Addr msgRouteOrigHi = 0x68;
+constexpr Addr msgRouteOrigLo = 0x69;
+constexpr Addr msgRouteNextHi = 0x6A;
+constexpr Addr msgRouteNextLo = 0x6B;
 
 // --- Radio (CC2420-class) ---------------------------------------------------
 constexpr Addr radioBase = 0x1400;

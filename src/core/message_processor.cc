@@ -34,7 +34,9 @@ MessageProcessor::MessageProcessor(sim::Simulation &simulation,
       statLocal(this, "localDeliveries", "frames addressed to this node"),
       statIrregular(this, "irregulars",
                     "irregular messages referred to the uC"),
-      statMalformed(this, "malformed", "undecodable frames dropped")
+      statMalformed(this, "malformed", "undecodable frames dropped"),
+      statOverheard(this, "overheard",
+                    "frames for another hop dropped by the routing CAM")
 {
 }
 
@@ -57,6 +59,10 @@ MessageProcessor::busRead(map::Addr offset)
       case msgBatch: return batch;
       case msgOutLen: return outLen;
       case msgInLen: return inLen;
+      case msgRouteOrigHi: return routeOrigHi;
+      case msgRouteOrigLo: return routeOrigLo;
+      case msgRouteNextHi: return routeNextHi;
+      case msgRouteNextLo: return routeNextLo;
       default:
         if (offset >= msgPayload && offset < msgPayload + payloadBytes)
             return payload[offset - msgPayload];
@@ -101,6 +107,10 @@ MessageProcessor::busWrite(map::Addr offset, std::uint8_t value)
       case msgInLen:
         inLen = std::min<std::uint8_t>(value, bufferBytes);
         return;
+      case msgRouteOrigHi: routeOrigHi = value; return;
+      case msgRouteOrigLo: routeOrigLo = value; return;
+      case msgRouteNextHi: routeNextHi = value; return;
+      case msgRouteNextLo: routeNextLo = value; return;
       default:
         if (offset >= msgPayload && offset < msgPayload + payloadBytes) {
             payload[offset - msgPayload] = value;
@@ -124,6 +134,16 @@ MessageProcessor::startCommand(std::uint8_t cmd)
     }
     if (cmd == cmdClearCam) {
         cam.clear();
+        return;
+    }
+    if (cmd == cmdRouteAdd) {
+        preloadRoute(
+            static_cast<std::uint16_t>((routeOrigHi << 8) | routeOrigLo),
+            static_cast<std::uint16_t>((routeNextHi << 8) | routeNextLo));
+        return;
+    }
+    if (cmd == cmdRouteClear) {
+        clearRoutes();
         return;
     }
     if (cmd != cmdPrepare && cmd != cmdProcessRx)
@@ -218,8 +238,31 @@ MessageProcessor::finishProcessRx()
     }
 
     if (frame->dest == ourAddr()) {
+        // Hop-by-hop routing: a frame addressed to us either relays to
+        // its origin's next hop or terminates here (the sink case).
+        if (auto next = lookupRoute(frame->src)) {
+            frame->dest = *next;
+            std::vector<std::uint8_t> wire = frame->serialize();
+            outLen = static_cast<std::uint8_t>(wire.size());
+            std::copy(wire.begin(), wire.end(), outBuf.begin());
+            status |= statusTxReady;
+            ++statForwards;
+            postIrq(Irq::MsgRxForward);
+            ULP_TRACE("MsgProc", this,
+                      "frame readdressed to %u for relay (src %u seq %u)",
+                      *next, frame->src, frame->seq);
+            return;
+        }
         ++statLocal;
+        ++localBySource[frame->src];
         postIrq(Irq::MsgRxLocal);
+        return;
+    }
+
+    if (!routes.empty()) {
+        // Routed network: a frame for another hop is overheard traffic.
+        ++statOverheard;
+        postIrq(Irq::MsgRxDrop);
         return;
     }
 
@@ -232,6 +275,33 @@ MessageProcessor::finishProcessRx()
     postIrq(Irq::MsgRxForward);
     ULP_TRACE("MsgProc", this, "frame staged for forwarding (src %u seq %u)",
               frame->src, frame->seq);
+}
+
+void
+MessageProcessor::preloadRoute(std::uint16_t origin, std::uint16_t next_hop)
+{
+    for (Route &r : routes) {
+        if (r.origin == origin) {
+            r.nextHop = next_hop;
+            return;
+        }
+    }
+    routes.push_back({origin, next_hop});
+    if (routes.size() > routeEntries)
+        routes.erase(routes.begin());
+}
+
+std::optional<std::uint16_t>
+MessageProcessor::lookupRoute(std::uint16_t origin) const
+{
+    std::optional<std::uint16_t> wildcard;
+    for (const Route &r : routes) {
+        if (r.origin == origin)
+            return r.nextHop;
+        if (r.origin == routeWildcard)
+            wildcard = r.nextHop;
+    }
+    return wildcard;
 }
 
 void

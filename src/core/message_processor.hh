@@ -18,6 +18,21 @@
  *                MsgRxIrregular (the EP will wake the uC); otherwise the
  *                frame is copied to the OUT buffer for forwarding and
  *                MsgRxForward is posted.
+ *   CmdRouteAdd  latch the staged (origin -> next hop) pair into the
+ *                routing CAM (immediate, like CmdClearCam).
+ *   CmdRouteClear empty the routing CAM.
+ *
+ * Routing CAM (multi-hop relay): entries map a frame's *origin* address
+ * to the next hop toward the sink; origin 0xFFFF is the wildcard default
+ * route. With routes configured, the MAC destination of every data frame
+ * is the current hop: a frame addressed to this node whose route lookup
+ * hits is *readdressed* to the next hop (dest rewritten, FCS recomputed)
+ * and staged for forwarding; a lookup miss means this node is the
+ * frame's final destination (MsgRxLocal). Frames overheard for another
+ * address are dropped. With no routes configured the legacy behavior is
+ * unchanged: frames for other nodes are flood-forwarded verbatim. The
+ * routing CAM, like the duplicate CAM, lives in always-on retention
+ * latches and survives power gating.
  */
 
 #ifndef ULP_CORE_MESSAGE_PROCESSOR_HH
@@ -25,6 +40,9 @@
 
 #include <array>
 #include <deque>
+#include <map>
+#include <optional>
+#include <vector>
 
 #include "core/slave_device.hh"
 #include "net/frame.hh"
@@ -37,6 +55,11 @@ class MessageProcessor : public SlaveDevice
     static constexpr std::uint8_t cmdPrepare = 1;
     static constexpr std::uint8_t cmdProcessRx = 2;
     static constexpr std::uint8_t cmdClearCam = 3;
+    static constexpr std::uint8_t cmdRouteAdd = 4;
+    static constexpr std::uint8_t cmdRouteClear = 5;
+
+    /** Route-CAM origin wildcard: matches any origin (default route). */
+    static constexpr std::uint16_t routeWildcard = 0xFFFF;
 
     /** Status register bits. */
     static constexpr std::uint8_t statusBusy = 0x1;
@@ -45,6 +68,17 @@ class MessageProcessor : public SlaveDevice
     static constexpr std::size_t bufferBytes = 32;
     static constexpr std::size_t payloadBytes = 21;
     static constexpr std::size_t camEntries = 16;
+    static constexpr std::size_t routeEntries = 16;
+
+    /** One routing-CAM entry: frames originated by @c origin relay via
+     *  @c nextHop. @c origin == routeWildcard matches any origin. */
+    struct Route
+    {
+        std::uint16_t origin;
+        std::uint16_t nextHop;
+
+        bool operator==(const Route &) const = default;
+    };
 
     struct Timing
     {
@@ -99,8 +133,30 @@ class MessageProcessor : public SlaveDevice
         return static_cast<std::uint64_t>(statMalformed.value());
     }
 
+    std::uint64_t overheard() const
+    {
+        return static_cast<std::uint64_t>(statOverheard.value());
+    }
+
     /** CAM occupancy (tests). */
     std::size_t camSize() const { return cam.size(); }
+
+    // --- Routing CAM (C++ preload API for the scenario engine) -----------
+    /** Install (origin -> next hop); exact entries replace, wildcard too.
+     *  FIFO eviction when the CAM is full, like the duplicate CAM. */
+    void preloadRoute(std::uint16_t origin, std::uint16_t next_hop);
+    void clearRoutes() { routes.clear(); }
+    std::size_t routeCount() const { return routes.size(); }
+    /** Exact-origin match first, else the wildcard entry if present. */
+    std::optional<std::uint16_t> lookupRoute(std::uint16_t origin) const;
+
+    /** Per-origin counts of frames locally delivered at this node (the
+     *  sink's view of who reached it). */
+    const std::map<std::uint16_t, std::uint64_t> &
+    localDeliveriesBySource() const
+    {
+        return localBySource;
+    }
 
   protected:
     void onPowerOff() override;
@@ -135,6 +191,15 @@ class MessageProcessor : public SlaveDevice
     /** Recently seen (src, seq) packet ids, FIFO replacement. */
     std::deque<std::uint32_t> cam;
 
+    /** Routing CAM (always-on retention latches, like `cam`). */
+    std::vector<Route> routes;
+    /** Route staging registers (latched by CmdRouteAdd). */
+    std::uint8_t routeOrigHi = 0, routeOrigLo = 0;
+    std::uint8_t routeNextHi = 0, routeNextLo = 0;
+
+    /** Per-origin local-delivery counts (observability, not hardware). */
+    std::map<std::uint16_t, std::uint64_t> localBySource;
+
     sim::EventFunctionWrapper doneEvent;
     std::uint8_t activeCmd = 0;
 
@@ -145,6 +210,7 @@ class MessageProcessor : public SlaveDevice
     sim::stats::Scalar statLocal;
     sim::stats::Scalar statIrregular;
     sim::stats::Scalar statMalformed;
+    sim::stats::Scalar statOverheard;
 };
 
 } // namespace ulp::core

@@ -1,5 +1,6 @@
 #include "core/network.hh"
 
+#include <algorithm>
 #include <string>
 
 #include "sim/logging.hh"
@@ -7,37 +8,98 @@
 
 namespace ulp::core {
 
-Network::Network(const Config &config)
+namespace {
+
+/** Lower the legacy lambda Config into a resolved spec. */
+scenario::NetworkSpec
+specFromConfig(const Network::Config &config)
 {
     if (config.numNodes == 0)
         sim::fatal("Network: need at least one node");
-    if (config.threads == 0)
-        sim::fatal("Network: need at least one thread");
-    if (config.threads > config.numNodes)
-        sim::fatal("Network: more threads (%u) than nodes (%u)",
-                   config.threads, config.numNodes);
     if (!config.nodeConfig || !config.nodeApp)
         sim::fatal("Network: nodeConfig and nodeApp must be set");
 
-    const unsigned K = config.threads;
-    const unsigned N = config.numNodes;
+    scenario::NetworkSpec spec;
+    spec.threads = config.threads;
+    spec.channelSeed = config.channelSeed;
+    spec.bitRate = config.bitRate;
+    spec.telemetrySink = config.telemetrySink;
+    spec.nodes.reserve(config.numNodes);
+    for (unsigned i = 0; i < config.numNodes; ++i) {
+        spec.addNode()
+            .withConfig(config.nodeConfig(i))
+            .withPrebuiltApp(config.nodeApp(i));
+    }
+    return spec;
+}
 
-    if (K > 1)
-        relay = std::make_unique<net::FrameRelay>(K, config.bitRate);
+} // namespace
+
+Network::Network(const scenario::NetworkSpec &spec)
+{
+    build(spec);
+}
+
+Network::Network(const Config &config)
+{
+    build(specFromConfig(config));
+}
+
+void
+Network::build(const scenario::NetworkSpec &spec)
+{
+    const unsigned N = static_cast<unsigned>(spec.nodes.size());
+    const unsigned K = spec.threads;
+    if (N == 0)
+        sim::fatal("Network: need at least one node");
+    if (K == 0)
+        sim::fatal("Network: need at least one thread");
+    if (K > N)
+        sim::fatal("Network: more threads (%u) than nodes (%u)", K, N);
+
+    unsigned domains = 1;
+    for (const scenario::NodeSpec &n : spec.nodes)
+        domains = std::max(domains, n.domain + 1);
+
+    if (spec.spatial) {
+        model = std::make_unique<net::SpatialModel>(*spec.spatial,
+                                                    spec.positions());
+        // The spatial medium runs on the relay fabric at every K; the
+        // K=1 scheduler path is a plain run, so nothing is lost.
+        relay = std::make_unique<net::FrameRelay>(K, spec.bitRate);
+    } else if (K > 1) {
+        if (domains > 1) {
+            sim::fatal("Network: multiple broadcast domains require "
+                       "threads=1 (or the spatial model, which supports "
+                       "any thread count)");
+        }
+        relay = std::make_unique<net::FrameRelay>(K, spec.bitRate);
+    }
 
     nodeByIndex.resize(N, nullptr);
+    shardOfNode.resize(N, 0);
     shards.resize(K);
     for (unsigned s = 0; s < K; ++s) {
         Shard &shard = shards[s];
         shard.simulation = std::make_unique<sim::Simulation>();
-        if (config.telemetrySink)
-            shard.simulation->setTelemetry(config.telemetrySink(s));
+        if (spec.telemetrySink)
+            shard.simulation->setTelemetry(spec.telemetrySink(s));
+
         net::Medium *medium = nullptr;
-        if (K == 1) {
-            shard.channel = std::make_unique<net::Channel>(
-                *shard.simulation, "channel", config.bitRate,
-                config.channelSeed);
-            medium = shard.channel.get();
+        if (spec.spatial) {
+            shard.spatialChannel = std::make_unique<net::SpatialMedium>(
+                *shard.simulation, "channel", *relay, s, *model);
+            medium = shard.spatialChannel.get();
+        } else if (K == 1) {
+            // One Channel per broadcast domain. The single-domain name
+            // stays "channel" so existing stat layouts are unchanged.
+            for (unsigned d = 0; d < domains; ++d) {
+                shard.channels.push_back(std::make_unique<net::Channel>(
+                    *shard.simulation,
+                    domains == 1 ? "channel"
+                                 : "channel" + std::to_string(d),
+                    spec.bitRate, spec.channelSeed + d));
+            }
         } else {
             shard.shardChannel = std::make_unique<net::ShardChannel>(
                 *shard.simulation, "channel", *relay, s);
@@ -49,28 +111,49 @@ Network::Network(const Config &config)
         const unsigned first = s * N / K;
         const unsigned last = (s + 1) * N / K;
         for (unsigned i = first; i < last; ++i) {
+            const scenario::NodeSpec &ns = spec.nodes[i];
+            if (!shard.channels.empty())
+                medium = shard.channels[ns.domain].get();
             shard.nodes.push_back(std::make_unique<SensorNode>(
-                *shard.simulation, "node" + std::to_string(i),
-                config.nodeConfig(i), medium));
-            nodeByIndex[i] = shard.nodes.back().get();
-            apps::install(*shard.nodes.back(), config.nodeApp(i));
+                *shard.simulation, "node" + std::to_string(i), ns.config,
+                medium));
+            SensorNode *node = shard.nodes.back().get();
+            nodeByIndex[i] = node;
+            shardOfNode[i] = s;
+            if (shard.spatialChannel)
+                shard.spatialChannel->bind(&node->radio(), i);
+            apps::install(*node, ns.buildApp());
+            for (const MessageProcessor::Route &r : ns.routes)
+                node->msgProc().preloadRoute(r.origin, r.nextHop);
         }
     }
 }
 
 Network::~Network() = default;
 
+net::Channel *
+Network::broadcastChannel(unsigned domain)
+{
+    if (shards.empty() || domain >= shards[0].channels.size())
+        return nullptr;
+    return shards[0].channels[domain].get();
+}
+
 void
 Network::runForSeconds(double seconds)
 {
     const sim::Tick end = ran + sim::secondsToTicks(seconds);
-    if (shards.size() == 1) {
+    if (!relay) {
         shards[0].simulation->runUntil(end);
     } else {
         sim::ParallelScheduler scheduler(relay->lookahead());
         for (Shard &shard : shards) {
-            scheduler.addShard(shard.simulation->eventq(),
-                               shard.shardChannel.get());
+            sim::ShardCoupling *coupling =
+                shard.spatialChannel
+                    ? static_cast<sim::ShardCoupling *>(
+                          shard.spatialChannel.get())
+                    : shard.shardChannel.get();
+            scheduler.addShard(shard.simulation->eventq(), coupling);
         }
         scheduler.run(end);
     }
@@ -81,15 +164,29 @@ Network::Counters
 Network::counters() const
 {
     Counters c;
-    for (const Shard &shard : shards) {
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const Shard &shard = shards[s];
+        // dumpStats folds every shard's channel stats into shard 0;
+        // after that, the other shards' copies would double-count.
+        const bool countChannel = !statsMerged || s == 0;
         c.eventsProcessed += shard.simulation->eventq().numProcessed();
-        if (shard.channel) {
-            c.framesDelivered += shard.channel->framesDelivered();
-            c.collisions += shard.channel->collisions();
-        } else {
+        if (shard.spatialChannel) {
+            c.eventsProcessed -= shard.spatialChannel->auxiliaryEvents();
+            if (countChannel) {
+                c.framesDelivered += shard.spatialChannel->framesDelivered();
+                c.collisions += shard.spatialChannel->collisions();
+            }
+        } else if (shard.shardChannel) {
             c.eventsProcessed -= shard.shardChannel->auxiliaryEvents();
-            c.framesDelivered += shard.shardChannel->framesDelivered();
-            c.collisions += shard.shardChannel->collisions();
+            if (countChannel) {
+                c.framesDelivered += shard.shardChannel->framesDelivered();
+                c.collisions += shard.shardChannel->collisions();
+            }
+        } else {
+            for (const auto &channel : shard.channels) {
+                c.framesDelivered += channel->framesDelivered();
+                c.collisions += channel->collisions();
+            }
         }
         for (const auto &node : shard.nodes) {
             c.framesSent += node->radio().framesSent();
@@ -111,11 +208,20 @@ Network::dumpStats(std::ostream &os)
     // Fold every shard's channel stats into shard 0's (once), then print
     // in the sequential layout: channel first, nodes in index order.
     if (!statsMerged) {
-        for (std::size_t s = 1; s < shards.size(); ++s)
-            shards[0].shardChannel->mergeFrom(*shards[s].shardChannel);
+        for (std::size_t s = 1; s < shards.size(); ++s) {
+            if (shards[0].spatialChannel) {
+                shards[0].spatialChannel->mergeFrom(
+                    *shards[s].spatialChannel);
+            } else {
+                shards[0].shardChannel->mergeFrom(*shards[s].shardChannel);
+            }
+        }
         statsMerged = true;
     }
-    shards[0].shardChannel->printStats(os);
+    if (shards[0].spatialChannel)
+        shards[0].spatialChannel->printStats(os);
+    else
+        shards[0].shardChannel->printStats(os);
     for (SensorNode *node : nodeByIndex)
         node->printStats(os);
 }

@@ -1,18 +1,33 @@
 /**
  * @file
- * N sensor nodes on one broadcast channel, runnable on either simulation
- * kernel: the single-threaded kernel (one Simulation, one net::Channel)
- * or the sharded parallel kernel (K Simulations, net::ShardChannels
- * coupled by a net::FrameRelay under sim::ParallelScheduler).
+ * N sensor nodes on a shared radio medium, runnable on either simulation
+ * kernel: the single-threaded kernel (one Simulation) or the sharded
+ * parallel kernel (K Simulations coupled by a net::FrameRelay under
+ * sim::ParallelScheduler).
+ *
+ * The medium comes in two flavors, chosen by the spec:
+ *
+ *  - broadcast (default): one flat domain — net::Channel sequentially,
+ *    net::ShardChannel per shard in parallel. Multiple independent
+ *    broadcast domains (NodeSpec::domain) are supported sequentially,
+ *    one net::Channel per domain.
+ *  - spatial (NetworkSpec::spatial set): net::SpatialMedium over the
+ *    node positions, for *every* thread count — the K=1 scheduler path
+ *    degenerates to a plain run, so one implementation serves both and
+ *    stays K-invariant by construction.
  *
  * The two kernels are required to produce identical statistics for the
  * same configuration — `threads=1` *is* the regression oracle for
  * `threads=K` — so this class is also where the per-shard stat trees are
  * merged back into the exact report the sequential kernel prints.
  *
+ * The primary constructor takes a lowered scenario::NetworkSpec; the
+ * legacy Config (per-node lambdas) is kept as a thin shim that lowers
+ * itself into a spec, so both configuration paths run the same code.
+ *
  * Parallel-mode restrictions (enforced here): no channel loss model and
- * no Gilbert-Elliott bursts (see net/relay.hh for why), at most one
- * shard per node.
+ * no Gilbert-Elliott bursts on the broadcast medium (see net/relay.hh
+ * for why), a single broadcast domain, at most one shard per node.
  */
 
 #ifndef ULP_CORE_NETWORK_HH
@@ -27,6 +42,8 @@
 #include "core/sensor_node.hh"
 #include "net/channel.hh"
 #include "net/relay.hh"
+#include "net/spatial_medium.hh"
+#include "scenario/spec.hh"
 #include "sim/simulation.hh"
 
 namespace ulp::core {
@@ -34,6 +51,7 @@ namespace ulp::core {
 class Network
 {
   public:
+    /** Legacy lambda-based configuration (lowered into a NetworkSpec). */
     struct Config
     {
         unsigned numNodes = 1;
@@ -71,6 +89,7 @@ class Network
         bool operator==(const Counters &) const = default;
     };
 
+    explicit Network(const scenario::NetworkSpec &spec);
     explicit Network(const Config &config);
     ~Network();
 
@@ -88,6 +107,18 @@ class Network
         return *shards[shard].simulation;
     }
 
+    /** The shard a node's simulation lives on. */
+    unsigned shardOf(unsigned node) const { return shardOfNode[node]; }
+
+    /**
+     * The sequential broadcast channel of @p domain (fault injection,
+     * loss models); null under the spatial model or the parallel kernel.
+     */
+    net::Channel *broadcastChannel(unsigned domain = 0);
+
+    /** The spatial model the network runs over; null in broadcast mode. */
+    const net::SpatialModel *spatialModel() const { return model.get(); }
+
     /** Run all shards for @p seconds of simulated time. */
     void runForSeconds(double seconds);
 
@@ -104,14 +135,20 @@ class Network
     struct Shard
     {
         std::unique_ptr<sim::Simulation> simulation;
-        std::unique_ptr<net::Channel> channel;           ///< threads == 1
-        std::unique_ptr<net::ShardChannel> shardChannel; ///< threads > 1
+        /** Broadcast media, threads == 1 (one Channel per domain). */
+        std::vector<std::unique_ptr<net::Channel>> channels;
+        std::unique_ptr<net::ShardChannel> shardChannel; ///< broadcast, K > 1
+        std::unique_ptr<net::SpatialMedium> spatialChannel; ///< spatial
         std::vector<std::unique_ptr<SensorNode>> nodes;
     };
 
+    void build(const scenario::NetworkSpec &spec);
+
+    std::unique_ptr<net::SpatialModel> model;
     std::unique_ptr<net::FrameRelay> relay;
     std::vector<Shard> shards;
     std::vector<SensorNode *> nodeByIndex;
+    std::vector<unsigned> shardOfNode;
     sim::Tick ran = 0;        ///< total ticks simulated so far
     bool statsMerged = false; ///< channel stats folded into shard 0
 };

@@ -1,16 +1,37 @@
 /**
  * @file
  * Abstract radio medium: the surface a transceiver (radio device) needs
- * from whatever carries its frames. Two implementations exist:
+ * from whatever carries its frames. Three implementations exist:
  *
- *  - net::Channel — the single broadcast domain of the single-threaded
- *    kernel (one EventQueue simulates every node);
+ *  - net::Channel — one broadcast domain of the single-threaded kernel
+ *    (one EventQueue simulates every node);
  *  - net::ShardChannel — the shard-local medium of the parallel kernel,
  *    which relays transmissions to the other shards' media through the
- *    conservative cross-shard FrameRelay.
+ *    conservative cross-shard FrameRelay;
+ *  - net::SpatialMedium — the position-aware medium (path loss,
+ *    per-link delivery probability, interference domains derived from
+ *    geometry), also built on the FrameRelay so it runs at any thread
+ *    count.
  *
  * Keeping the transceiver side behind this interface is what lets one
- * RadioDevice implementation run unmodified under both kernels.
+ * RadioDevice implementation run unmodified under every kernel.
+ *
+ * Multi-domain invariant
+ * ----------------------
+ * A core::Network may own SEVERAL Medium instances at once — one per
+ * interference domain — and each transceiver attaches to exactly one of
+ * them. Frames never cross Medium instances: two nodes hear (and
+ * collide with) each other iff they are attached to the same instance.
+ * The two ways to get more than one domain:
+ *
+ *  - broadcast model: one net::Channel per declared `domain` value.
+ *    Supported only at threads = 1; Channel instances have no relay
+ *    fabric, so the parallel kernel cannot split them across shards
+ *    (core::Network rejects the combination at build time).
+ *  - spatial model: a single net::SpatialMedium per shard, but the
+ *    domain partition is computed from node positions (interference
+ *    range), so disjoint clusters behave as separate domains without
+ *    any declaration — and this works at every thread count.
  */
 
 #ifndef ULP_NET_MEDIUM_HH

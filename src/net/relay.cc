@@ -111,7 +111,7 @@ ShardChannel::transmit(Transceiver *sender, const Frame &frame)
     const sim::Tick start = curTick();
     const sim::Tick end = start + frameAirTicks(frame);
 
-    FlightRecord record{start, end, shard, nextLocalSeq++, frame};
+    FlightRecord record{start, end, shard, nextLocalSeq++, 0, 0, frame};
 
     // Publish first: peers waiting at a sync only proceed once this
     // shard's safe tick passes them, which happens strictly after this.

@@ -60,6 +60,13 @@ struct FlightRecord
     sim::Tick end = 0;         ///< last symbol off the air (delivery tick)
     std::uint32_t originShard = 0;
     std::uint64_t originSeq = 0; ///< per-origin-shard transmit counter
+    /** Global index of the transmitting node; used by SpatialMedium for
+     *  per-link geometry. ShardChannel (broadcast) leaves it 0. */
+    std::uint32_t srcNode = 0;
+    /** Per-source-node transmit counter: the K-invariant flight identity
+     *  (srcNode, srcTxSeq) that SpatialMedium keys its canonical order
+     *  and per-link loss draws on. ShardChannel leaves it 0. */
+    std::uint64_t srcTxSeq = 0;
     Frame frame;
 };
 

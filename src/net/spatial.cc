@@ -1,0 +1,150 @@
+#include "net/spatial.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace ulp::net {
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double
+hashToUnitReal(std::uint64_t h)
+{
+    // Top 53 bits -> [0, 1) with full double precision; identical on
+    // every platform, unlike std::uniform_real_distribution.
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+SpatialModel::SpatialModel(const SpatialConfig &config,
+                           std::vector<Position> positions)
+    : cfg(config), pos(std::move(positions))
+{
+    const unsigned n = numNodes();
+    if (n == 0)
+        sim::fatal("SpatialModel: no node positions");
+    if (cfg.pathLossExponent <= 0)
+        sim::fatal("SpatialModel: path-loss exponent must be positive");
+    if (cfg.fadeMarginDb < 0 || cfg.interferenceMarginDb < 0)
+        sim::fatal("SpatialModel: margins must be non-negative");
+
+    // Interference domains: connected components of the (symmetric)
+    // interferes graph, via union-find.
+    std::vector<unsigned> parent(n);
+    std::iota(parent.begin(), parent.end(), 0u);
+    auto find = [&](unsigned a) {
+        while (parent[a] != a) {
+            parent[a] = parent[parent[a]];
+            a = parent[a];
+        }
+        return a;
+    };
+
+    neigh.resize(n);
+    for (unsigned a = 0; a < n; a++) {
+        for (unsigned b = a + 1; b < n; b++) {
+            if (interferes(a, b)) {
+                unsigned ra = find(a), rb = find(b);
+                if (ra != rb)
+                    parent[std::max(ra, rb)] = std::min(ra, rb);
+            }
+            // Decode links can be asymmetric in principle (per-node
+            // overrides could differ), but with a shared config they
+            // are symmetric; record both directions independently
+            // anyway.
+            if (connected(a, b))
+                neigh[a].push_back(b);
+            if (connected(b, a))
+                neigh[b].push_back(a);
+        }
+    }
+    for (auto &list : neigh)
+        std::sort(list.begin(), list.end());
+
+    // Dense domain ids ordered by smallest member index: node 0's
+    // component is domain 0, the next unseen root is domain 1, ...
+    domain.assign(n, 0);
+    std::vector<int> root_domain(n, -1);
+    for (unsigned a = 0; a < n; a++) {
+        unsigned r = find(a);
+        if (root_domain[r] < 0)
+            root_domain[r] = static_cast<int>(domains++);
+        domain[a] = static_cast<unsigned>(root_domain[r]);
+    }
+}
+
+double
+SpatialModel::distance(unsigned a, unsigned b) const
+{
+    const double dx = pos[a].x - pos[b].x;
+    const double dy = pos[a].y - pos[b].y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+double
+SpatialModel::rxPowerDbm(unsigned a, unsigned b) const
+{
+    // Clamp below the 1 m reference distance: the log-distance law is
+    // not meaningful there and co-located nodes would otherwise get
+    // +inf link budget.
+    const double d = std::max(distance(a, b), 1.0);
+    const double path_loss =
+        cfg.referenceLossDb + 10.0 * cfg.pathLossExponent * std::log10(d);
+    return cfg.txPowerDbm - path_loss;
+}
+
+bool
+SpatialModel::connected(unsigned a, unsigned b) const
+{
+    if (a == b)
+        return false;
+    return rxPowerDbm(a, b) >= cfg.sensitivityDbm;
+}
+
+double
+SpatialModel::deliveryProb(unsigned a, unsigned b) const
+{
+    if (a == b)
+        return 0.0;
+    const double rx = rxPowerDbm(a, b);
+    if (rx < cfg.sensitivityDbm)
+        return 0.0;
+    if (cfg.fadeMarginDb == 0.0 || rx >= cfg.sensitivityDbm + cfg.fadeMarginDb)
+        return 1.0;
+    return (rx - cfg.sensitivityDbm) / cfg.fadeMarginDb;
+}
+
+bool
+SpatialModel::interferes(unsigned a, unsigned b) const
+{
+    if (a == b)
+        return false;
+    return rxPowerDbm(a, b) >= cfg.sensitivityDbm - cfg.interferenceMarginDb;
+}
+
+bool
+SpatialModel::linkDelivers(unsigned src, unsigned dst,
+                           std::uint64_t tx_seq) const
+{
+    const double p = deliveryProb(src, dst);
+    if (p >= 1.0)
+        return true;
+    if (p <= 0.0)
+        return false;
+    // Counter-based stream: one hash chain per (link, transmission).
+    std::uint64_t h = splitmix64(cfg.linkSeed ^ 0x5bd1e995u);
+    h = splitmix64(h ^ (static_cast<std::uint64_t>(src) << 32 | dst));
+    h = splitmix64(h ^ tx_seq);
+    return hashToUnitReal(h) < p;
+}
+
+} // namespace ulp::net

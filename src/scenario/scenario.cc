@@ -1,0 +1,580 @@
+#include "scenario/scenario.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ulp::scenario {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/** Parser state: current position for diagnostics. */
+struct Cursor
+{
+    const std::string &file;
+    unsigned line = 0;
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        sim::fatal("%s:%u: %s", file.c_str(), line, message.c_str());
+    }
+};
+
+std::string
+trim(const std::string &s)
+{
+    const char *ws = " \t\r";
+    auto b = s.find_first_not_of(ws);
+    if (b == std::string::npos)
+        return "";
+    auto e = s.find_last_not_of(ws);
+    return s.substr(b, e - b + 1);
+}
+
+std::uint64_t
+parseUnsigned(const Cursor &at, const std::string &key,
+              const std::string &value, std::uint64_t max)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+        value[0] == '-') {
+        at.fail("'" + key + "' needs an unsigned integer, got '" + value +
+                "'");
+    }
+    if (v > max) {
+        at.fail("'" + key + "' value " + value + " exceeds the maximum " +
+                std::to_string(max));
+    }
+    return v;
+}
+
+double
+parseDouble(const Cursor &at, const std::string &key,
+            const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE)
+        at.fail("'" + key + "' needs a number, got '" + value + "'");
+    return v;
+}
+
+double
+parseProbability(const Cursor &at, const std::string &key,
+                 const std::string &value)
+{
+    double v = parseDouble(at, key, value);
+    if (v < 0.0 || v > 1.0)
+        at.fail("'" + key + "' must be in [0, 1], got '" + value + "'");
+    return v;
+}
+
+void
+parseScenarioKey(const Cursor &at, Scenario &sc, const std::string &key,
+                 const std::string &value)
+{
+    if (key == "name")
+        sc.name = value;
+    else if (key == "seconds") {
+        sc.seconds = parseDouble(at, key, value);
+        if (!(sc.seconds > 0.0))
+            at.fail("'seconds' must be positive");
+    } else if (key == "seed")
+        sc.seed = parseUnsigned(at, key, value, UINT64_MAX);
+    else if (key == "threads") {
+        sc.threads =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 1024));
+        if (sc.threads == 0)
+            at.fail("'threads' must be at least 1");
+    } else
+        at.fail("unknown key '" + key + "' in [scenario]");
+}
+
+void
+parseNodesKey(const Cursor &at, Scenario &sc, const std::string &key,
+              const std::string &value)
+{
+    Scenario::Nodes &n = sc.nodes;
+    if (key == "count") {
+        n.count =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'534));
+        if (n.count == 0)
+            at.fail("'count' must be at least 1");
+    } else if (key == "app")
+        n.app = value;
+    else if (key == "period")
+        n.period =
+            static_cast<std::uint32_t>(parseUnsigned(at, key, value,
+                                                     UINT32_MAX));
+    else if (key == "period-stagger")
+        n.periodStagger =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'535));
+    else if (key == "threshold")
+        n.threshold =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 255));
+    else if (key == "mac-retries")
+        n.macRetries =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 7));
+    else if (key == "watchdog")
+        n.watchdog =
+            static_cast<std::uint32_t>(parseUnsigned(at, key, value,
+                                                     UINT32_MAX));
+    else if (key == "dest")
+        n.dest =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'534));
+    else if (key == "signal")
+        n.signal = value;
+    else if (key == "noise")
+        n.noise = parseDouble(at, key, value);
+    else if (key == "placement") {
+        if (value == "grid")
+            n.placement = Placement::Grid;
+        else if (value == "uniform")
+            n.placement = Placement::Uniform;
+        else if (value == "explicit")
+            n.placement = Placement::Explicit;
+        else
+            at.fail("'placement' must be grid, uniform or explicit, got '" +
+                    value + "'");
+    } else if (key == "grid-cols")
+        n.gridCols =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'534));
+    else if (key == "spacing") {
+        n.spacing = parseDouble(at, key, value);
+        if (!(n.spacing > 0.0))
+            at.fail("'spacing' must be positive");
+    } else if (key == "area") {
+        n.area = parseDouble(at, key, value);
+        if (n.area < 0.0)
+            at.fail("'area' must be non-negative");
+    } else
+        at.fail("unknown key '" + key + "' in [nodes]");
+}
+
+void
+parseRadioKey(const Cursor &at, Scenario &sc, const std::string &key,
+              const std::string &value)
+{
+    Scenario::Radio &r = sc.radio;
+    if (key == "model") {
+        if (value == "broadcast")
+            r.model = RadioModel::Broadcast;
+        else if (value == "spatial")
+            r.model = RadioModel::Spatial;
+        else
+            at.fail("'model' must be broadcast or spatial, got '" + value +
+                    "'");
+    } else if (key == "bit-rate") {
+        r.bitRate = parseDouble(at, key, value);
+        if (!(r.bitRate > 0.0))
+            at.fail("'bit-rate' must be positive");
+    } else if (key == "loss")
+        r.loss = parseProbability(at, key, value);
+    else if (key == "path-loss-exponent") {
+        r.spatial.pathLossExponent = parseDouble(at, key, value);
+        if (!(r.spatial.pathLossExponent > 0.0))
+            at.fail("'path-loss-exponent' must be positive");
+    } else if (key == "reference-loss-db")
+        r.spatial.referenceLossDb = parseDouble(at, key, value);
+    else if (key == "tx-power-dbm")
+        r.spatial.txPowerDbm = parseDouble(at, key, value);
+    else if (key == "sensitivity-dbm")
+        r.spatial.sensitivityDbm = parseDouble(at, key, value);
+    else if (key == "fade-margin-db") {
+        r.spatial.fadeMarginDb = parseDouble(at, key, value);
+        if (r.spatial.fadeMarginDb < 0.0)
+            at.fail("'fade-margin-db' must be non-negative");
+    } else if (key == "interference-margin-db") {
+        r.spatial.interferenceMarginDb = parseDouble(at, key, value);
+        if (r.spatial.interferenceMarginDb < 0.0)
+            at.fail("'interference-margin-db' must be non-negative");
+    } else
+        at.fail("unknown key '" + key + "' in [radio]");
+}
+
+void
+parseRoutesKey(const Cursor &at, Scenario &sc, const std::string &key,
+               const std::string &value)
+{
+    Scenario::Routes &r = sc.routes;
+    if (key == "sink")
+        r.sink = static_cast<unsigned>(parseUnsigned(at, key, value, 65'533));
+    else if (key == "mode") {
+        if (value == "auto")
+            r.mode = RouteMode::Auto;
+        else if (value == "explicit")
+            r.mode = RouteMode::Explicit;
+        else if (value == "none")
+            r.mode = RouteMode::None;
+        else
+            at.fail("'mode' must be auto, explicit or none, got '" + value +
+                    "'");
+    } else if (key == "min-prob")
+        r.minProb = parseProbability(at, key, value);
+    else
+        at.fail("unknown key '" + key + "' in [routes]");
+}
+
+void
+parseNodeKey(const Cursor &at, NodeOverride &o, const std::string &key,
+             const std::string &value)
+{
+    if (key == "app")
+        o.app = value;
+    else if (key == "period")
+        o.period =
+            static_cast<std::uint32_t>(parseUnsigned(at, key, value,
+                                                     UINT32_MAX));
+    else if (key == "threshold")
+        o.threshold =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 255));
+    else if (key == "mac-retries")
+        o.macRetries =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 7));
+    else if (key == "watchdog")
+        o.watchdog =
+            static_cast<std::uint32_t>(parseUnsigned(at, key, value,
+                                                     UINT32_MAX));
+    else if (key == "signal")
+        o.signal = value;
+    else if (key == "noise")
+        o.noise = parseDouble(at, key, value);
+    else if (key == "x")
+        o.x = parseDouble(at, key, value);
+    else if (key == "y")
+        o.y = parseDouble(at, key, value);
+    else if (key == "address")
+        o.address =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'534));
+    else if (key == "seed")
+        o.seed = parseUnsigned(at, key, value, UINT64_MAX);
+    else if (key == "dest")
+        o.dest =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'534));
+    else if (key == "next-hop")
+        o.nextHop =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'533));
+    else if (key == "domain")
+        o.domain =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 255));
+    else
+        at.fail("unknown key '" + key + "' in [node N]");
+}
+
+void
+parseFaultKey(const Cursor &at, Scenario &sc, const std::string &key,
+              const std::string &value)
+{
+    if (key == "campaign")
+        sc.fault->campaign = value;
+    else if (key == "node")
+        sc.fault->node =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'533));
+    else
+        at.fail("unknown key '" + key + "' in [fault]");
+}
+
+void
+parseTraceKey(const Cursor &at, Scenario &sc, const std::string &key,
+              const std::string &value)
+{
+    if (key == "out")
+        sc.trace->out = value;
+    else if (key == "channels")
+        sc.trace->channels = value;
+    else
+        at.fail("unknown key '" + key + "' in [trace]");
+}
+
+// ---------------------------------------------------------------------------
+// Printing.
+// ---------------------------------------------------------------------------
+
+/** Shortest decimal form that parses back to exactly @p v. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    for (int precision : {15, 17}) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+const char *
+placementName(Placement p)
+{
+    switch (p) {
+      case Placement::Grid: return "grid";
+      case Placement::Uniform: return "uniform";
+      case Placement::Explicit: return "explicit";
+    }
+    return "?";
+}
+
+const char *
+routeModeName(RouteMode m)
+{
+    switch (m) {
+      case RouteMode::Auto: return "auto";
+      case RouteMode::Explicit: return "explicit";
+      case RouteMode::None: return "none";
+    }
+    return "?";
+}
+
+} // namespace
+
+Scenario
+parseScenario(const std::string &text, const std::string &filename)
+{
+    Scenario sc;
+    Cursor at{filename};
+
+    enum class Section
+    {
+        None,
+        Scenario,
+        Nodes,
+        Radio,
+        Routes,
+        Node,
+        Fault,
+        Trace,
+    };
+    Section section = Section::None;
+    NodeOverride *override = nullptr;
+
+    std::istringstream in(text);
+    std::string raw;
+    while (std::getline(in, raw)) {
+        ++at.line;
+        // Strip comments ('#' or ';' to end of line), then whitespace.
+        auto hash = raw.find_first_of("#;");
+        if (hash != std::string::npos)
+            raw.erase(hash);
+        std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                at.fail("unterminated section header '" + line + "'");
+            std::string sec = trim(line.substr(1, line.size() - 2));
+            if (sec == "scenario")
+                section = Section::Scenario;
+            else if (sec == "nodes")
+                section = Section::Nodes;
+            else if (sec == "radio")
+                section = Section::Radio;
+            else if (sec == "routes")
+                section = Section::Routes;
+            else if (sec == "fault") {
+                section = Section::Fault;
+                if (!sc.fault)
+                    sc.fault.emplace();
+            } else if (sec == "trace") {
+                section = Section::Trace;
+                if (!sc.trace)
+                    sc.trace.emplace();
+            } else if (sec.rfind("node ", 0) == 0) {
+                std::string index = trim(sec.substr(5));
+                unsigned node = static_cast<unsigned>(
+                    parseUnsigned(at, "node", index, 65'534));
+                section = Section::Node;
+                override = &sc.overrides[node];
+            } else
+                at.fail("unknown section '[" + sec + "]'");
+            continue;
+        }
+
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            at.fail("expected 'key = value', got '" + line + "'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            at.fail("empty key");
+        if (value.empty())
+            at.fail("'" + key + "' has an empty value");
+
+        switch (section) {
+          case Section::None:
+            at.fail("'" + key + "' appears before any [section]");
+          case Section::Scenario:
+            parseScenarioKey(at, sc, key, value);
+            break;
+          case Section::Nodes:
+            parseNodesKey(at, sc, key, value);
+            break;
+          case Section::Radio:
+            parseRadioKey(at, sc, key, value);
+            break;
+          case Section::Routes:
+            parseRoutesKey(at, sc, key, value);
+            break;
+          case Section::Node:
+            parseNodeKey(at, *override, key, value);
+            break;
+          case Section::Fault:
+            parseFaultKey(at, sc, key, value);
+            break;
+          case Section::Trace:
+            parseTraceKey(at, sc, key, value);
+            break;
+        }
+    }
+
+    // Cross-key validation that needs the whole file.
+    at.line = 0;
+    for (const auto &[index, o] : sc.overrides) {
+        if (index >= sc.nodes.count) {
+            at.fail("[node " + std::to_string(index) +
+                    "] is out of range (count = " +
+                    std::to_string(sc.nodes.count) + ")");
+        }
+        (void)o;
+    }
+    if (sc.fault && sc.fault->campaign.empty())
+        at.fail("[fault] needs a 'campaign' file");
+    if (sc.fault && sc.fault->node >= sc.nodes.count)
+        at.fail("[fault] node is out of range");
+    if (sc.routes.sink && *sc.routes.sink >= sc.nodes.count)
+        at.fail("[routes] sink is out of range");
+    if (sc.threads > sc.nodes.count)
+        at.fail("more threads (" + std::to_string(sc.threads) +
+                ") than nodes (" + std::to_string(sc.nodes.count) + ")");
+    if (sc.nodes.placement == Placement::Explicit) {
+        for (unsigned i = 0; i < sc.nodes.count; ++i) {
+            auto it = sc.overrides.find(i);
+            if (it == sc.overrides.end() || !it->second.x || !it->second.y) {
+                at.fail("placement = explicit but [node " +
+                        std::to_string(i) + "] has no x/y");
+            }
+        }
+    }
+
+    return sc;
+}
+
+Scenario
+parseScenarioFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("cannot open scenario file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseScenario(text.str(), path);
+}
+
+std::string
+printScenario(const Scenario &sc)
+{
+    std::ostringstream os;
+    os << "[scenario]\n"
+       << "name = " << sc.name << "\n"
+       << "seconds = " << formatDouble(sc.seconds) << "\n"
+       << "seed = " << sc.seed << "\n"
+       << "threads = " << sc.threads << "\n";
+
+    const Scenario::Nodes &n = sc.nodes;
+    os << "\n[nodes]\n"
+       << "count = " << n.count << "\n"
+       << "app = " << n.app << "\n"
+       << "period = " << n.period << "\n"
+       << "period-stagger = " << n.periodStagger << "\n"
+       << "threshold = " << n.threshold << "\n"
+       << "mac-retries = " << n.macRetries << "\n"
+       << "watchdog = " << n.watchdog << "\n"
+       << "dest = " << n.dest << "\n"
+       << "signal = " << n.signal << "\n"
+       << "noise = " << formatDouble(n.noise) << "\n"
+       << "placement = " << placementName(n.placement) << "\n"
+       << "grid-cols = " << n.gridCols << "\n"
+       << "spacing = " << formatDouble(n.spacing) << "\n"
+       << "area = " << formatDouble(n.area) << "\n";
+
+    const Scenario::Radio &r = sc.radio;
+    os << "\n[radio]\n"
+       << "model = "
+       << (r.model == RadioModel::Spatial ? "spatial" : "broadcast") << "\n"
+       << "bit-rate = " << formatDouble(r.bitRate) << "\n"
+       << "loss = " << formatDouble(r.loss) << "\n"
+       << "path-loss-exponent = " << formatDouble(r.spatial.pathLossExponent)
+       << "\n"
+       << "reference-loss-db = " << formatDouble(r.spatial.referenceLossDb)
+       << "\n"
+       << "tx-power-dbm = " << formatDouble(r.spatial.txPowerDbm) << "\n"
+       << "sensitivity-dbm = " << formatDouble(r.spatial.sensitivityDbm)
+       << "\n"
+       << "fade-margin-db = " << formatDouble(r.spatial.fadeMarginDb) << "\n"
+       << "interference-margin-db = "
+       << formatDouble(r.spatial.interferenceMarginDb) << "\n";
+
+    os << "\n[routes]\n";
+    if (sc.routes.sink)
+        os << "sink = " << *sc.routes.sink << "\n";
+    os << "mode = " << routeModeName(sc.routes.mode) << "\n"
+       << "min-prob = " << formatDouble(sc.routes.minProb) << "\n";
+
+    for (const auto &[index, o] : sc.overrides) {
+        os << "\n[node " << index << "]\n";
+        if (o.app)
+            os << "app = " << *o.app << "\n";
+        if (o.period)
+            os << "period = " << *o.period << "\n";
+        if (o.threshold)
+            os << "threshold = " << *o.threshold << "\n";
+        if (o.macRetries)
+            os << "mac-retries = " << *o.macRetries << "\n";
+        if (o.watchdog)
+            os << "watchdog = " << *o.watchdog << "\n";
+        if (o.signal)
+            os << "signal = " << *o.signal << "\n";
+        if (o.noise)
+            os << "noise = " << formatDouble(*o.noise) << "\n";
+        if (o.x)
+            os << "x = " << formatDouble(*o.x) << "\n";
+        if (o.y)
+            os << "y = " << formatDouble(*o.y) << "\n";
+        if (o.address)
+            os << "address = " << *o.address << "\n";
+        if (o.seed)
+            os << "seed = " << *o.seed << "\n";
+        if (o.dest)
+            os << "dest = " << *o.dest << "\n";
+        if (o.nextHop)
+            os << "next-hop = " << *o.nextHop << "\n";
+        if (o.domain)
+            os << "domain = " << *o.domain << "\n";
+    }
+
+    if (sc.fault) {
+        os << "\n[fault]\n"
+           << "campaign = " << sc.fault->campaign << "\n"
+           << "node = " << sc.fault->node << "\n";
+    }
+    if (sc.trace) {
+        os << "\n[trace]\n";
+        if (!sc.trace->out.empty())
+            os << "out = " << sc.trace->out << "\n";
+        os << "channels = " << sc.trace->channels << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ulp::scenario

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The declarative scenario format: an INI subset (hand-rolled parser, no
+ * dependencies) describing a whole network experiment as data — node
+ * count and placement, per-node application and parameter overrides, the
+ * radio model, static multi-hop routing toward a sink, plus optional
+ * fault-campaign and trace-output sections. `ulpsim run file.ini`
+ * executes one; `ulpsim print-scenario file.ini` dumps it fully
+ * resolved.
+ *
+ * Syntax:
+ *   - sections in brackets: [scenario], [nodes], [radio], [routes],
+ *     [node N] (per-node overrides), [fault], [trace]
+ *   - `key = value` assignments; '#' and ';' start comments
+ *   - unknown sections and unknown keys are errors, not warnings
+ *   - every diagnostic carries "file:line:"
+ *
+ * Example:
+ *   [scenario]
+ *   seconds = 30
+ *   seed = 42
+ *
+ *   [nodes]
+ *   count = 16
+ *   app = app3
+ *   placement = grid          ; 4x4, 40 m pitch
+ *   spacing = 40
+ *
+ *   [radio]
+ *   model = spatial
+ *   path-loss-exponent = 2.8
+ *
+ *   [routes]
+ *   sink = 0                  ; BFS tree toward node 0
+ *
+ *   [node 0]
+ *   app = sink
+ *
+ * The parsed Scenario is a plain value type with defaults applied;
+ * printScenario() emits the canonical fully-resolved form, and
+ * parse(print(s)) == s (the round-trip identity the tests assert).
+ */
+
+#ifndef ULP_SCENARIO_SCENARIO_HH
+#define ULP_SCENARIO_SCENARIO_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/spatial.hh"
+
+namespace ulp::scenario {
+
+/** Node placement strategies. */
+enum class Placement
+{
+    Grid,     ///< row-major grid, `spacing` meters apart
+    Uniform,  ///< seeded uniform draw over an `area` x `area` square
+    Explicit, ///< every node carries an explicit [node N] x/y override
+};
+
+/** Radio propagation models. */
+enum class RadioModel
+{
+    Broadcast, ///< flat domain(s): net::Channel / net::ShardChannel
+    Spatial,   ///< log-distance path loss: net::SpatialMedium
+};
+
+/** Route derivation modes. */
+enum class RouteMode
+{
+    Auto,     ///< BFS tree toward the sink over reliable links
+    Explicit, ///< per-node `next-hop` overrides form the tree
+    None,     ///< no routes: legacy flood-forward behavior
+};
+
+/** Per-node override block ([node N]); unset keys inherit [nodes]. */
+struct NodeOverride
+{
+    std::optional<std::string> app;
+    std::optional<std::uint32_t> period;
+    std::optional<unsigned> threshold;
+    std::optional<unsigned> macRetries;
+    std::optional<std::uint32_t> watchdog;
+    std::optional<std::string> signal;
+    std::optional<double> noise;
+    std::optional<double> x;
+    std::optional<double> y;
+    std::optional<unsigned> address;
+    std::optional<std::uint64_t> seed;
+    std::optional<unsigned> dest;
+    std::optional<unsigned> nextHop;
+    std::optional<unsigned> domain;
+
+    bool operator==(const NodeOverride &) const = default;
+};
+
+struct Scenario
+{
+    // --- [scenario] -------------------------------------------------------
+    std::string name = "scenario";
+    double seconds = 1.0;
+    std::uint64_t seed = 1;
+    unsigned threads = 1;
+
+    // --- [nodes] ----------------------------------------------------------
+    struct Nodes
+    {
+        unsigned count = 1;
+        std::string app = "app1";
+        std::uint32_t period = 1000;       ///< sampling period, cycles
+        unsigned periodStagger = 37;       ///< per-node period skew, cycles
+        unsigned threshold = 0;
+        unsigned macRetries = 0;
+        std::uint32_t watchdog = 0;        ///< watchdog timeout, cycles
+        unsigned dest = 0;                 ///< data destination address
+        std::string signal = "const:128";
+        double noise = 0.0;
+        Placement placement = Placement::Grid;
+        unsigned gridCols = 0;             ///< 0 = square (ceil sqrt)
+        double spacing = 40.0;             ///< grid pitch, meters
+        double area = 0.0;                 ///< uniform square side; 0 = auto
+
+        bool operator==(const Nodes &) const = default;
+    } nodes;
+
+    // --- [radio] ----------------------------------------------------------
+    struct Radio
+    {
+        RadioModel model = RadioModel::Broadcast;
+        double bitRate = 250'000.0;
+        double loss = 0.0;                 ///< broadcast loss probability
+        net::SpatialConfig spatial;        ///< spatial-model parameters
+
+        bool operator==(const Radio &) const = default;
+    } radio;
+
+    // --- [routes] ---------------------------------------------------------
+    struct Routes
+    {
+        std::optional<unsigned> sink;      ///< node index of the sink
+        RouteMode mode = RouteMode::Auto;
+        double minProb = 1.0;              ///< auto: min link delivery prob
+
+        bool operator==(const Routes &) const = default;
+    } routes;
+
+    // --- [node N] ---------------------------------------------------------
+    std::map<unsigned, NodeOverride> overrides;
+
+    // --- [fault] ----------------------------------------------------------
+    struct Fault
+    {
+        std::string campaign;              ///< fault-plan file path
+        unsigned node = 0;                 ///< node whose shard hosts it
+
+        bool operator==(const Fault &) const = default;
+    };
+    std::optional<Fault> fault;
+
+    // --- [trace] ----------------------------------------------------------
+    struct Trace
+    {
+        std::string out;                   ///< telemetry output directory
+        std::string channels = "all";
+
+        bool operator==(const Trace &) const = default;
+    };
+    std::optional<Trace> trace;
+
+    bool operator==(const Scenario &) const = default;
+};
+
+/**
+ * Parse scenario text. @p filename only labels diagnostics, which are
+ * raised as sim::fatal("file:line: message").
+ */
+Scenario parseScenario(const std::string &text, const std::string &filename);
+
+/** Parse a scenario file from disk (fatal when unreadable). */
+Scenario parseScenarioFile(const std::string &path);
+
+/**
+ * Print the canonical fully-resolved form: every section, every key,
+ * defaults included. parseScenario(printScenario(s)) == s.
+ */
+std::string printScenario(const Scenario &scenario);
+
+} // namespace ulp::scenario
+
+#endif // ULP_SCENARIO_SCENARIO_HH

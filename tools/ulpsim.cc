@@ -2,26 +2,36 @@
  * @file
  * ulpsim — command-line driver for the sensor-node simulator.
  *
- * Runs either the event-driven node or the Mica2 baseline with one of
- * the paper's staged applications, a configurable sensor signal, and a
- * simulated duration, then reports packets, cycle probes, the power
- * breakdown, and (optionally) the full statistics tree.
+ * The primary interface is the declarative scenario file:
+ *
+ *   ulpsim run network.ini                 # execute a scenario
+ *   ulpsim run network.ini --threads=4     # same result, 4 shards
+ *   ulpsim print-scenario network.ini      # dump the resolved form
+ *
+ * A scenario describes the whole experiment — node count and placement,
+ * per-node apps and overrides, the radio model, multi-hop routes toward
+ * a sink, fault campaigns, trace output — see scenario/scenario.hh.
+ *
+ * The older flag-based interface (--app/--nodes/--period/...) still
+ * works: the flags are lowered into an in-memory scenario and run
+ * through the same engine. The Mica2 baseline platform remains
+ * flag-only (`--platform=mica2`).
  *
  * Examples:
+ *   ulpsim run examples/multihop_grid.ini --threads=4 --stats
  *   ulpsim --app=app2 --period=1000 --threshold=100 --seconds=10 --power
- *   ulpsim --app=app4 --seconds=5 --stats
  *   ulpsim --platform=mica2 --app=app1 --seconds=2
- *   ulpsim --app=app1 --signal=sine:60,5 --noise=2 --trace=EP,Bus
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
-#include <numbers>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,7 +40,10 @@
 #include "core/apps.hh"
 #include "core/network.hh"
 #include "core/sensor_node.hh"
+#include "fault/fault_injector.hh"
 #include "obs/event_log.hh"
+#include "scenario/lower.hh"
+#include "scenario/scenario.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
@@ -39,6 +52,7 @@ using namespace ulp;
 
 namespace {
 
+/** Legacy flag set (also the knobs `run` may override per invocation). */
 struct Options
 {
     std::string platform = "node";
@@ -63,9 +77,19 @@ struct Options
 usage(int code)
 {
     std::printf(
-        "ulpsim: run the ultra-low-power sensor node simulator\n\n"
+        "ulpsim: run the ultra-low-power sensor node simulator\n"
+        "\n"
+        "  ulpsim run <scenario.ini> [overrides]   execute a scenario file\n"
+        "  ulpsim print-scenario <scenario.ini>    dump the resolved form\n"
+        "  ulpsim [flags]                          legacy flag interface\n"
+        "\n"
+        "run overrides:\n"
+        "  --threads=K --seconds=S --seed=N --stats --power\n"
+        "  --trace=FLAGS --trace-out=DIR --trace-channels=LIST\n"
+        "\n"
+        "legacy flags:\n"
         "  --platform=node|mica2   which full-system model (default node)\n"
-        "  --app=app1|app2|app3|app4|blink|sense\n"
+        "  --app=app1|app2|app3|app4|blink|sense|sink\n"
         "  --nodes=N               simulate N nodes on one broadcast "
         "channel (node platform)\n"
         "  --threads=K             shard the network across K worker "
@@ -79,7 +103,7 @@ usage(int code)
         "  --signal=const:V | sine:AMP,PERIOD_S | ramp:PER_SECOND\n"
         "  --noise=STDDEV          gaussian sensor noise\n"
         "  --seed=N                deterministic seed\n"
-        "  --power                 print the power breakdown\n"
+        "  --power                 print the power breakdown (1 node)\n"
         "  --stats                 dump the full statistics tree\n"
         "  --trace=FLAGS           comma-separated trace categories "
         "(EP,Bus,IrqBus,Timer,MsgProc,Radio,Mcu,Sram,Power,All)\n"
@@ -93,10 +117,10 @@ usage(int code)
 }
 
 Options
-parse(int argc, char **argv)
+parse(int argc, char **argv, int first, std::vector<std::string> *positional)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&](const char *key) -> const char * {
             std::size_t n = std::strlen(key);
@@ -138,6 +162,8 @@ parse(int argc, char **argv)
             opt.traceChannels = v;
         } else if (const char *v = value("--trace")) {
             opt.trace = v;
+        } else if (positional && !arg.empty() && arg[0] != '-') {
+            positional->push_back(arg);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
             usage(2);
@@ -159,8 +185,8 @@ validate(const Options &opt)
 
     if (opt.platform != "node" && opt.platform != "mica2")
         complain("unknown platform '" + opt.platform + "'");
-    static const char *apps[] = {"app1", "app2", "app3",
-                                 "app4", "blink", "sense"};
+    static const char *apps[] = {"app1", "app2",  "app3", "app4",
+                                 "blink", "sense", "sink"};
     if (std::find(std::begin(apps), std::end(apps), opt.app) ==
         std::end(apps)) {
         complain("unknown app '" + opt.app + "'");
@@ -202,112 +228,105 @@ validate(const Options &opt)
     usage(2);
 }
 
-std::function<std::uint8_t(sim::Tick)>
-makeSignal(const std::string &spec)
+/** Lower the legacy node-platform flags into an in-memory scenario. */
+scenario::Scenario
+scenarioFromFlags(const Options &opt)
 {
-    auto colon = spec.find(':');
-    std::string kind = spec.substr(0, colon);
-    std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
-    if (kind == "const") {
-        std::uint8_t v = static_cast<std::uint8_t>(std::atoi(args.c_str()));
-        return [v](sim::Tick) { return v; };
-    }
-    if (kind == "sine") {
-        double amp = 60, period = 5;
-        std::sscanf(args.c_str(), "%lf,%lf", &amp, &period);
-        return [amp, period](sim::Tick now) -> std::uint8_t {
-            double t = sim::ticksToSeconds(now);
-            double v = 128 + amp * std::sin(2 * std::numbers::pi * t / period);
-            return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
-        };
-    }
-    if (kind == "ramp") {
-        double rate = std::atof(args.c_str());
-        return [rate](sim::Tick now) -> std::uint8_t {
-            return static_cast<std::uint8_t>(
-                static_cast<unsigned>(sim::ticksToSeconds(now) * rate) % 256);
-        };
-    }
-    sim::fatal("unknown signal spec '%s'", spec.c_str());
+    scenario::Scenario sc;
+    sc.name = opt.app;
+    sc.seconds = opt.seconds;
+    sc.seed = opt.seed;
+    sc.threads = opt.threads;
+    sc.nodes.count = opt.nodes;
+    sc.nodes.app = opt.app;
+    sc.nodes.period = opt.period;
+    sc.nodes.threshold = opt.threshold;
+    sc.nodes.dest = opt.dest;
+    sc.nodes.signal = opt.signal;
+    sc.nodes.noise = opt.noise;
+    sc.routes.mode = scenario::RouteMode::None;
+    if (!opt.traceOut.empty())
+        sc.trace = {opt.traceOut, opt.traceChannels};
+    return sc;
 }
 
-core::apps::NodeApp
-buildNodeApp(const Options &opt, const core::apps::AppParams &params)
+std::string
+readFile(const std::string &path)
 {
-    if (opt.app == "app1")
-        return core::apps::buildApp1(params);
-    if (opt.app == "app2")
-        return core::apps::buildApp2(params);
-    if (opt.app == "app3")
-        return core::apps::buildApp3(params);
-    if (opt.app == "app4")
-        return core::apps::buildApp4(params);
-    if (opt.app == "blink")
-        return core::apps::buildBlink(params);
-    if (opt.app == "sense")
-        return core::apps::buildSense(params);
-    sim::fatal("unknown app '%s'", opt.app.c_str());
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("cannot open '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
 }
 
-/** N nodes on one broadcast channel, on 1..K shard threads. The
- *  statistics are identical for every K (see core::Network). */
+/**
+ * Execute a lowered scenario: build the network, wire the optional
+ * fault campaign and telemetry trace, run, and report. One runner for
+ * every front end — scenario files and legacy flags take the same path.
+ */
 int
-runNetwork(const Options &opt)
+runScenario(const scenario::Scenario &sc, bool stats, bool power)
 {
-    std::string app_name;
-
-    core::Network::Config cfg;
-    cfg.numNodes = opt.nodes;
-    cfg.threads = opt.threads;
-    cfg.channelSeed = opt.seed;
-    cfg.nodeConfig = [&](unsigned i) {
-        core::NodeConfig nc;
-        nc.address = static_cast<std::uint16_t>(1 + i);
-        nc.seed = opt.seed + i;
-        nc.sensorSignal = makeSignal(opt.signal);
-        nc.sensorNoiseStddev = opt.noise;
-        return nc;
-    };
-    cfg.nodeApp = [&](unsigned i) {
-        core::apps::AppParams params;
-        // Stagger the sampling period a little per node so the network
-        // does not transmit in artificial lockstep.
-        params.samplePeriodCycles = opt.period + 37 * i;
-        params.threshold = static_cast<std::uint8_t>(opt.threshold);
-        params.dest = static_cast<std::uint16_t>(opt.dest);
-        core::apps::NodeApp app = buildNodeApp(opt, params);
-        app_name = app.name;
-        return app;
-    };
+    scenario::Lowered low = scenario::lower(sc);
+    const unsigned N = static_cast<unsigned>(low.spec.nodes.size());
 
     std::unique_ptr<obs::EventLog> log;
-    if (!opt.traceOut.empty()) {
+    if (low.trace && !low.trace->out.empty()) {
         obs::EventLogConfig ecfg;
-        ecfg.dir = opt.traceOut;
+        ecfg.dir = low.trace->out;
         std::string bad;
-        if (!obs::parseChannelList(opt.traceChannels, &ecfg.channelMask,
+        if (!obs::parseChannelList(low.trace->channels, &ecfg.channelMask,
                                    &bad)) {
             sim::fatal("bad trace channel '%s'", bad.c_str());
         }
-        log = std::make_unique<obs::EventLog>(ecfg, opt.threads);
-        cfg.telemetrySink = [&log](unsigned s) { return &log->sink(s); };
+        log = std::make_unique<obs::EventLog>(ecfg, sc.threads);
+        low.spec.telemetrySink = [&log](unsigned s) { return &log->sink(s); };
     }
 
-    core::Network network(cfg);
+    core::Network network(low.spec);
     if (log) {
-        for (unsigned s = 0; s < opt.threads; ++s)
+        for (unsigned s = 0; s < sc.threads; ++s)
             log->attachSampler(s, network.shardSimulation(s));
     }
-    network.runForSeconds(opt.seconds);
+
+    if (low.broadcastLoss > 0.0) {
+        if (!network.broadcastChannel()) {
+            sim::fatal("[radio] loss needs the sequential broadcast "
+                       "channel: threads = 1 and model = broadcast (the "
+                       "spatial model has per-link loss instead)");
+        }
+        for (unsigned d = 0; net::Channel *ch = network.broadcastChannel(d);
+             ++d) {
+            ch->setLossProbability(low.broadcastLoss);
+        }
+    }
+
+    // The fault campaign attaches to one node's fabric (and, when
+    // available, the broadcast channel), on that node's shard.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (low.fault) {
+        const unsigned target = low.fault->node;
+        core::SensorNode &node = network.node(target);
+        injector = std::make_unique<fault::FaultInjector>(
+            network.shardSimulation(network.shardOf(target)), "fault",
+            sc.seed);
+        injector->attachSram(&node.memory());
+        injector->attachDevice("msgProc", &node.msgProc());
+        injector->attachDevice("compressor", &node.compressor());
+        if (net::Channel *ch = network.broadcastChannel())
+            injector->attachChannel(ch);
+        injector->runText(readFile(low.fault->campaign));
+    }
+
+    network.runForSeconds(low.seconds);
     if (log)
         log->finish();
     const core::Network::Counters c = network.counters();
 
-    std::printf("platform=node app=%s nodes=%u simulated=%.3fs",
-                app_name.c_str(), opt.nodes, opt.seconds);
-    if (opt.threads > 1)
-        std::printf(" threads=%u", opt.threads);
-    std::printf("\n");
+    std::printf("scenario=%s nodes=%u threads=%u simulated=%.3fs\n",
+                low.name.c_str(), N, sc.threads, low.seconds);
     std::printf("events processed:  %llu\n",
                 static_cast<unsigned long long>(c.eventsProcessed));
     std::printf("frames sent:       %llu\n",
@@ -319,71 +338,100 @@ runNetwork(const Options &opt)
                 static_cast<unsigned long long>(c.epIsrs));
     std::printf("uC wakeups:        %llu\n",
                 static_cast<unsigned long long>(c.mcuWakeups));
+    if (low.sink) {
+        const core::MessageProcessor &mp = network.node(*low.sink).msgProc();
+        std::printf("packets at sink:   %llu (origins %zu, max depth %u)\n",
+                    static_cast<unsigned long long>(mp.localDeliveries()),
+                    mp.localDeliveriesBySource().size(), low.maxDepth());
+    }
+    if (injector) {
+        std::printf("faults injected:   channel %llu, bit flips %llu, "
+                    "device %llu, droops %llu\n",
+                    static_cast<unsigned long long>(
+                        injector->injectedChannelFaults()),
+                    static_cast<unsigned long long>(
+                        injector->injectedBitFlips()),
+                    static_cast<unsigned long long>(
+                        injector->injectedDeviceFaults()),
+                    static_cast<unsigned long long>(
+                        injector->injectedDroops()));
+    }
     if (log) {
         std::printf("trace records:     %llu (%llu dropped) -> %s\n",
                     static_cast<unsigned long long>(log->totalRecorded()),
                     static_cast<unsigned long long>(log->totalDropped()),
                     log->dir().c_str());
     }
-    if (opt.stats) {
+
+    if (N == 1) {
+        // Single-node extras: the detail lines the node-level front end
+        // has always reported.
+        core::SensorNode &node = network.node(0);
+        std::printf("samples taken:     %llu\n",
+                    static_cast<unsigned long long>(node.sensor().samples()));
+        std::printf("filter decisions:  %llu (passes %llu)\n",
+                    static_cast<unsigned long long>(
+                        node.filter().decisions()),
+                    static_cast<unsigned long long>(node.filter().passes()));
+        std::printf("events dropped:    %llu\n",
+                    static_cast<unsigned long long>(node.irqBus().dropped()));
+        if (power) {
+            std::printf("\nPower breakdown:\n");
+            for (const core::ComponentPower &row : node.powerReport()) {
+                std::printf("  %-18s %12.4f uW  (utilization %.5f)\n",
+                            row.component.c_str(), row.averageWatts * 1e6,
+                            row.utilization);
+            }
+            std::printf("  %-18s %12.4f uW\n", "TOTAL",
+                        node.totalAverageWatts() * 1e6);
+        }
+    } else if (power) {
+        std::fprintf(stderr,
+                     "ulpsim: --power prints a per-node breakdown and "
+                     "needs a single-node run\n");
+    }
+    if (stats) {
         std::printf("\n");
         network.dumpStats(std::cout);
     }
     return 0;
 }
 
+/** `ulpsim run <file.ini>`: scenario file plus per-invocation knobs. */
 int
-runNode(const Options &opt)
+runCommand(int argc, char **argv)
 {
-    sim::Simulation simulation;
-    core::NodeConfig cfg;
-    cfg.seed = opt.seed;
-    cfg.sensorSignal = makeSignal(opt.signal);
-    cfg.sensorNoiseStddev = opt.noise;
-    core::SensorNode node(simulation, "node", cfg);
+    std::vector<std::string> positional;
+    Options opt = parse(argc, argv, 2, &positional);
+    if (positional.size() != 1) {
+        std::fprintf(stderr, "usage: ulpsim run <scenario.ini> "
+                             "[overrides]\n\n");
+        usage(2);
+    }
 
-    core::apps::AppParams params;
-    params.samplePeriodCycles = opt.period;
-    params.threshold = static_cast<std::uint8_t>(opt.threshold);
-    params.dest = static_cast<std::uint16_t>(opt.dest);
-
-    core::apps::NodeApp app = buildNodeApp(opt, params);
-
-    core::apps::install(node, app);
-    simulation.runForSeconds(opt.seconds);
-
-    std::printf("platform=node app=%s simulated=%.3fs\n", app.name.c_str(),
-                opt.seconds);
-    std::printf("frames sent:       %llu\n",
-                static_cast<unsigned long long>(node.radio().framesSent()));
-    std::printf("samples taken:     %llu\n",
-                static_cast<unsigned long long>(node.sensor().samples()));
-    std::printf("filter decisions:  %llu (passes %llu)\n",
-                static_cast<unsigned long long>(node.filter().decisions()),
-                static_cast<unsigned long long>(node.filter().passes()));
-    std::printf("EP ISRs:           %llu (utilization %.5f)\n",
-                static_cast<unsigned long long>(node.ep().isrsExecuted()),
-                node.ep().utilization());
-    std::printf("uC wakeups:        %llu\n",
-                static_cast<unsigned long long>(node.micro().wakeups()));
-    std::printf("events dropped:    %llu\n",
-                static_cast<unsigned long long>(node.irqBus().dropped()));
-
-    if (opt.power) {
-        std::printf("\nPower breakdown:\n");
-        for (const core::ComponentPower &row : node.powerReport()) {
-            std::printf("  %-18s %12.4f uW  (utilization %.5f)\n",
-                        row.component.c_str(), row.averageWatts * 1e6,
-                        row.utilization);
+    scenario::Scenario sc = scenario::parseScenarioFile(positional[0]);
+    // Flags given on the command line override the file's values.
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--threads=", 0) == 0)
+            sc.threads = opt.threads;
+        else if (arg.rfind("--seconds=", 0) == 0)
+            sc.seconds = opt.seconds;
+        else if (arg.rfind("--seed=", 0) == 0)
+            sc.seed = opt.seed;
+        else if (arg.rfind("--trace-out=", 0) == 0 ||
+                 arg.rfind("--trace-channels=", 0) == 0) {
+            if (!sc.trace)
+                sc.trace.emplace();
+            if (arg.rfind("--trace-out=", 0) == 0)
+                sc.trace->out = opt.traceOut;
+            else
+                sc.trace->channels = opt.traceChannels;
         }
-        std::printf("  %-18s %12.4f uW\n", "TOTAL",
-                    node.totalAverageWatts() * 1e6);
     }
-    if (opt.stats) {
-        std::printf("\n");
-        simulation.dumpStats(std::cout);
-    }
-    return 0;
+    if (!opt.trace.empty())
+        sim::Trace::enableFromString(opt.trace);
+    return runScenario(sc, opt.stats, opt.power);
 }
 
 int
@@ -392,7 +440,7 @@ runMica2(const Options &opt)
     sim::Simulation simulation;
     baseline::Mica2Platform::Config cfg;
     cfg.seed = opt.seed;
-    cfg.sensorSignal = makeSignal(opt.signal);
+    cfg.sensorSignal = scenario::makeSignal(opt.signal);
     cfg.sensorNoiseStddev = opt.noise;
     baseline::Mica2Platform mica(simulation, "mica2", cfg);
 
@@ -452,15 +500,31 @@ int
 main(int argc, char **argv)
 {
     try {
-        Options opt = parse(argc, argv);
+        if (argc > 1 && std::strcmp(argv[1], "run") == 0)
+            return runCommand(argc, argv);
+        if (argc > 1 && std::strcmp(argv[1], "print-scenario") == 0) {
+            if (argc != 3) {
+                std::fprintf(stderr,
+                             "usage: ulpsim print-scenario <scenario.ini>\n");
+                return 2;
+            }
+            std::fputs(
+                scenario::printScenario(scenario::parseScenarioFile(argv[2]))
+                    .c_str(),
+                stdout);
+            return 0;
+        }
+
+        Options opt = parse(argc, argv, 1, nullptr);
         validate(opt);
         if (!opt.trace.empty())
             sim::Trace::enableFromString(opt.trace);
         if (opt.platform == "node") {
-            // Tracing always goes through the Network path so the trace
-            // layout is the same for 1 and N nodes.
-            bool net = opt.nodes > 1 || !opt.traceOut.empty();
-            return net ? runNetwork(opt) : runNode(opt);
+            std::fprintf(stderr,
+                         "ulpsim: note: flag-based node runs are "
+                         "deprecated; prefer `ulpsim run <scenario.ini>` "
+                         "(dump one with print-scenario)\n");
+            return runScenario(scenarioFromFlags(opt), opt.stats, opt.power);
         }
         return runMica2(opt);
     } catch (const sim::SimError &e) {
