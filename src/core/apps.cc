@@ -316,7 +316,8 @@ mcuInit(const AppParams &params, bool use_filter, bool radio_rx,
 /**
  * v4 irregular-event handler: decode a reconfiguration command from the
  * message processor's IN buffer and apply it. MARK 1 fires after a timer
- * change, MARK 2 after a threshold change (measurement hooks).
+ * change, MARK 2 after a threshold change, MARK 4 after a route update
+ * (measurement hooks).
  */
 const char *mcuReconfigHandler = R"(
 reconfig:
@@ -355,11 +356,31 @@ reconfig:
     SLEEP
 rc_not_timer:
     CPI r0, 1
-    JNZ rc_invalid
+    JNZ rc_not_thresh
     ; --- filter threshold change ---
     LDS r1, MSG_INBUF_VHI
     STS FILTER_THRESH, r1
     MARK 2
+    LDS r4, SCRATCH
+    INC r4
+    STS SCRATCH, r4
+    SLEEP
+rc_not_thresh:
+    CPI r0, 2
+    JNZ rc_invalid
+    ; --- route update: repoint the wildcard uplink at a new parent ---
+    LDS r1, MSG_INBUF_VHI
+    LDS r2, MSG_INBUF_VLO
+    LDI r3, 0xFF
+    STS MSG_ROUTE_ORIG_HI, r3   ; wildcard origin (0xFFFF)
+    STS MSG_ROUTE_ORIG_LO, r3
+    STS MSG_ROUTE_NEXT_HI, r1
+    STS MSG_ROUTE_NEXT_LO, r2
+    LDI r3, 4                   ; CmdRouteAdd: replaces the old wildcard
+    STS MSG_CTRL, r3
+    STS MSG_DEST_HI, r1         ; own traffic follows the new parent too
+    STS MSG_DEST_LO, r2
+    MARK 4
     LDS r4, SCRATCH
     INC r4
     STS SCRATCH, r4

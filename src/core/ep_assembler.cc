@@ -86,6 +86,14 @@ epDefaultSymbols()
         {"MSG_PAYLOAD", static_cast<std::uint16_t>(msgBase + msgPayload)},
         {"MSG_OUTBUF", static_cast<std::uint16_t>(msgBase + msgOutBuf)},
         {"MSG_INBUF", static_cast<std::uint16_t>(msgBase + msgInBuf)},
+        {"MSG_ROUTE_ORIG_HI",
+         static_cast<std::uint16_t>(msgBase + msgRouteOrigHi)},
+        {"MSG_ROUTE_ORIG_LO",
+         static_cast<std::uint16_t>(msgBase + msgRouteOrigLo)},
+        {"MSG_ROUTE_NEXT_HI",
+         static_cast<std::uint16_t>(msgBase + msgRouteNextHi)},
+        {"MSG_ROUTE_NEXT_LO",
+         static_cast<std::uint16_t>(msgBase + msgRouteNextLo)},
 
         // Radio.
         {"RADIO_CTRL", static_cast<std::uint16_t>(radioBase + radioCtrl)},

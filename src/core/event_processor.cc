@@ -69,6 +69,17 @@ EventProcessor::busReleased()
 }
 
 void
+EventProcessor::forceIdle()
+{
+    if (advanceEvent.scheduled())
+        eventq().deschedule(&advanceEvent);
+    wakeupPending = false;
+    servicing = Irq::None;
+    setFsmState(State::Ready);
+    tracker.setState(power::PowerState::Idle);
+}
+
+void
 EventProcessor::consume(sim::Cycles cycles, sim::Tick extra_ticks)
 {
     statBusyCycles += static_cast<double>(cycles);

@@ -70,6 +70,13 @@ class EventProcessor : public sim::SimObject
     /** The microcontroller wrapper calls this when it releases the bus. */
     void busReleased();
 
+    /**
+     * Full supply loss (node death): abort whatever the FSM is doing and
+     * park in READY with no scheduled events. Unlike the normal path no
+     * probes fire — the node is losing power, not finishing an ISR.
+     */
+    void forceIdle();
+
     State state() const { return _state; }
     std::uint8_t dataRegister() const { return reg; }
 

@@ -49,6 +49,13 @@ class InterruptBus : public sim::SimObject
     /** The event processor registers here to be poked on posts. */
     void setListener(std::function<void()> cb) { listener = std::move(cb); }
 
+    /**
+     * Full supply loss (node death): every asserted request line goes
+     * away with the devices driving it. Not counted as drops — nothing
+     * was arbitrated away, the requesters themselves lost power.
+     */
+    void clearPending() { asserted.reset(); }
+
     std::uint64_t posted() const
     {
         return static_cast<std::uint64_t>(statPosted.value());

@@ -141,6 +141,13 @@ class MessageProcessor : public SlaveDevice
     /** CAM occupancy (tests). */
     std::size_t camSize() const { return cam.size(); }
 
+    /**
+     * Full supply loss (node death): unlike power gating, the always-on
+     * retention latches lose their charge too, so the duplicate CAM is
+     * wiped. The lifecycle layer pairs this with clearRoutes().
+     */
+    void clearDuplicateCam() { cam.clear(); }
+
     // --- Routing CAM (C++ preload API for the scenario engine) -----------
     /** Install (origin -> next hop); exact entries replace, wildcard too.
      *  FIFO eviction when the CAM is full, like the duplicate CAM. */

@@ -48,6 +48,7 @@ Network::Network(const Config &config)
 void
 Network::build(const scenario::NetworkSpec &spec)
 {
+    builtSpec = spec;
     const unsigned N = static_cast<unsigned>(spec.nodes.size());
     const unsigned K = spec.threads;
     if (N == 0)
@@ -125,6 +126,7 @@ Network::build(const scenario::NetworkSpec &spec)
             apps::install(*node, ns.buildApp());
             for (const MessageProcessor::Route &r : ns.routes)
                 node->msgProc().preloadRoute(r.origin, r.nextHop);
+            node->setReviveHook([this, i] { reviveNodeNow(i); });
         }
     }
 }
@@ -142,7 +144,15 @@ Network::broadcastChannel(unsigned domain)
 void
 Network::runForSeconds(double seconds)
 {
-    const sim::Tick end = ran + sim::secondsToTicks(seconds);
+    runUntilTick(ran + sim::secondsToTicks(seconds));
+}
+
+void
+Network::runUntilTick(sim::Tick end)
+{
+    if (end < ran)
+        sim::fatal("Network: runUntilTick(%llu) is in the past (ran %llu)",
+                   (unsigned long long)end, (unsigned long long)ran);
     if (!relay) {
         shards[0].simulation->runUntil(end);
     } else {
@@ -158,6 +168,49 @@ Network::runForSeconds(double seconds)
         scheduler.run(end);
     }
     ran = end;
+}
+
+void
+Network::powerOffNodeNow(unsigned node)
+{
+    nodeByIndex[node]->supplyDown();
+}
+
+void
+Network::reviveNodeNow(unsigned node)
+{
+    SensorNode *n = nodeByIndex[node];
+    if (n->alive())
+        return;
+    n->supplyUp();
+    const unsigned s = shardOfNode[node];
+    if (shards[s].spatialChannel)
+        shards[s].spatialChannel->bind(&n->radio(), node);
+    // Reinstall the factory image (SRAM did not survive) and boot. The
+    // route CAM is intentionally left empty: repair re-teaches it.
+    apps::install(*n, builtSpec.nodes[node].buildApp());
+}
+
+void
+Network::scheduleNodePowerOff(unsigned node, sim::Tick when)
+{
+    auto event = std::make_unique<sim::EventFunctionWrapper>(
+        [this, node] { powerOffNodeNow(node); },
+        "node" + std::to_string(node) + ".lifecycle.fail");
+    shards[shardOfNode[node]].simulation->eventq().schedule(event.get(),
+                                                            when);
+    lifecycleEvents.push_back(std::move(event));
+}
+
+void
+Network::scheduleNodeRevive(unsigned node, sim::Tick when)
+{
+    auto event = std::make_unique<sim::EventFunctionWrapper>(
+        [this, node] { reviveNodeNow(node); },
+        "node" + std::to_string(node) + ".lifecycle.revive");
+    shards[shardOfNode[node]].simulation->eventq().schedule(event.get(),
+                                                            when);
+    lifecycleEvents.push_back(std::move(event));
 }
 
 Network::Counters

@@ -122,6 +122,46 @@ class Network
     /** Run all shards for @p seconds of simulated time. */
     void runForSeconds(double seconds);
 
+    /**
+     * Run all shards up to the absolute tick @p end (>= the ticks already
+     * run). Segmented runs are how the resilience layer gets control
+     * points: between segments every shard sits at the same tick and the
+     * media have finalized in-flight state, so topology inspection and
+     * route recomputation are race-free.
+     */
+    void runUntilTick(sim::Tick end);
+
+    /** Total ticks simulated so far. */
+    sim::Tick ranUntil() const { return ran; }
+
+    // --- node lifecycle (survivable mesh) ---------------------------------
+    /**
+     * Full supply loss for @p node, now. Shard-local: call it only from
+     * an event on the node's own shard or between run segments. Frames
+     * the node already put on the air complete (see
+     * RadioDevice::detachFromMedium); everything else stops.
+     */
+    void powerOffNodeNow(unsigned node);
+
+    /**
+     * Full revive for @p node, now: supply up, radio re-attached (and
+     * re-bound under the spatial model), application image reinstalled
+     * and booted. The route CAM stays empty — full supply loss wiped it,
+     * and only a repair round (or a fresh preload) re-teaches routes —
+     * so an un-repaired revived relay swallows its children's traffic.
+     * Shard-local, like powerOffNodeNow().
+     */
+    void reviveNodeNow(unsigned node);
+
+    /** Pre-schedule a lifecycle event on the node's own shard queue (the
+     *  exact-tick, K-invariant path used by [lifecycle] schedules). */
+    void scheduleNodePowerOff(unsigned node, sim::Tick when);
+    void scheduleNodeRevive(unsigned node, sim::Tick when);
+
+    /** The spec the network was built from (route repair re-derives
+     *  addresses and applications from it). */
+    const scenario::NetworkSpec &spec() const { return builtSpec; }
+
     Counters counters() const;
 
     /**
@@ -149,6 +189,8 @@ class Network
     std::vector<Shard> shards;
     std::vector<SensorNode *> nodeByIndex;
     std::vector<unsigned> shardOfNode;
+    scenario::NetworkSpec builtSpec; ///< kept for lifecycle reinstalls
+    std::vector<std::unique_ptr<sim::EventFunctionWrapper>> lifecycleEvents;
     sim::Tick ran = 0;        ///< total ticks simulated so far
     bool statsMerged = false; ///< channel stats folded into shard 0
 };

@@ -59,6 +59,28 @@ struct NodeConfig
     /** Disable Vdd gating: SWITCHOFF leaves components idling (ablation
      *  bench; quantifies what fine-grain power management buys). */
     bool gatingDisabled = false;
+
+    /**
+     * Optional harvesting battery (capacityJoules > 0 enables it). The
+     * node owns a power::HarvestingSupply fed by a constant harvest
+     * source and loaded with the node's aggregate draw; an emptied store
+     * kills the node (full supply loss), and — when reviveLevel > 0 —
+     * the node reboots once harvest refills the store to that fraction
+     * of capacity.
+     */
+    struct Battery
+    {
+        double capacityJoules = 0.0;
+        /** Starting charge; negative means "full". */
+        double initialJoules = -1.0;
+        /** Constant harvest input (the paper's budget is 100 uW). */
+        double harvestWatts = 0.0;
+        /** Supply poll interval in seconds. */
+        double pollSeconds = 0.01;
+        /** Revive when the store refills to this fraction (0: stay dead). */
+        double reviveLevel = 0.0;
+    };
+    Battery battery{};
 };
 
 } // namespace ulp::core

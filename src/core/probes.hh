@@ -38,6 +38,8 @@ enum class Probe : unsigned {
     RadioAckSent,         ///< the MAC auto-acknowledged a received frame
     WatchdogBark,         ///< the watchdog expired and forced a reset
     McuForcedReset,       ///< the microcontroller was forcibly reset
+    NodeDown,             ///< full supply loss: the node powered off
+    NodeUp,               ///< the node's supply recovered and it rebooted
     NumProbes,
 };
 
@@ -63,6 +65,8 @@ probeName(Probe probe)
       case Probe::RadioAckSent: return "RadioAckSent";
       case Probe::WatchdogBark: return "WatchdogBark";
       case Probe::McuForcedReset: return "McuForcedReset";
+      case Probe::NodeDown: return "NodeDown";
+      case Probe::NodeUp: return "NodeUp";
       default: return "unknown";
     }
 }

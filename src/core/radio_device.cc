@@ -50,14 +50,33 @@ RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
       statAcksReceived(this, "acksReceived",
                        "ACKs that completed a MAC transaction")
 {
-    if (channel)
+    if (channel) {
         channel->attach(this);
+        attachedToChannel = true;
+    }
 }
 
 RadioDevice::~RadioDevice()
 {
-    if (channel)
+    detachFromMedium();
+}
+
+void
+RadioDevice::detachFromMedium()
+{
+    if (channel && attachedToChannel) {
         channel->detach(this);
+        attachedToChannel = false;
+    }
+}
+
+void
+RadioDevice::attachToMedium()
+{
+    if (channel && !attachedToChannel) {
+        channel->attach(this);
+        attachedToChannel = true;
+    }
 }
 
 std::uint8_t

@@ -85,6 +85,22 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     /** Deliver a frame as if it arrived over the air (single-node tests). */
     void injectFrame(const net::Frame &frame);
 
+    /**
+     * Lifecycle: leave the medium (full supply loss, node death). A frame
+     * this radio already put on the air *completes* — both media own their
+     * in-flight state, so the delivery resolves identically at any thread
+     * count — but the radio stops hearing anything from the detach on,
+     * and a MAC transaction still in backoff dies with the node. Safe to
+     * call when already detached.
+     */
+    void detachFromMedium();
+
+    /** Lifecycle: rejoin the medium on revive (spatial media need a
+     *  subsequent SpatialMedium::bind before the radio may transmit). */
+    void attachToMedium();
+
+    bool attachedToMedium() const { return attachedToChannel; }
+
     std::uint64_t framesSent() const
     {
         return static_cast<std::uint64_t>(statTx.value());
@@ -156,6 +172,7 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     bool mediumBusy() const { return curTick() < mediumBusyUntil; }
 
     net::Medium *channel;
+    bool attachedToChannel = false;
     sim::Random random;
     bool rxEnabled = false;
     bool txBusy = false;

@@ -105,6 +105,35 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
                                static_cast<std::uint8_t>(cfg.pan >> 8));
     messageProcessor->busWrite(map::msgPanLo,
                                static_cast<std::uint8_t>(cfg.pan));
+
+    if (cfg.battery.capacityJoules > 0.0) {
+        const NodeConfig::Battery &bat = cfg.battery;
+        const double initial =
+            bat.initialJoules < 0.0 ? bat.capacityJoules : bat.initialJoules;
+        const double dt = bat.pollSeconds;
+        harvestSupply = std::make_unique<power::HarvestingSupply>(
+            simulation, "supply",
+            std::make_unique<power::ConstantSource>(bat.harvestWatts),
+            power::EnergyStore(bat.capacityJoules, initial),
+            [this, dt] {
+                double now = totalEnergyJoules();
+                double watts = (now - supplyLastEnergy) / dt;
+                supplyLastEnergy = now;
+                return watts;
+            },
+            sim::secondsToTicks(dt), this);
+        harvestSupply->setRecoverLevel(bat.reviveLevel);
+        harvestSupply->onBrownOut([this] { supplyDown(); });
+        if (bat.reviveLevel > 0.0) {
+            harvestSupply->onRecover([this] {
+                if (reviveHook)
+                    reviveHook();
+                else
+                    supplyUp();
+            });
+        }
+        harvestSupply->start();
+    }
 }
 
 void
@@ -157,6 +186,90 @@ void
 SensorNode::boot(std::uint16_t init_entry)
 {
     microcontroller->boot(init_entry);
+}
+
+void
+SensorNode::supplyDown()
+{
+    if (!_alive)
+        return;
+    _alive = false;
+    probeRecorder->record(Probe::NodeDown);
+    // Masters first: a hung/running uC releases the bus, the EP aborts
+    // whatever it was doing, and every pending request line goes away.
+    microcontroller->forceReset();
+    eventProcessor->forceIdle();
+    interruptBus->clearPending();
+    timerUnit->powerOff();
+    thresholdFilter->powerOff();
+    messageProcessor->powerOff();
+    compressorDev->powerOff();
+    sensorAdc->powerOff();
+    radioDevice->powerOff();
+    radioDevice->detachFromMedium();
+    for (auto &bank : bankPower)
+        bank->powerOff();
+    // Full supply loss clears even the retention latches that survive
+    // ordinary gating: duplicate suppression and routes are gone.
+    messageProcessor->clearDuplicateCam();
+    messageProcessor->clearRoutes();
+}
+
+void
+SensorNode::supplyUp()
+{
+    if (_alive)
+        return;
+    _alive = true;
+    for (auto &bank : bankPower)
+        bank->powerOn();
+    // The brown-in supervisor releases reset milliseconds after the
+    // rails settle — the 950 ns bank wakeup has long elapsed by the
+    // time anything here can fetch.
+    for (unsigned bank = 0; bank < sram->numBanks(); ++bank)
+        sram->settleBank(bank);
+    timerUnit->powerOn();
+    thresholdFilter->powerOn();
+    messageProcessor->powerOn();
+    compressorDev->powerOn();
+    sensorAdc->powerOn();
+    radioDevice->powerOn();
+    radioDevice->attachToMedium();
+    // The msgProc identity registers live in the lost domain's latches on
+    // real silicon; restore them as the constructor does. uC init may
+    // overwrite.
+    messageProcessor->busWrite(map::msgSrcHi,
+                               static_cast<std::uint8_t>(cfg.address >> 8));
+    messageProcessor->busWrite(map::msgSrcLo,
+                               static_cast<std::uint8_t>(cfg.address));
+    messageProcessor->busWrite(map::msgPanHi,
+                               static_cast<std::uint8_t>(cfg.pan >> 8));
+    messageProcessor->busWrite(map::msgPanLo,
+                               static_cast<std::uint8_t>(cfg.pan));
+    probeRecorder->record(Probe::NodeUp);
+}
+
+double
+SensorNode::totalEnergyJoules() const
+{
+    return eventProcessor->energyTracker().energyJoules() +
+           timerUnit->energyJoules() +
+           messageProcessor->energyJoules() +
+           thresholdFilter->energyJoules() +
+           compressorDev->energyJoules() +
+           sram->energyJoules() +
+           microcontroller->energyTracker().energyJoules() +
+           radioDevice->energyJoules() +
+           sensorAdc->energyJoules();
+}
+
+double
+SensorNode::reserveFraction() const
+{
+    if (!harvestSupply)
+        return 1.0;
+    const power::EnergyStore &store = harvestSupply->store();
+    return store.capacity() > 0.0 ? store.level() / store.capacity() : 0.0;
 }
 
 std::vector<ComponentPower>

@@ -30,6 +30,7 @@
 #include "core/timer_unit.hh"
 #include "mcu/assembler.hh"
 #include "net/channel.hh"
+#include "power/harvest.hh"
 
 namespace ulp::core {
 
@@ -89,6 +90,52 @@ class SensorNode : public sim::SimObject
         return clockDomain.ticksToCycles(to - from);
     }
 
+    // --- lifecycle (survivable mesh) --------------------------------------
+    /** Is the node's supply up? Dead nodes neither transmit nor hear. */
+    bool alive() const { return _alive; }
+
+    /**
+     * Full supply loss (scheduled failure, fault plan, or an emptied
+     * battery): force both masters idle, drop every pending interrupt,
+     * gate every slave and memory bank, and leave the medium. Unlike
+     * ordinary power gating even the always-on retention latches lose
+     * state, so the duplicate and routing CAMs are wiped. A frame this
+     * node already put on the air completes (the medium owns in-flight
+     * state; see RadioDevice::detachFromMedium); a MAC transaction still
+     * in backoff dies with the node.
+     */
+    void supplyDown();
+
+    /**
+     * Supply restored: power every component back up (the cold-boot
+     * state) and rejoin the medium. The owner still has to re-bind the
+     * radio on spatial media, reinstall the application image, and boot —
+     * SRAM contents did not survive the outage.
+     */
+    void supplyUp();
+
+    /**
+     * The node's harvesting battery, or null when the config declares
+     * none (NodeConfig::Battery::capacityJoules == 0). When present, an
+     * emptied store calls supplyDown(); once harvest refills it to
+     * reviveLevel the revive hook runs (or plain supplyUp() without one).
+     */
+    power::HarvestingSupply *supply() { return harvestSupply.get(); }
+
+    /** Installed by the owner (Network): full revive = supplyUp +
+     *  re-bind + app reinstall + boot. */
+    void setReviveHook(std::function<void()> hook)
+    {
+        reviveHook = std::move(hook);
+    }
+
+    /** Aggregate energy drawn by every component so far (the ledger the
+     *  battery integrates). */
+    double totalEnergyJoules() const;
+
+    /** Battery reserve in [0, 1]; 1.0 for nodes without a battery. */
+    double reserveFraction() const;
+
     // --- power reporting (Figure 6) ---------------------------------------
     /** Per-component average power over the run so far. */
     std::vector<ComponentPower> powerReport() const;
@@ -119,6 +166,11 @@ class SensorNode : public sim::SimObject
 
     std::unique_ptr<EventProcessor> eventProcessor;
     std::unique_ptr<Microcontroller> microcontroller;
+
+    std::unique_ptr<power::HarvestingSupply> harvestSupply;
+    double supplyLastEnergy = 0.0;
+    bool _alive = true;
+    std::function<void()> reviveHook;
 };
 
 } // namespace ulp::core

@@ -45,6 +45,10 @@ parseKind(const std::string &word, unsigned line_no)
         return Action::Kind::Slowdown;
     if (word == "droop")
         return Action::Kind::Droop;
+    if (word == "node-fail")
+        return Action::Kind::NodeFail;
+    if (word == "node-revive")
+        return Action::Kind::NodeRevive;
     sim::fatal("campaign plan line %u: unknown action '%s'", line_no,
                word.c_str());
     return Action::Kind::ChannelLoss; // unreachable
@@ -70,6 +74,8 @@ numericArgs(Action::Kind kind)
       case Action::Kind::Unwedge: return 0;
       case Action::Kind::Slowdown: return 1;
       case Action::Kind::Droop: return 1;
+      case Action::Kind::NodeFail: return 0;
+      case Action::Kind::NodeRevive: return 0;
     }
     return 0;
 }
@@ -134,7 +140,9 @@ FaultInjector::FaultInjector(sim::Simulation &simulation,
       statBitFlips(this, "bitFlips", "SRAM bit flips injected"),
       statDeviceFaults(this, "deviceFaults",
                        "wedge/unwedge/slowdown faults applied"),
-      statDroops(this, "droops", "supply droop spikes injected")
+      statDroops(this, "droops", "supply droop spikes injected"),
+      statLifecycle(this, "lifecycleEvents",
+                    "node fail/revive lifecycle events applied")
 {
 }
 
@@ -231,6 +239,17 @@ FaultInjector::apply(const Action &action)
                        name().c_str());
         supply->injectDroop(action.a);
         ++statDroops;
+        break;
+      case Action::Kind::NodeFail:
+      case Action::Kind::NodeRevive:
+        if (!lifecycle)
+            sim::fatal("%s: lifecycle action without an attached hook",
+                       name().c_str());
+        lifecycle(action.kind == Action::Kind::NodeRevive);
+        ++statLifecycle;
+        ULP_TRACE("Fault", this, "node %s",
+                  action.kind == Action::Kind::NodeRevive ? "revive"
+                                                          : "fail");
         break;
     }
 }

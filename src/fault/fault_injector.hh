@@ -25,11 +25,18 @@
  *   2.0        unwedge           msgProc
  *   2.5        slowdown          msgProc 3.0        ; cost factor
  *   3.0        droop             0.002              ; joules
+ *   2.0        node-fail                            ; full supply loss
+ *   5.0        node-revive                          ; supply restored
+ *
+ * node-fail / node-revive act on the node the injector's lifecycle hook
+ * is attached to (attachLifecycle), making node death a first-class
+ * fault kind alongside the component-level ones.
  */
 
 #ifndef ULP_FAULT_FAULT_INJECTOR_HH
 #define ULP_FAULT_FAULT_INJECTOR_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +63,8 @@ struct Action
         Unwedge,        ///< target device
         Slowdown,       ///< target device; a=cost factor
         Droop,          ///< a=joules drained from the store
+        NodeFail,       ///< full supply loss on the attached node
+        NodeRevive,     ///< supply restored on the attached node
     };
 
     double atSeconds = 0.0;
@@ -88,6 +97,13 @@ class FaultInjector : public sim::SimObject
     {
         devices[device_name] = device;
     }
+    /** Node lifecycle hook for NodeFail/NodeRevive: called with true on
+     *  revive, false on fail (e.g. Network::reviveNodeNow /
+     *  powerOffNodeNow bound to one node). */
+    void attachLifecycle(std::function<void(bool up)> hook)
+    {
+        lifecycle = std::move(hook);
+    }
 
     /** Schedule every action of @p plan (times are absolute seconds). */
     void run(const CampaignPlan &plan);
@@ -111,6 +127,10 @@ class FaultInjector : public sim::SimObject
     {
         return static_cast<std::uint64_t>(statDroops.value());
     }
+    std::uint64_t injectedLifecycleEvents() const
+    {
+        return static_cast<std::uint64_t>(statLifecycle.value());
+    }
 
   private:
     void apply(const Action &action);
@@ -119,6 +139,7 @@ class FaultInjector : public sim::SimObject
     net::Channel *channel = nullptr;
     memory::Sram *sram = nullptr;
     power::HarvestingSupply *supply = nullptr;
+    std::function<void(bool up)> lifecycle;
     std::map<std::string, core::SlaveDevice *> devices;
 
     sim::Random random;
@@ -130,6 +151,7 @@ class FaultInjector : public sim::SimObject
     sim::stats::Scalar statBitFlips;
     sim::stats::Scalar statDeviceFaults;
     sim::stats::Scalar statDroops;
+    sim::stats::Scalar statLifecycle;
 };
 
 } // namespace ulp::fault

@@ -184,6 +184,16 @@ Sram::ungateBank(unsigned bank_idx)
               static_cast<unsigned long long>(bank.readyAt));
 }
 
+void
+Sram::settleBank(unsigned bank_idx)
+{
+    if (bank_idx >= banks.size())
+        sim::panic("settleBank: bank %u out of range", bank_idx);
+    Bank &bank = banks[bank_idx];
+    if (!bank.gated && bank.readyAt > curTick())
+        bank.readyAt = curTick();
+}
+
 bool
 Sram::bankGated(unsigned bank_idx) const
 {

@@ -71,6 +71,14 @@ class Sram : public sim::SimObject
     /** Restore the supply; the bank is usable after the wakeup latency. */
     void ungateBank(unsigned bank);
 
+    /**
+     * Mark a powered bank's wakeup window as already elapsed. Supply-ramp
+     * boots use this: the brown-in supervisor releases reset milliseconds
+     * after the rails settle, far beyond the 950 ns bank wakeup, so by
+     * the time the node comes back the banks are ready.
+     */
+    void settleBank(unsigned bank);
+
     bool bankGated(unsigned bank) const;
 
     /** Tick at which an ungated bank becomes usable. */

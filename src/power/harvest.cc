@@ -37,8 +37,9 @@ HarvestingSupply::HarvestingSupply(sim::Simulation &simulation,
                                    std::unique_ptr<HarvestSource> source,
                                    EnergyStore store,
                                    std::function<double()> load,
-                                   sim::Tick interval)
-    : sim::SimObject(simulation, name),
+                                   sim::Tick interval,
+                                   sim::SimObject *parent)
+    : sim::SimObject(simulation, name, parent),
       source(std::move(source)), _store(store), load(std::move(load)),
       interval(interval),
       pollEvent([this] { poll(); }, name + ".poll"),
@@ -102,8 +103,17 @@ HarvestingSupply::poll()
             if (brownOutCb)
                 brownOutCb();
         }
-    } else {
-        inBrownOut = false;
+    } else if (inBrownOut) {
+        if (_store.level() + 1e-18 >=
+            recoverFraction * _store.capacity()) {
+            inBrownOut = false;
+            if (recoverCb)
+                recoverCb();
+        } else {
+            // Covering the (near-zero) load of a dead node is not
+            // recovery; the node stays down until the store refills.
+            statBrownOutTicks += static_cast<double>(interval);
+        }
     }
 
     scheduleRel(&pollEvent, interval);

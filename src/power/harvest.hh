@@ -104,7 +104,8 @@ class HarvestingSupply : public sim::SimObject
      */
     HarvestingSupply(sim::Simulation &simulation, const std::string &name,
                      std::unique_ptr<HarvestSource> source, EnergyStore store,
-                     std::function<double()> load, sim::Tick interval);
+                     std::function<double()> load, sim::Tick interval,
+                     sim::SimObject *parent = nullptr);
 
     /** Begin polling (first poll one interval from now). */
     void start();
@@ -116,6 +117,18 @@ class HarvestingSupply : public sim::SimObject
 
     /** Called on every transition into brown-out. */
     void onBrownOut(std::function<void()> cb) { brownOutCb = std::move(cb); }
+
+    /** Called on every transition out of brown-out (store recovered). */
+    void onRecover(std::function<void()> cb) { recoverCb = std::move(cb); }
+
+    /**
+     * Hysteresis for revive-on-harvest: while browned out, stay browned
+     * out until the store refills to @p fraction of capacity. The default
+     * (0) leaves brown-out on the first poll the store covers the load —
+     * the pre-lifecycle behavior. A dead node draws almost nothing, so
+     * without a threshold it would "recover" on the very next poll.
+     */
+    void setRecoverLevel(double fraction) { recoverFraction = fraction; }
 
     /**
      * Fault injection: a supply droop spike instantaneously drains
@@ -146,7 +159,9 @@ class HarvestingSupply : public sim::SimObject
     std::function<double()> load;
     sim::Tick interval;
     bool inBrownOut = false;
+    double recoverFraction = 0.0;
     std::function<void()> brownOutCb;
+    std::function<void()> recoverCb;
     sim::EventFunctionWrapper pollEvent;
 
     sim::stats::Scalar statHarvested;

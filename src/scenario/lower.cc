@@ -242,9 +242,11 @@ lower(const Scenario &sc)
     out.fault = sc.fault;
     out.trace = sc.trace;
     out.sink = sc.routes.sink;
+    out.lifecycle = sc.lifecycle;
 
     const std::vector<net::Position> pos = place(sc);
     const std::vector<unsigned> parent = routeParents(sc, pos, out.depth);
+    out.parents = parent;
     const bool routed = sc.routes.sink && sc.routes.mode != RouteMode::None;
 
     // Addresses first: parents' addresses feed dest/route lowering.
@@ -275,6 +277,16 @@ lower(const Scenario &sc)
         nc.seed = o.seed ? *o.seed : sc.seed + i;
         nc.sensorSignal = makeSignal(o.signal ? *o.signal : sc.nodes.signal);
         nc.sensorNoiseStddev = o.noise ? *o.noise : sc.nodes.noise;
+        // Battery model (applied uniformly, the sink included — a
+        // mains-powered sink is modeled with battery = 0 or a capacity
+        // large enough never to empty over the run).
+        if (sc.lifecycle && sc.lifecycle->battery > 0.0) {
+            nc.battery.capacityJoules = sc.lifecycle->battery;
+            nc.battery.initialJoules = sc.lifecycle->batteryInitial;
+            nc.battery.harvestWatts = sc.lifecycle->harvest;
+            nc.battery.pollSeconds = sc.lifecycle->batteryInterval;
+            nc.battery.reviveLevel = sc.lifecycle->reviveLevel;
+        }
         ns.withConfig(nc);
 
         core::apps::AppParams params;

@@ -59,6 +59,17 @@ struct Lowered
      */
     std::vector<unsigned> depth;
 
+    /**
+     * Parent of node @c i in the lowered route tree, UINT_MAX when it
+     * has none (the sink, or an unrouted scenario). Subtree sizes over
+     * this vector identify the busiest relays, and route repair seeds
+     * its own recomputation from the same tree.
+     */
+    std::vector<unsigned> parents;
+
+    /** Node churn / repair / battery settings, passed through. */
+    std::optional<Scenario::Lifecycle> lifecycle;
+
     /** Broadcast-channel loss probability ([radio] loss; the driver
      *  applies it to Network::broadcastChannel post-construction). */
     double broadcastLoss = 0.0;

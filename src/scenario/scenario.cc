@@ -272,6 +272,100 @@ parseNodeKey(const Cursor &at, NodeOverride &o, const std::string &key,
         at.fail("unknown key '" + key + "' in [node N]");
 }
 
+/**
+ * Source lines of every fail/revive entry, parallel to the event
+ * vectors. Range checks (node index, event time) need the whole file —
+ * [nodes] count or [scenario] seconds may come later — so they run
+ * after parsing, against these recorded positions.
+ */
+struct LifecycleLines
+{
+    std::vector<unsigned> fail;
+    std::vector<unsigned> revive;
+};
+
+void
+parseLifecycleEvents(const Cursor &at, const std::string &key,
+                     const std::string &value,
+                     std::vector<LifecycleEvent> &events,
+                     std::vector<unsigned> &lines)
+{
+    std::istringstream list(value);
+    std::string item;
+    while (std::getline(list, item, ',')) {
+        item = trim(item);
+        if (item.empty())
+            at.fail("'" + key + "' has an empty entry");
+        auto sep = item.find('@');
+        if (sep == std::string::npos) {
+            at.fail("'" + key + "' entries are node@seconds, got '" + item +
+                    "'");
+        }
+        LifecycleEvent ev;
+        ev.node = static_cast<unsigned>(
+            parseUnsigned(at, key, trim(item.substr(0, sep)), 65'534));
+        ev.atSeconds = parseDouble(at, key, trim(item.substr(sep + 1)));
+        if (ev.atSeconds < 0.0)
+            at.fail("'" + key + "' time must be non-negative");
+        events.push_back(ev);
+        lines.push_back(at.line);
+    }
+}
+
+void
+parseLifecycleKey(const Cursor &at, Scenario &sc, LifecycleLines &lines,
+                  const std::string &key, const std::string &value)
+{
+    Scenario::Lifecycle &l = *sc.lifecycle;
+    if (key == "fail")
+        parseLifecycleEvents(at, key, value, l.fail, lines.fail);
+    else if (key == "revive")
+        parseLifecycleEvents(at, key, value, l.revive, lines.revive);
+    else if (key == "repair") {
+        if (value == "none")
+            l.repair = RepairPolicy::None;
+        else if (value == "periodic")
+            l.repair = RepairPolicy::Periodic;
+        else if (value == "triggered")
+            l.repair = RepairPolicy::Triggered;
+        else
+            at.fail("'repair' must be none, periodic or triggered, got '" +
+                    value + "'");
+    } else if (key == "repair-period") {
+        l.repairPeriod = parseDouble(at, key, value);
+        if (!(l.repairPeriod > 0.0))
+            at.fail("'repair-period' must be positive");
+    } else if (key == "metric") {
+        if (value == "hops")
+            l.metric = RouteMetric::Hops;
+        else if (value == "energy")
+            l.metric = RouteMetric::Energy;
+        else
+            at.fail("'metric' must be hops or energy, got '" + value + "'");
+    } else if (key == "energy-weight") {
+        l.energyWeight = parseDouble(at, key, value);
+        if (l.energyWeight < 0.0)
+            at.fail("'energy-weight' must be non-negative");
+    } else if (key == "battery") {
+        l.battery = parseDouble(at, key, value);
+        if (l.battery < 0.0)
+            at.fail("'battery' must be non-negative (joules; 0 disables)");
+    } else if (key == "battery-initial")
+        l.batteryInitial = parseDouble(at, key, value);
+    else if (key == "harvest") {
+        l.harvest = parseDouble(at, key, value);
+        if (l.harvest < 0.0)
+            at.fail("'harvest' must be non-negative");
+    } else if (key == "battery-interval") {
+        l.batteryInterval = parseDouble(at, key, value);
+        if (!(l.batteryInterval > 0.0))
+            at.fail("'battery-interval' must be positive");
+    } else if (key == "revive-level")
+        l.reviveLevel = parseProbability(at, key, value);
+    else
+        at.fail("unknown key '" + key + "' in [lifecycle]");
+}
+
 void
 parseFaultKey(const Cursor &at, Scenario &sc, const std::string &key,
               const std::string &value)
@@ -336,6 +430,17 @@ routeModeName(RouteMode m)
     return "?";
 }
 
+const char *
+repairPolicyName(RepairPolicy p)
+{
+    switch (p) {
+      case RepairPolicy::None: return "none";
+      case RepairPolicy::Periodic: return "periodic";
+      case RepairPolicy::Triggered: return "triggered";
+    }
+    return "?";
+}
+
 } // namespace
 
 Scenario
@@ -351,12 +456,14 @@ parseScenario(const std::string &text, const std::string &filename)
         Nodes,
         Radio,
         Routes,
+        Lifecycle,
         Node,
         Fault,
         Trace,
     };
     Section section = Section::None;
     NodeOverride *override = nullptr;
+    LifecycleLines lifecycleLines;
 
     std::istringstream in(text);
     std::string raw;
@@ -382,7 +489,11 @@ parseScenario(const std::string &text, const std::string &filename)
                 section = Section::Radio;
             else if (sec == "routes")
                 section = Section::Routes;
-            else if (sec == "fault") {
+            else if (sec == "lifecycle") {
+                section = Section::Lifecycle;
+                if (!sc.lifecycle)
+                    sc.lifecycle.emplace();
+            } else if (sec == "fault") {
                 section = Section::Fault;
                 if (!sc.fault)
                     sc.fault.emplace();
@@ -394,6 +505,12 @@ parseScenario(const std::string &text, const std::string &filename)
                 std::string index = trim(sec.substr(5));
                 unsigned node = static_cast<unsigned>(
                     parseUnsigned(at, "node", index, 65'534));
+                // A second [node N] header would silently merge into
+                // (and partly overwrite) the first — reject it instead.
+                if (sc.overrides.count(node)) {
+                    at.fail("duplicate [node " + std::to_string(node) +
+                            "] section");
+                }
                 section = Section::Node;
                 override = &sc.overrides[node];
             } else
@@ -426,6 +543,9 @@ parseScenario(const std::string &text, const std::string &filename)
           case Section::Routes:
             parseRoutesKey(at, sc, key, value);
             break;
+          case Section::Lifecycle:
+            parseLifecycleKey(at, sc, lifecycleLines, key, value);
+            break;
           case Section::Node:
             parseNodeKey(at, *override, key, value);
             break;
@@ -438,7 +558,32 @@ parseScenario(const std::string &text, const std::string &filename)
         }
     }
 
-    // Cross-key validation that needs the whole file.
+    // Cross-key validation that needs the whole file. Lifecycle entries
+    // carry their recorded source lines so range errors still point at
+    // the offending entry even though [nodes]/[scenario] may come later.
+    if (sc.lifecycle) {
+        auto checkEvents = [&](const std::string &key,
+                               const std::vector<LifecycleEvent> &events,
+                               const std::vector<unsigned> &lines) {
+            for (std::size_t i = 0; i < events.size(); ++i) {
+                at.line = lines[i];
+                if (events[i].node >= sc.nodes.count) {
+                    at.fail("'" + key + "' node " +
+                            std::to_string(events[i].node) +
+                            " is out of range (count = " +
+                            std::to_string(sc.nodes.count) + ")");
+                }
+                if (events[i].atSeconds >= sc.seconds) {
+                    at.fail("'" + key + "' time " +
+                            formatDouble(events[i].atSeconds) +
+                            " is at or past the end of the run (seconds = " +
+                            formatDouble(sc.seconds) + ")");
+                }
+            }
+        };
+        checkEvents("fail", sc.lifecycle->fail, lifecycleLines.fail);
+        checkEvents("revive", sc.lifecycle->revive, lifecycleLines.revive);
+    }
     at.line = 0;
     for (const auto &[index, o] : sc.overrides) {
         if (index >= sc.nodes.count) {
@@ -530,6 +675,35 @@ printScenario(const Scenario &sc)
         os << "sink = " << *sc.routes.sink << "\n";
     os << "mode = " << routeModeName(sc.routes.mode) << "\n"
        << "min-prob = " << formatDouble(sc.routes.minProb) << "\n";
+
+    if (sc.lifecycle) {
+        const Scenario::Lifecycle &l = *sc.lifecycle;
+        os << "\n[lifecycle]\n";
+        auto events = [&os](const char *key,
+                            const std::vector<LifecycleEvent> &list) {
+            if (list.empty())
+                return;
+            os << key << " = ";
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << list[i].node << "@" << formatDouble(list[i].atSeconds);
+            }
+            os << "\n";
+        };
+        events("fail", l.fail);
+        events("revive", l.revive);
+        os << "repair = " << repairPolicyName(l.repair) << "\n"
+           << "repair-period = " << formatDouble(l.repairPeriod) << "\n"
+           << "metric = "
+           << (l.metric == RouteMetric::Energy ? "energy" : "hops") << "\n"
+           << "energy-weight = " << formatDouble(l.energyWeight) << "\n"
+           << "battery = " << formatDouble(l.battery) << "\n"
+           << "battery-initial = " << formatDouble(l.batteryInitial) << "\n"
+           << "harvest = " << formatDouble(l.harvest) << "\n"
+           << "battery-interval = " << formatDouble(l.batteryInterval) << "\n"
+           << "revive-level = " << formatDouble(l.reviveLevel) << "\n";
+    }
 
     for (const auto &[index, o] : sc.overrides) {
         os << "\n[node " << index << "]\n";

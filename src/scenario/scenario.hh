@@ -10,7 +10,8 @@
  *
  * Syntax:
  *   - sections in brackets: [scenario], [nodes], [radio], [routes],
- *     [node N] (per-node overrides), [fault], [trace]
+ *     [lifecycle] (node churn and route repair), [node N] (per-node
+ *     overrides; duplicate headers are an error), [fault], [trace]
  *   - `key = value` assignments; '#' and ';' start comments
  *   - unknown sections and unknown keys are errors, not warnings
  *   - every diagnostic carries "file:line:"
@@ -48,6 +49,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/spatial.hh"
 
@@ -66,6 +68,30 @@ enum class RadioModel
 {
     Broadcast, ///< flat domain(s): net::Channel / net::ShardChannel
     Spatial,   ///< log-distance path loss: net::SpatialMedium
+};
+
+/** One scheduled lifecycle event: the node fails or revives at a time. */
+struct LifecycleEvent
+{
+    unsigned node = 0;
+    double atSeconds = 0.0;
+
+    bool operator==(const LifecycleEvent &) const = default;
+};
+
+/** Route-repair policies ([lifecycle] repair). */
+enum class RepairPolicy
+{
+    None,      ///< never recompute; routes stay as lowered
+    Periodic,  ///< recompute every repair-period seconds
+    Triggered, ///< recompute only when the alive set changed
+};
+
+/** Route metrics for repair ([lifecycle] metric). */
+enum class RouteMetric
+{
+    Hops,   ///< fewest hops (the same BFS the lowerer runs)
+    Energy, ///< hop cost 1 + energy-weight * (1 - relay reserve)
 };
 
 /** Route derivation modes. */
@@ -146,6 +172,27 @@ struct Scenario
 
         bool operator==(const Routes &) const = default;
     } routes;
+
+    // --- [lifecycle] ------------------------------------------------------
+    struct Lifecycle
+    {
+        /** Scheduled full supply losses / restorations, `node@seconds`
+         *  comma lists; repeated keys append. */
+        std::vector<LifecycleEvent> fail;
+        std::vector<LifecycleEvent> revive;
+        RepairPolicy repair = RepairPolicy::None;
+        double repairPeriod = 0.5;       ///< control-point period, seconds
+        RouteMetric metric = RouteMetric::Hops;
+        double energyWeight = 4.0;       ///< energy metric's reserve weight
+        double battery = 0.0;            ///< store capacity, joules; 0 = none
+        double batteryInitial = -1.0;    ///< initial charge; negative = full
+        double harvest = 0.0;            ///< harvest power, watts
+        double batteryInterval = 0.01;   ///< supply poll period, seconds
+        double reviveLevel = 0.0;        ///< recover threshold, fraction
+
+        bool operator==(const Lifecycle &) const = default;
+    };
+    std::optional<Lifecycle> lifecycle;
 
     // --- [node N] ---------------------------------------------------------
     std::map<unsigned, NodeOverride> overrides;

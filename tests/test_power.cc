@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/apps.hh"
+#include "core/sensor_node.hh"
 #include "power/energy_tracker.hh"
 #include "power/harvest.hh"
 #include "sim/sim_object.hh"
@@ -170,6 +172,113 @@ TEST(HarvestingSupply, BrownsOutAndFiresCallback)
     EXPECT_EQ(supply.brownOuts(), 1u);
     EXPECT_EQ(callbacks, 1);
     EXPECT_TRUE(supply.brownedOut());
+}
+
+TEST(HarvestingSupply, ExactlyCoveredEpochIsNotABrownOut)
+{
+    // The store drains to exactly zero inside an epoch the load was
+    // still fully covered: that is not a brown-out — starvation begins
+    // on the next poll, when there is nothing left to withdraw.
+    sim::Simulation simulation;
+    int callbacks = 0;
+    HarvestingSupply supply(
+        simulation, "supply", std::make_unique<ConstantSource>(0.0),
+        EnergyStore(1e-3, 1e-3), [] { return 1e-2; },
+        sim::secondsToTicks(0.1));
+    supply.onBrownOut([&] { ++callbacks; });
+    supply.start();
+
+    // One poll: 1e-2 W * 0.1 s consumes the full 1 mJ store.
+    simulation.runForSeconds(0.15);
+    EXPECT_EQ(supply.brownOuts(), 0u);
+    EXPECT_FALSE(supply.brownedOut());
+    EXPECT_DOUBLE_EQ(supply.store().level(), 0.0);
+
+    // Next poll: the load cannot be covered at all.
+    simulation.runForSeconds(0.1);
+    EXPECT_EQ(supply.brownOuts(), 1u);
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_TRUE(supply.brownedOut());
+}
+
+TEST(HarvestingSupply, ReviveOnHarvestHonorsRecoverLevel)
+{
+    // A browned-out node draws almost nothing, so without hysteresis it
+    // would "recover" on the very next poll. With recover level 0.5 the
+    // store must refill to half capacity before the recover callback
+    // fires (and the load comes back).
+    sim::Simulation simulation;
+    int downs = 0, ups = 0;
+    bool dead = false;
+    HarvestingSupply supply(
+        simulation, "supply", std::make_unique<ConstantSource>(100e-6),
+        EnergyStore(1e-3, 0.2e-3), [&] { return dead ? 0.0 : 200e-6; },
+        sim::secondsToTicks(0.1));
+    supply.setRecoverLevel(0.5);
+    supply.onBrownOut([&] {
+        ++downs;
+        dead = true;
+    });
+    double levelAtRecovery = 0.0;
+    supply.onRecover([&] {
+        ++ups;
+        dead = false;
+        levelAtRecovery = supply.store().level();
+    });
+    supply.start();
+
+    // Net drain 100 uW from 0.2 mJ: dead after ~2 s.
+    simulation.runForSeconds(3.0);
+    EXPECT_EQ(downs, 1);
+    EXPECT_EQ(ups, 0) << "covering a dead node's zero load is not recovery";
+    EXPECT_TRUE(supply.brownedOut());
+
+    // Harvest refills 100 uW toward the 0.5 mJ threshold (~3 s more).
+    simulation.runForSeconds(2.0);
+    EXPECT_EQ(ups, 0) << "store still below the recover level";
+    simulation.runForSeconds(5.0);
+    EXPECT_EQ(ups, 1);
+    EXPECT_FALSE(supply.brownedOut());
+    EXPECT_GE(levelAtRecovery, 0.5e-3 - 1e-9)
+        << "recovery must wait for the 50% threshold";
+}
+
+TEST(HarvestingSupply, DepletionKillsTheNodeBeforeItCanAct)
+{
+    // Through a SensorNode: an emptied battery calls supplyDown, which
+    // resets the masters first, then gates every slave and memory bank,
+    // then leaves the medium — the node must end up fully dark, CAMs
+    // wiped, with the death recorded on the probe channel.
+    sim::Simulation simulation;
+    core::NodeConfig cfg;
+    cfg.address = 0x11;
+    cfg.battery.capacityJoules = 1e-8;
+    cfg.battery.initialJoules = 1e-8;
+    cfg.battery.harvestWatts = 0.0;
+    cfg.battery.pollSeconds = 0.01;
+    core::SensorNode node(simulation, "node", cfg);
+    core::apps::AppParams params;
+    params.samplePeriodCycles = 2000;
+    core::apps::install(node, core::apps::buildByName("app1", params));
+
+    simulation.runForSeconds(2.0);
+
+    ASSERT_TRUE(node.supply() != nullptr);
+    EXPECT_GE(node.supply()->brownOuts(), 1u);
+    EXPECT_FALSE(node.alive());
+    EXPECT_EQ(node.probes().count(core::Probe::NodeDown), 1u);
+    // Masters were forced down (reset/idle), not left running...
+    EXPECT_FALSE(node.micro().powered());
+    // ...and every bank lost its supply, so the program image is gone.
+    for (unsigned bank = 0; bank < node.memory().numBanks(); ++bank)
+        EXPECT_TRUE(node.memory().bankGated(bank)) << "bank " << bank;
+    EXPECT_FALSE(node.radio().powered());
+    // Dead is dead: no further samples, ISRs or transmissions accrue.
+    const std::uint64_t isrs = node.ep().isrsExecuted();
+    const std::uint64_t sent = node.radio().framesSent();
+    simulation.runForSeconds(2.0);
+    EXPECT_EQ(node.ep().isrsExecuted(), isrs);
+    EXPECT_EQ(node.radio().framesSent(), sent);
 }
 
 TEST(HarvestingSupply, StopHaltsPolling)

@@ -194,6 +194,82 @@ TEST(ScenarioParse, DiagnosticsCarryFileAndLine)
                      "no x/y");
 }
 
+TEST(ScenarioParse, DuplicateNodeSectionIsRejected)
+{
+    expectParseError(
+        "[nodes]\ncount = 4\n[node 1]\nperiod = 9\n[node 1]\nx = 1\n",
+        "bad.ini:5:");
+    expectParseError(
+        "[nodes]\ncount = 4\n[node 1]\nperiod = 9\n[node 1]\nx = 1\n",
+        "duplicate [node 1]");
+}
+
+TEST(ScenarioParse, LifecycleDiagnosticsCarryFileAndLine)
+{
+    // Out-of-range node and out-of-range time point at the entry's own
+    // line, even though [nodes]/[scenario] may be parsed later.
+    expectParseError("[nodes]\ncount = 2\n[lifecycle]\nfail = 5@0.5\n",
+                     "bad.ini:4:");
+    expectParseError("[nodes]\ncount = 2\n[lifecycle]\nfail = 5@0.5\n",
+                     "out of range");
+    expectParseError(
+        "[lifecycle]\nrevive = 1@3.0\n[nodes]\ncount = 2\n",
+        "bad.ini:2:");
+    expectParseError(
+        "[lifecycle]\nrevive = 1@3.0\n[nodes]\ncount = 2\n",
+        "past the end");
+    expectParseError("[lifecycle]\nfail = 3\n", "node@seconds");
+    expectParseError("[lifecycle]\nfail = 1@-0.5\n", "non-negative");
+    expectParseError("[lifecycle]\nrepair = sometimes\n",
+                     "none, periodic or triggered");
+    expectParseError("[lifecycle]\nmetric = luck\n", "hops or energy");
+    expectParseError("[lifecycle]\nrepair-period = 0\n", "positive");
+    expectParseError("[lifecycle]\nwarp = 1\n", "unknown key");
+}
+
+TEST(ScenarioParse, LifecycleRoundTrip)
+{
+    const char *text = R"(
+        [scenario]
+        seconds = 6
+
+        [nodes]
+        count = 16
+        app = app4
+
+        [routes]
+        sink = 0
+
+        [lifecycle]
+        fail = 1@1.5, 5@2
+        revive = 5@4.25
+        repair = triggered
+        repair-period = 0.25
+        metric = energy
+        energy-weight = 2.5
+        battery = 0.02
+        battery-initial = 0.01
+        harvest = 0.0001
+        battery-interval = 0.05
+        revive-level = 0.25
+    )";
+    Scenario sc = scenario::parseScenario(text, "lifecycle.ini");
+    ASSERT_TRUE(sc.lifecycle);
+    ASSERT_EQ(sc.lifecycle->fail.size(), 2u);
+    EXPECT_EQ(sc.lifecycle->fail[1].node, 5u);
+    EXPECT_EQ(sc.lifecycle->fail[1].atSeconds, 2.0);
+    ASSERT_EQ(sc.lifecycle->revive.size(), 1u);
+    EXPECT_EQ(sc.lifecycle->repair, scenario::RepairPolicy::Triggered);
+    EXPECT_EQ(sc.lifecycle->metric, scenario::RouteMetric::Energy);
+    EXPECT_EQ(sc.lifecycle->battery, 0.02);
+    EXPECT_EQ(sc.lifecycle->reviveLevel, 0.25);
+
+    std::string printed = scenario::printScenario(sc);
+    Scenario again = scenario::parseScenario(printed, "printed.ini");
+    EXPECT_EQ(sc, again);
+    EXPECT_EQ(printed, scenario::printScenario(again));
+}
+
 // ---------------------------------------------------------------------------
 // Lowering.
 // ---------------------------------------------------------------------------

@@ -43,6 +43,7 @@
 #include "fault/fault_injector.hh"
 #include "obs/event_log.hh"
 #include "scenario/lower.hh"
+#include "scenario/resilience.hh"
 #include "scenario/scenario.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
@@ -317,10 +318,25 @@ runScenario(const scenario::Scenario &sc, bool stats, bool power)
         injector->attachDevice("compressor", &node.compressor());
         if (net::Channel *ch = network.broadcastChannel())
             injector->attachChannel(ch);
+        // node-fail / node-revive plan actions act on the target node.
+        injector->attachLifecycle([&network, target](bool up) {
+            if (up)
+                network.reviveNodeNow(target);
+            else
+                network.powerOffNodeNow(target);
+        });
         injector->runText(readFile(low.fault->campaign));
     }
 
-    network.runForSeconds(low.seconds);
+    // A [lifecycle] section hands the run loop to the resilience layer:
+    // segmented execution with churn, repair and degradation metrics.
+    std::optional<scenario::ResilienceReport> resilience;
+    if (sc.lifecycle) {
+        scenario::ResilienceManager manager(network, sc, low);
+        resilience = manager.run();
+    } else {
+        network.runForSeconds(low.seconds);
+    }
     if (log)
         log->finish();
     const core::Network::Counters c = network.counters();
@@ -344,9 +360,11 @@ runScenario(const scenario::Scenario &sc, bool stats, bool power)
                     static_cast<unsigned long long>(mp.localDeliveries()),
                     mp.localDeliveriesBySource().size(), low.maxDepth());
     }
+    if (resilience)
+        scenario::printResilienceReport(std::cout, *resilience);
     if (injector) {
         std::printf("faults injected:   channel %llu, bit flips %llu, "
-                    "device %llu, droops %llu\n",
+                    "device %llu, droops %llu, lifecycle %llu\n",
                     static_cast<unsigned long long>(
                         injector->injectedChannelFaults()),
                     static_cast<unsigned long long>(
@@ -354,7 +372,9 @@ runScenario(const scenario::Scenario &sc, bool stats, bool power)
                     static_cast<unsigned long long>(
                         injector->injectedDeviceFaults()),
                     static_cast<unsigned long long>(
-                        injector->injectedDroops()));
+                        injector->injectedDroops()),
+                    static_cast<unsigned long long>(
+                        injector->injectedLifecycleEvents()));
     }
     if (log) {
         std::printf("trace records:     %llu (%llu dropped) -> %s\n",
