@@ -16,10 +16,18 @@
  * Special modes (no google-benchmark):
  *  --json[=PATH]  run the kernel benchmarks and write a machine-readable
  *                 BENCH_simkernel.json snapshot (default ./BENCH_simkernel.json),
- *                 including host metadata, a sharded-kernel thread sweep,
- *                 and a 64-node two-run determinism check;
+ *                 including host metadata, a sharded-kernel thread sweep
+ *                 (broadcast and spatial scenarios, every row flagged
+ *                 `oversubscribed` when threads exceed host cores), and a
+ *                 64-node two-run determinism check;
+ *  --check[=PATH] perf-regression smoke: re-measure the network_scale
+ *                 rows and fail if throughput fell below a quarter of the
+ *                 committed snapshot's (tolerance band for differing CI
+ *                 hosts); prints the host core count;
  *  --smoke        one short N-node run at each scale + the determinism
  *                 check; asserts completion, not speed (CI under ASan).
+ *                 Oversubscribed thread counts run correctness-only and
+ *                 are labelled as such — no timing is recorded for them.
  *  --threads=K    shard the --smoke networks across K worker threads and
  *                 additionally assert the stats match the sequential run
  *                 (CI under TSan).
@@ -29,11 +37,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +55,7 @@
 #include "core/network.hh"
 #include "core/sensor_node.hh"
 #include "net/channel.hh"
+#include "scenario/spec.hh"
 #include "sim/simulation.hh"
 
 #ifndef ULP_BUILD_TYPE
@@ -255,6 +267,20 @@ struct NetworkResult
     }
 };
 
+NetworkResult
+collectResult(Network &network)
+{
+    const Network::Counters c = network.counters();
+    NetworkResult result;
+    result.eventsProcessed = c.eventsProcessed;
+    result.framesSent = c.framesSent;
+    result.framesDelivered = c.framesDelivered;
+    result.collisions = c.collisions;
+    result.epIsrs = c.epIsrs;
+    result.endTick = c.endTick;
+    return result;
+}
+
 /**
  * Simulate @p num_nodes complete sensor nodes on one broadcast channel
  * for @p seconds, sharded over @p threads (1 = the sequential kernel).
@@ -287,16 +313,46 @@ runNetwork(unsigned num_nodes, double seconds, unsigned threads = 1)
 
     Network network(cfg);
     network.runForSeconds(seconds);
-    const Network::Counters c = network.counters();
+    return collectResult(network);
+}
 
-    NetworkResult result;
-    result.eventsProcessed = c.eventsProcessed;
-    result.framesSent = c.framesSent;
-    result.framesDelivered = c.framesDelivered;
-    result.collisions = c.collisions;
-    result.epIsrs = c.epIsrs;
-    result.endTick = c.endTick;
-    return result;
+/**
+ * Simulate @p num_nodes nodes on a 40 m-pitch planar grid under the
+ * spatial radio model, sharded over @p threads. Node i connects to its
+ * grid neighbors (~61 m reach at these loss parameters) but not across
+ * the network, so this is the workload where locality partitioning and
+ * per-shard-pair lookahead actually pay off — the broadcast channel
+ * above keeps every shard pair coupled by construction.
+ */
+NetworkResult
+runSpatialNetwork(unsigned num_nodes, double seconds, unsigned threads = 1)
+{
+    const unsigned side = static_cast<unsigned>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    net::SpatialConfig radio;
+    radio.pathLossExponent = 2.8;
+    radio.sensitivityDbm = -90.0;
+
+    scenario::NetworkSpec spec;
+    spec.withThreads(threads).withSpatial(radio);
+    spec.channelSeed = 42;
+    for (unsigned i = 0; i < num_nodes; ++i) {
+        NodeConfig nc;
+        nc.address = static_cast<std::uint16_t>(1 + i);
+        nc.seed = 1000 + i;
+        nc.sensorSignal = [](sim::Tick) { return 200; };
+        apps::AppParams params;
+        params.samplePeriodCycles = 2500 + 37 * (i % 64);
+        spec.addNode()
+            .withConfig(nc)
+            .withApp("app1")
+            .withParams(params)
+            .at(40.0 * (i % side), 40.0 * (i / side));
+    }
+
+    Network network(spec);
+    network.runForSeconds(seconds);
+    return collectResult(network);
 }
 
 void
@@ -430,7 +486,7 @@ writeSnapshot(const std::string &path)
     // Host metadata: throughput numbers are meaningless without knowing
     // what produced them (a 1-core CI box cannot show parallel speedup).
     const unsigned cores = std::thread::hardware_concurrency();
-    std::fprintf(out, "{\n  \"schema\": \"ulpsn-simkernel-bench/2\",\n");
+    std::fprintf(out, "{\n  \"schema\": \"ulpsn-simkernel-bench/3\",\n");
     std::fprintf(out,
                  "  \"host\": {\"hardware_concurrency\": %u, "
                  "\"build_type\": \"%s\", \"compiler\": \"%s\"},\n",
@@ -485,37 +541,61 @@ writeSnapshot(const std::string &path)
 
     std::fprintf(out, "\n  ],\n  \"parallel_scale\": [\n");
 
-    // Sharded-kernel scaling at the largest configuration. Every thread
-    // count must reproduce the sequential counters exactly; the speedup
-    // column only means anything on a host with enough cores (see the
-    // host block above).
-    NetworkResult seq;
-    double seq_elapsed = 0.0;
+    // Sharded-kernel scaling. The broadcast channel couples every shard
+    // pair by construction (one shared medium), so it bounds the sync
+    // overhead; the spatial grids are what locality partitioning and
+    // per-shard-pair lookahead actually speed up. Every thread count
+    // must reproduce the sequential counters exactly. Rows where the
+    // thread count exceeds the host's cores are flagged oversubscribed:
+    // their speedup column measures scheduling noise, not the kernel.
+    struct ParallelCase
+    {
+        const char *scenario;
+        unsigned nodes;
+        double seconds;
+    };
+    constexpr ParallelCase cases[] = {
+        {"broadcast", 64, 0.5},
+        {"spatial", 256, 0.2},
+        {"spatial", 1024, 0.05},
+    };
     bool parallel_match = true;
     first = true;
-    for (unsigned threads : {1u, 2u, 4u}) {
-        auto start = std::chrono::steady_clock::now();
-        NetworkResult result = runNetwork(64, network_seconds, threads);
-        double elapsed = secondsSince(start);
-        if (threads == 1) {
-            seq = result;
-            seq_elapsed = elapsed;
+    for (const ParallelCase &pc : cases) {
+        const bool broadcast = std::strcmp(pc.scenario, "broadcast") == 0;
+        NetworkResult seq;
+        double seq_elapsed = 0.0;
+        for (unsigned threads : {1u, 2u, 4u}) {
+            auto start = std::chrono::steady_clock::now();
+            NetworkResult result =
+                broadcast ? runNetwork(pc.nodes, pc.seconds, threads)
+                          : runSpatialNetwork(pc.nodes, pc.seconds, threads);
+            double elapsed = secondsSince(start);
+            if (threads == 1) {
+                seq = result;
+                seq_elapsed = elapsed;
+            }
+            bool match = result == seq;
+            parallel_match = parallel_match && match;
+            bool oversub = cores != 0 && threads > cores;
+            double speedup = seq_elapsed / elapsed;
+            std::printf("%-9s %4u nodes, %u threads: %6.3f s host "
+                        "(speedup %.2fx%s, stats %s)\n",
+                        pc.scenario, pc.nodes, threads, elapsed, speedup,
+                        oversub ? ", OVERSUBSCRIBED" : "",
+                        match ? "identical" : "DIVERGED");
+            std::fprintf(out,
+                         "%s    {\"scenario\": \"%s\", \"threads\": %u, "
+                         "\"nodes\": %u, \"simulated_seconds\": %.2f, "
+                         "\"host_seconds\": %.4f, "
+                         "\"speedup_vs_sequential\": %.3f, "
+                         "\"oversubscribed\": %s, \"stats_identical\": %s}",
+                         first ? "" : ",\n", pc.scenario, threads, pc.nodes,
+                         pc.seconds, elapsed, speedup,
+                         oversub ? "true" : "false",
+                         match ? "true" : "false");
+            first = false;
         }
-        bool match = result == seq;
-        parallel_match = parallel_match && match;
-        double speedup = seq_elapsed / elapsed;
-        std::printf("threads %u: 64 nodes in %6.3f s host (speedup %.2fx, "
-                    "stats %s)\n",
-                    threads, elapsed, speedup,
-                    match ? "identical" : "DIVERGED");
-        std::fprintf(out,
-                     "%s    {\"threads\": %u, \"nodes\": 64, "
-                     "\"simulated_seconds\": %.2f, \"host_seconds\": %.4f, "
-                     "\"speedup_vs_sequential\": %.3f, "
-                     "\"stats_identical\": %s}",
-                     first ? "" : ",\n", threads, network_seconds, elapsed,
-                     speedup, match ? "true" : "false");
-        first = false;
     }
 
     // Determinism: two seeded 64-node runs must agree on every stat.
@@ -538,9 +618,105 @@ writeSnapshot(const std::string &path)
     return (deterministic && parallel_match) ? 0 : 1;
 }
 
+/**
+ * Perf-regression smoke (CI): re-measure the network_scale rows and
+ * compare each against the committed snapshot at @p path. The band is
+ * deliberately loose — fail only below ref/4 — because the CI host
+ * differs from the host that wrote the snapshot; the goal is catching
+ * order-of-magnitude kernel regressions, not 10% drift. Run it on a
+ * Release build only: a sanitizer or Debug build is legitimately far
+ * slower than any committed Release number.
+ */
+int
+runCheck(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "check: cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    const std::size_t begin = text.find("\"network_scale\"");
+    const std::size_t end = text.find("\"parallel_scale\"");
+    if (begin == std::string::npos || end == std::string::npos ||
+        end <= begin) {
+        std::fprintf(stderr, "check: %s has no network_scale section\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("check: host has %u core(s), %s build; reference %s\n",
+                cores, ULP_BUILD_TYPE, path.c_str());
+
+    int failures = 0;
+    unsigned rows = 0;
+    std::size_t pos = begin;
+    while (true) {
+        const std::size_t n = text.find("\"nodes\": ", pos);
+        if (n == std::string::npos || n >= end)
+            break;
+        const unsigned nodes = static_cast<unsigned>(
+            std::strtoul(text.c_str() + n + 9, nullptr, 10));
+        const std::size_t s = text.find("\"simulated_seconds\": ", n);
+        const double sim_seconds =
+            (s != std::string::npos && s < end)
+                ? std::strtod(text.c_str() + s + 21, nullptr)
+                : 0.5;
+        const std::size_t e = text.find("\"events_per_host_second\": ", n);
+        if (e == std::string::npos || e >= end)
+            break;
+        const double ref = std::strtod(text.c_str() + e + 26, nullptr);
+        pos = e + 26;
+        ++rows;
+
+        // Same simulated duration as the committed row, best of two
+        // runs: the first run eats the cold caches.
+        double measured = 0.0;
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            auto start = std::chrono::steady_clock::now();
+            NetworkResult result = runNetwork(nodes, sim_seconds);
+            double elapsed = secondsSince(start);
+            measured = std::max(
+                measured,
+                static_cast<double>(result.eventsProcessed) / elapsed);
+        }
+        bool ok = ref <= 0.0 || measured >= ref / 4.0;
+        std::printf("check: %4u nodes: %8.2f Mev/s vs committed %8.2f "
+                    "Mev/s -> %s\n",
+                    nodes, measured / 1e6, ref / 1e6,
+                    ok ? "ok" : "REGRESSION");
+        if (!ok)
+            ++failures;
+    }
+    if (rows == 0) {
+        std::fprintf(stderr, "check: no network_scale rows parsed from %s\n",
+                     path.c_str());
+        return 1;
+    }
+    if (failures) {
+        std::fprintf(stderr, "check: %d of %u rows below the ref/4 band\n",
+                     failures, rows);
+        return 1;
+    }
+    std::printf("check OK: all %u network_scale rows within band\n", rows);
+    return 0;
+}
+
 int
 runSmoke(unsigned threads)
 {
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores != 0 && threads > cores) {
+        // Oversubscribed: still worth running (the TSan correctness
+        // oracle is the point of --threads), but never time it.
+        std::printf("smoke: %u threads on %u host core(s) -- "
+                    "oversubscribed; correctness-only, no timings\n",
+                    threads, cores);
+    }
     for (unsigned nodes : {1u, 8u, 32u, 64u}) {
         const unsigned t = std::min(threads, nodes);
         NetworkResult result = runNetwork(nodes, 0.05, t);
@@ -592,6 +768,11 @@ main(int argc, char **argv)
             if (argv[i][6] == '=')
                 path = argv[i] + 7;
             return writeSnapshot(path);
+        } else if (std::strncmp(argv[i], "--check", 7) == 0) {
+            std::string path = "BENCH_simkernel.json";
+            if (argv[i][7] == '=')
+                path = argv[i] + 8;
+            return runCheck(path);
         }
     }
     if (smoke)

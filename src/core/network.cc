@@ -1,8 +1,10 @@
 #include "core/network.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
+#include "core/partition.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
 
@@ -77,8 +79,24 @@ Network::build(const scenario::NetworkSpec &spec)
         relay = std::make_unique<net::FrameRelay>(K, spec.bitRate);
     }
 
+    // Spatial scenarios with K > 1 partition by locality (recursive
+    // coordinate bisection), so each shard owns a compact tile and
+    // cross-shard radio traffic is confined to tile borders. Everything
+    // else keeps the contiguous block partition.
     nodeByIndex.resize(N, nullptr);
-    shardOfNode.resize(N, 0);
+    if (spec.spatial && K > 1) {
+        shardOfNode = localityPartition(spec.positions(), K);
+    } else {
+        shardOfNode.assign(N, 0);
+        for (unsigned s = 0; s < K; ++s) {
+            for (unsigned i = s * N / K; i < (s + 1) * N / K; ++i)
+                shardOfNode[i] = s;
+        }
+    }
+    std::vector<std::vector<unsigned>> members(K);
+    for (unsigned i = 0; i < N; ++i)
+        members[shardOfNode[i]].push_back(i);
+
     shards.resize(K);
     for (unsigned s = 0; s < K; ++s) {
         Shard &shard = shards[s];
@@ -107,11 +125,12 @@ Network::build(const scenario::NetworkSpec &spec)
             medium = shard.shardChannel.get();
         }
 
-        // Contiguous block partition; nodes keep their global names so
-        // the merged stat tree matches the sequential kernel's.
-        const unsigned first = s * N / K;
-        const unsigned last = (s + 1) * N / K;
-        for (unsigned i = first; i < last; ++i) {
+        // Nodes are constructed in ascending global index within their
+        // shard and keep their global names, so the merged stat tree
+        // matches the sequential kernel's.
+        shard.nodes.reserve(members[s].size());
+        shard.simulation->eventq().reserve(members[s].size() * 8 + 64);
+        for (unsigned i : members[s]) {
             const scenario::NodeSpec &ns = spec.nodes[i];
             if (!shard.channels.empty())
                 medium = shard.channels[ns.domain].get();
@@ -120,13 +139,63 @@ Network::build(const scenario::NetworkSpec &spec)
                 medium));
             SensorNode *node = shard.nodes.back().get();
             nodeByIndex[i] = node;
-            shardOfNode[i] = s;
             if (shard.spatialChannel)
                 shard.spatialChannel->bind(&node->radio(), i);
             apps::install(*node, ns.buildApp());
             for (const MessageProcessor::Route &r : ns.routes)
                 node->msgProc().preloadRoute(r.origin, r.nextHop);
             node->setReviveHook([this, i] { reviveNodeNow(i); });
+        }
+    }
+
+    // Adaptive lookahead: shard pairs whose tiles can never interact
+    // (bounding boxes further apart than the interference reach) are
+    // severed outright — they neither wait on one another nor exchange
+    // records. In the zero-propagation-delay radio model every coupled
+    // pair keeps the global (min airtime) lookahead.
+    if (model && K > 1) {
+        struct Box
+        {
+            double min_x, max_x, min_y, max_y;
+        };
+        std::vector<Box> box(K);
+        for (unsigned s = 0; s < K; ++s) {
+            Box b{1e300, -1e300, 1e300, -1e300};
+            for (unsigned i : members[s]) {
+                const net::Position &p = model->position(i);
+                b.min_x = std::min(b.min_x, p.x);
+                b.max_x = std::max(b.max_x, p.x);
+                b.min_y = std::min(b.min_y, p.y);
+                b.max_y = std::max(b.max_y, p.y);
+            }
+            box[s] = b;
+        }
+        const double reach = model->interferenceRangeMeters();
+        for (unsigned a = 0; a < K; ++a) {
+            for (unsigned b = a + 1; b < K; ++b) {
+                bool decoupled;
+                if (reach <= 0.0) {
+                    // Even co-located nodes are below the interference
+                    // floor: nothing ever crosses any shard boundary.
+                    decoupled = true;
+                } else {
+                    const double dx = std::max(
+                        {0.0, box[a].min_x - box[b].max_x,
+                         box[b].min_x - box[a].max_x});
+                    const double dy = std::max(
+                        {0.0, box[a].min_y - box[b].max_y,
+                         box[b].min_y - box[a].max_y});
+                    // Inflate the reach a hair so floating-point rounding
+                    // in the closed-form inverse can never sever a pair
+                    // the exact predicate still accepts.
+                    decoupled = std::hypot(dx, dy) >
+                                reach * (1.0 + 1e-9) + 1e-9;
+                }
+                if (decoupled) {
+                    relay->setPairLookahead(a, b, sim::maxTick);
+                    relay->setPairLookahead(b, a, sim::maxTick);
+                }
+            }
         }
     }
 }
@@ -165,6 +234,17 @@ Network::runUntilTick(sim::Tick end)
                     : shard.shardChannel.get();
             scheduler.addShard(shard.simulation->eventq(), coupling);
         }
+        // Mirror the relay's pair topology into the scheduler: severed
+        // pairs free-run past one another, the rest keep the default.
+        for (unsigned a = 0; a < relay->numShards(); ++a) {
+            for (unsigned b = 0; b < relay->numShards(); ++b) {
+                if (a == b)
+                    continue;
+                const sim::Tick look = relay->pairLookahead(a, b);
+                if (look != relay->lookahead())
+                    scheduler.setPairLookahead(a, b, look);
+            }
+        }
         scheduler.run(end);
     }
     ran = end;
@@ -182,8 +262,15 @@ Network::reviveNodeNow(unsigned node)
     SensorNode *n = nodeByIndex[node];
     if (n->alive())
         return;
-    n->supplyUp();
+    // A revived node must come back on the shard that built it: its
+    // events, stats group and transmit counters live in that shard's
+    // Simulation, and the partition (hence the sync topology) was
+    // derived from it. A mid-run reshard would silently corrupt all
+    // three, so treat any disagreement as fatal.
     const unsigned s = shardOfNode[node];
+    if (&n->simulation() != shards[s].simulation.get())
+        sim::panic("Network: node %u revived on a foreign shard", node);
+    n->supplyUp();
     if (shards[s].spatialChannel)
         shards[s].spatialChannel->bind(&n->radio(), node);
     // Reinstall the factory image (SRAM did not survive) and boot. The

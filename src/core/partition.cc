@@ -1,0 +1,76 @@
+#include "core/partition.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <tuple>
+
+#include "sim/logging.hh"
+
+namespace ulp::core {
+
+namespace {
+
+void
+bisect(const std::vector<net::Position> &pos, std::span<unsigned> indices,
+       unsigned first_shard, unsigned num_shards, std::vector<unsigned> &out)
+{
+    if (num_shards == 1) {
+        for (unsigned i : indices)
+            out[i] = first_shard;
+        return;
+    }
+
+    // Split along the wider axis of this slice's bounding box, so tiles
+    // stay roughly square (minimal border, hence minimal cross traffic).
+    double min_x = pos[indices[0]].x, max_x = min_x;
+    double min_y = pos[indices[0]].y, max_y = min_y;
+    for (unsigned i : indices) {
+        min_x = std::min(min_x, pos[i].x);
+        max_x = std::max(max_x, pos[i].x);
+        min_y = std::min(min_y, pos[i].y);
+        max_y = std::max(max_y, pos[i].y);
+    }
+    const bool by_x = (max_x - min_x) >= (max_y - min_y);
+
+    // Deterministic total order: primary coordinate, then the other one,
+    // then node index — no two nodes compare equal.
+    auto key = [&](unsigned i) {
+        return by_x ? std::tuple(pos[i].x, pos[i].y, i)
+                    : std::tuple(pos[i].y, pos[i].x, i);
+    };
+    std::sort(indices.begin(), indices.end(),
+              [&](unsigned a, unsigned b) { return key(a) < key(b); });
+
+    // Weight the halves by their shard counts. With n >= num_shards,
+    // floor(n * kl / k) >= kl and the remainder >= kr, so recursion
+    // always hands every shard at least one node.
+    const unsigned kl = num_shards / 2;
+    const unsigned kr = num_shards - kl;
+    const std::size_t nl =
+        indices.size() * kl / num_shards;
+    bisect(pos, indices.subspan(0, nl), first_shard, kl, out);
+    bisect(pos, indices.subspan(nl), first_shard + kl, kr, out);
+}
+
+} // namespace
+
+std::vector<unsigned>
+localityPartition(const std::vector<net::Position> &positions,
+                  unsigned num_shards)
+{
+    const std::size_t n = positions.size();
+    if (num_shards == 0 || num_shards > n)
+        sim::panic("localityPartition: need 1 <= shards <= nodes "
+                   "(%u shards, %zu nodes)",
+                   num_shards, n);
+
+    std::vector<unsigned> indices(n);
+    for (std::size_t i = 0; i < n; ++i)
+        indices[i] = static_cast<unsigned>(i);
+    std::vector<unsigned> out(n, 0);
+    bisect(positions, indices, 0, num_shards, out);
+    return out;
+}
+
+} // namespace ulp::core

@@ -25,12 +25,15 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
                                           this);
     mainMemory = std::make_unique<MainMemory>(*sram);
     bus->addSlave(mainMemory.get());
+    // By value, not unique_ptr-per-bank: at 10k-100k nodes the per-node
+    // object graph is the memory bill, and these are two-word objects.
+    bankPower.reserve(std::min(sram->numBanks(), 8u));
     for (unsigned bank = 0; bank < sram->numBanks() && bank < 8; ++bank) {
-        bankPower.push_back(std::make_unique<MemBankPower>(*sram, bank));
+        bankPower.emplace_back(*sram, bank);
         powerController->registerComponent(
             static_cast<ComponentId>(static_cast<unsigned>(
                 ComponentId::MemBank0) + bank),
-            bankPower.back().get());
+            &bankPower.back());
     }
 
     timerUnit = std::make_unique<TimerUnit>(
@@ -208,7 +211,7 @@ SensorNode::supplyDown()
     radioDevice->powerOff();
     radioDevice->detachFromMedium();
     for (auto &bank : bankPower)
-        bank->powerOff();
+        bank.powerOff();
     // Full supply loss clears even the retention latches that survive
     // ordinary gating: duplicate suppression and routes are gone.
     messageProcessor->clearDuplicateCam();
@@ -222,7 +225,7 @@ SensorNode::supplyUp()
         return;
     _alive = true;
     for (auto &bank : bankPower)
-        bank->powerOn();
+        bank.powerOn();
     // The brown-in supervisor releases reset milliseconds after the
     // rails settle — the 950 ns bank wakeup has long elapsed by the
     // time anything here can fetch.

@@ -155,7 +155,9 @@ class SensorNode : public sim::SimObject
 
     std::unique_ptr<memory::Sram> sram;
     std::unique_ptr<MainMemory> mainMemory;
-    std::vector<std::unique_ptr<MemBankPower>> bankPower;
+    /** By value (reserved up front; addresses registered with the power
+     *  controller stay stable): one less allocation per bank per node. */
+    std::vector<MemBankPower> bankPower;
 
     std::unique_ptr<TimerUnit> timerUnit;
     std::unique_ptr<ThresholdFilter> thresholdFilter;

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Chunked object pool for the hot per-delivery allocations in the media.
+ *
+ * At 10k-100k nodes the media allocate and free one delivery record per
+ * frame on the air; going through the global allocator for each costs a
+ * lock-free-path malloc plus cache-cold memory. ObjectPool hands out
+ * slots from 64-object chunks with an intrusive free list, so steady
+ * state allocation is a pointer pop and freed slots are reused warm.
+ *
+ * The pool is single-owner by design: each shard's medium has its own
+ * pool, and every acquire/release happens on that shard's worker thread
+ * (deliveries are always scheduled and processed on the owning shard's
+ * event queue, even for cross-shard flights). No locking, and no slot
+ * can migrate between shards — the allocator property test in
+ * tests/test_parallel.cc exercises exactly this contract.
+ *
+ * Destroying the pool destroys any still-live objects (in unspecified
+ * order) and then frees the chunks; objects must tolerate that, which
+ * sim::Event does by self-descheduling in its destructor.
+ */
+
+#ifndef ULP_NET_POOL_HH
+#define ULP_NET_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ulp::net {
+
+template <typename T>
+class ObjectPool
+{
+  public:
+    ObjectPool() = default;
+    ObjectPool(const ObjectPool &) = delete;
+    ObjectPool &operator=(const ObjectPool &) = delete;
+
+    ~ObjectPool()
+    {
+        // Anything not on the free list is still live: destroy it so the
+        // pool can be torn down mid-simulation (e.g. in-flight frames at
+        // medium destruction).
+        for (auto &chunk : chunks) {
+            for (std::size_t i = 0; i < chunk->used; i++) {
+                Slot &slot = chunk->slots[i];
+                if (!slot.liveMark)
+                    std::launder(reinterpret_cast<T *>(slot.storage))->~T();
+            }
+        }
+    }
+
+    /** Construct a T in a pooled slot. */
+    template <typename... Args>
+    T *
+    acquire(Args &&...args)
+    {
+        Slot *slot = freeList;
+        if (slot) {
+            freeList = slot->next;
+        } else {
+            if (chunks.empty() || chunks.back()->used == chunkSize)
+                chunks.push_back(std::make_unique<Chunk>());
+            Chunk &chunk = *chunks.back();
+            slot = &chunk.slots[chunk.used++];
+        }
+        slot->liveMark = false;
+        numLive++;
+        return new (slot->storage) T(std::forward<Args>(args)...);
+    }
+
+    /** Destroy @p obj and return its slot to the free list. */
+    void
+    release(T *obj)
+    {
+        obj->~T();
+        auto *slot = reinterpret_cast<Slot *>(
+            reinterpret_cast<char *>(obj) - offsetof(Slot, storage));
+        slot->next = freeList;
+        slot->liveMark = true;
+        freeList = slot;
+        numLive--;
+    }
+
+    std::size_t live() const { return numLive; }
+
+  private:
+    static constexpr std::size_t chunkSize = 64;
+
+    struct Slot
+    {
+        alignas(T) char storage[sizeof(T)];
+        Slot *next = nullptr;
+        /** Scratch used only by the destructor sweep and release(). */
+        bool liveMark = false;
+    };
+
+    struct Chunk
+    {
+        Slot slots[chunkSize];
+        std::size_t used = 0;
+    };
+
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    Slot *freeList = nullptr;
+    std::size_t numLive = 0;
+};
+
+} // namespace ulp::net
+
+#endif // ULP_NET_POOL_HH

@@ -18,6 +18,36 @@ FrameRelay::FrameRelay(unsigned num_shards, double bit_rate)
     boxes.reserve(static_cast<std::size_t>(shards) * shards);
     for (unsigned i = 0; i < shards * shards; ++i)
         boxes.push_back(std::make_unique<FlightMailbox>());
+    pairLook.assign(static_cast<std::size_t>(shards) * shards, lookahead());
+    rebuildPeers();
+}
+
+void
+FrameRelay::setPairLookahead(unsigned from, unsigned to, sim::Tick ticks)
+{
+    if (from >= shards || to >= shards)
+        sim::panic("FrameRelay: pair lookahead for unknown shard");
+    if (from == to)
+        sim::panic("FrameRelay: pair lookahead must name two shards");
+    if (ticks == 0)
+        sim::panic("FrameRelay: pair lookahead must be positive");
+    pairLook[from * shards + to] = ticks;
+    rebuildPeers();
+}
+
+void
+FrameRelay::rebuildPeers()
+{
+    inbound.assign(shards, {});
+    outbound.assign(shards, {});
+    for (unsigned from = 0; from < shards; ++from) {
+        for (unsigned to = 0; to < shards; ++to) {
+            if (from == to || !coupled(from, to))
+                continue;
+            outbound[from].push_back(to);
+            inbound[to].push_back(from);
+        }
+    }
 }
 
 sim::Tick
@@ -84,25 +114,22 @@ ShardChannel::frameAirTicks(const Frame &frame) const
 }
 
 void
-ShardChannel::scheduleDelivery(std::unique_ptr<Delivery> delivery,
-                               bool cross_shard)
+ShardChannel::scheduleDelivery(Delivery *delivery, bool cross_shard)
 {
-    Delivery *raw = delivery.get();
-    delivery->event = std::make_unique<sim::EventFunctionWrapper>(
-        [this, raw] { deliver(*raw); },
-        name() + (cross_shard ? ".remoteFrameEnd" : ".frameEnd"));
     if (cross_shard) {
         // Relayed deliveries slot into the queue exactly where the
         // single-queue kernel would have put them: scheduled "from" the
         // remote transmit tick.
-        eventq().scheduleCrossShard(delivery->event.get(),
-                                    delivery->rec.end,
+        eventq().scheduleCrossShard(delivery, delivery->rec.end,
                                     delivery->rec.start);
     } else {
-        eventq().schedule(delivery->event.get(), delivery->rec.end);
+        eventq().schedule(delivery, delivery->rec.end);
     }
-    pendingSyncs.insert(delivery->rec.end);
-    deliveries.push_back(std::move(delivery));
+    // A delivery only needs a pre-resolution sync when some peer's
+    // transmissions can actually reach this shard.
+    if (!relay.inboundPeers(shard).empty())
+        pendingSyncs.insert(delivery->rec.end);
+    deliveries.push_back(delivery);
 }
 
 sim::Tick
@@ -113,26 +140,19 @@ ShardChannel::transmit(Transceiver *sender, const Frame &frame)
 
     FlightRecord record{start, end, shard, nextLocalSeq++, 0, 0, frame};
 
-    // Publish first: peers waiting at a sync only proceed once this
-    // shard's safe tick passes them, which happens strictly after this.
-    for (unsigned to = 0; to < relay.numShards(); ++to) {
-        if (to == shard)
-            continue;
-        if (!relay.mailbox(shard, to).push(record)) {
-            sim::panic("%s: mailbox to shard %u overflowed "
-                       "(raise FlightMailbox::capacity)",
-                       name().c_str(), to);
-        }
-    }
+    // Buffer for the coupled peers; the scheduler flushes the outbox
+    // before every safe-tick publication, so the records are always
+    // visible before any peer may rely on them.
+    if (!relay.outboundPeers(shard).empty())
+        outbox.push_back(record);
 
     window.push_back(
         {record.start, record.end, record.originShard, record.originSeq});
 
-    auto delivery = std::make_unique<Delivery>();
-    delivery->rec = std::move(record);
-    delivery->local = true;
-    delivery->sender = sender;
-    scheduleDelivery(std::move(delivery), /*cross_shard=*/false);
+    Delivery *delivery =
+        deliveryPool.acquire(*this, std::move(record), /*local=*/true,
+                             sender);
+    scheduleDelivery(delivery, /*cross_shard=*/false);
 
     ++activeLocal;
     ++statFramesSent;
@@ -142,6 +162,23 @@ ShardChannel::transmit(Transceiver *sender, const Frame &frame)
             t->frameStarted(end);
     }
     return end;
+}
+
+void
+ShardChannel::publishOutbound()
+{
+    if (outbox.empty())
+        return;
+    for (unsigned to : relay.outboundPeers(shard)) {
+        for (const FlightRecord &record : outbox) {
+            if (!relay.mailbox(shard, to).push(record)) {
+                sim::panic("%s: mailbox to shard %u overflowed "
+                           "(raise FlightMailbox::capacity)",
+                           name().c_str(), to);
+            }
+        }
+    }
+    outbox.clear();
 }
 
 sim::Tick
@@ -163,11 +200,9 @@ ShardChannel::applyRecord(const FlightRecord &record)
     window.push_back(
         {record.start, record.end, record.originShard, record.originSeq});
 
-    auto delivery = std::make_unique<Delivery>();
-    delivery->rec = record;
-    delivery->local = false;
-    delivery->sender = nullptr;
-    scheduleDelivery(std::move(delivery), /*cross_shard=*/true);
+    Delivery *delivery =
+        deliveryPool.acquire(*this, record, /*local=*/false, nullptr);
+    scheduleDelivery(delivery, /*cross_shard=*/true);
 
     // Carrier sense: remote start-symbol detect, applied at the sync
     // point (deterministic; see file comment for the approximation).
@@ -178,11 +213,10 @@ ShardChannel::applyRecord(const FlightRecord &record)
 void
 ShardChannel::applyInbound(sim::Tick up_to)
 {
-    // Drain the SPSC rings into per-source staging; each source's records
-    // arrive in nondecreasing start order.
-    for (unsigned from = 0; from < relay.numShards(); ++from) {
-        if (from == shard)
-            continue;
+    // Drain the SPSC rings of the shards that can reach us into
+    // per-source staging; each source's records arrive in nondecreasing
+    // start order (the outbox is flushed in transmit order).
+    for (unsigned from : relay.inboundPeers(shard)) {
         relay.mailbox(from, shard).drain(
             [&](const FlightRecord &rec) { staged[from].push_back(rec); });
     }
@@ -255,7 +289,7 @@ ShardChannel::finalize(sim::Tick end)
     // lies beyond the run. The interval window is complete for every
     // start <= end, so the verdict is final; `counted` keeps a later
     // segment's delivery from double-counting it.
-    for (auto &delivery : deliveries) {
+    for (Delivery *delivery : deliveries) {
         if (!delivery->local || delivery->counted)
             continue;
         delivery->counted = true;
@@ -268,17 +302,13 @@ void
 ShardChannel::deliver(Delivery &delivery)
 {
     // Retire the Delivery first (mirrors Channel::deliver): receiver
-    // callbacks may transmit, and must see the channel without it.
-    auto it = std::find_if(
-        deliveries.begin(), deliveries.end(),
-        [&](const auto &p) { return p.get() == &delivery; });
-    std::unique_ptr<Delivery> owned;
-    if (it != deliveries.end()) {
-        owned = std::move(*it);
+    // callbacks may transmit, and must see the channel without it. The
+    // pooled slot itself stays live until the end of this function.
+    auto it = std::find(deliveries.begin(), deliveries.end(), &delivery);
+    if (it != deliveries.end())
         deliveries.erase(it);
-    }
 
-    const FlightRecord &rec = owned->rec;
+    const FlightRecord &rec = delivery.rec;
 
     // Corruption is a pure function of the interval multiset: this flight
     // is corrupted iff some other flight strictly overlaps it — exactly
@@ -293,9 +323,9 @@ ShardChannel::deliver(Delivery &delivery)
         }
     }
 
-    if (owned->local) {
+    if (delivery.local) {
         --activeLocal;
-        if (!owned->counted && collidesAtStart(rec)) {
+        if (!delivery.counted && collidesAtStart(rec)) {
             ++statCollisions;
             ULP_TRACE("Channel", this, "collision at tick %llu",
                       (unsigned long long)rec.start);
@@ -309,7 +339,7 @@ ShardChannel::deliver(Delivery &delivery)
     // callback is skipped.
     std::vector<Transceiver *> receivers = transceivers;
     for (Transceiver *t : receivers) {
-        if (t == owned->sender)
+        if (t == delivery.sender)
             continue;
         if (std::find(transceivers.begin(), transceivers.end(), t) ==
             transceivers.end())
@@ -320,6 +350,8 @@ ShardChannel::deliver(Delivery &delivery)
             ++statFramesDelivered;
         t->frameArrived(rec.frame, corrupted);
     }
+
+    deliveryPool.release(&delivery);
 }
 
 } // namespace ulp::net

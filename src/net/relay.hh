@@ -10,9 +10,13 @@
  *    air interval [start, end), a canonical (originShard, originSeq)
  *    identity, and the frame bytes.
  *  - FlightMailbox: a lock-free single-producer single-consumer ring; one
- *    per ordered shard pair. The origin shard publishes a record the
- *    moment the transmission starts; the destination drains only at its
- *    deterministic sync points.
+ *    per ordered shard pair. The origin shard buffers records locally and
+ *    flushes them in one batch immediately before each safe-tick
+ *    publication (ShardCoupling::publishOutbound); the destination drains
+ *    only at its deterministic sync points. Batching keeps the transmit
+ *    hot path free of cross-shard cache traffic without weakening the
+ *    safe-tick contract: the flush happens before the store that makes
+ *    the records' interval claimable.
  *  - ShardChannel: the shard-local implementation of net::Medium. It
  *    looks exactly like net::Channel to the radios attached to it, but
  *    resolves collision/corruption lazily, at delivery time, from the
@@ -48,6 +52,7 @@
 #include "net/channel.hh"
 #include "net/frame.hh"
 #include "net/medium.hh"
+#include "net/pool.hh"
 #include "sim/parallel.hh"
 #include "sim/sim_object.hh"
 
@@ -119,8 +124,9 @@ class ShardChannel;
 
 /**
  * The shared broadcast domain of a sharded network: one mailbox per
- * ordered shard pair plus the common channel parameters. Outlives the
- * per-shard Simulations; owns no SimObjects.
+ * ordered shard pair plus the common channel parameters and the pair
+ * lookahead topology. Outlives the per-shard Simulations; owns no
+ * SimObjects.
  */
 class FrameRelay
 {
@@ -138,6 +144,41 @@ class FrameRelay
      */
     sim::Tick lookahead() const;
 
+    /**
+     * Override the lookahead for one ordered shard pair. Defaults to
+     * lookahead() for every pair; sim::maxTick severs the pair entirely —
+     * the media then neither relay records nor sync across it. Set before
+     * the run starts (the topology must match what the scheduler sees).
+     */
+    void setPairLookahead(unsigned from, unsigned to, sim::Tick ticks);
+
+    sim::Tick
+    pairLookahead(unsigned from, unsigned to) const
+    {
+        return pairLook[from * shards + to];
+    }
+
+    /** Whether an action of @p from can ever affect @p to. */
+    bool
+    coupled(unsigned from, unsigned to) const
+    {
+        return pairLookahead(from, to) != sim::maxTick;
+    }
+
+    /** Shards whose transmissions can reach @p to (ascending). */
+    const std::vector<unsigned> &
+    inboundPeers(unsigned to) const
+    {
+        return inbound[to];
+    }
+
+    /** Shards that @p from's transmissions can reach (ascending). */
+    const std::vector<unsigned> &
+    outboundPeers(unsigned from) const
+    {
+        return outbound[from];
+    }
+
     /** Mailbox carrying records from shard @p from to shard @p to. */
     FlightMailbox &
     mailbox(unsigned from, unsigned to)
@@ -146,9 +187,15 @@ class FrameRelay
     }
 
   private:
+    void rebuildPeers();
+
     unsigned shards;
     double _bitRate;
     std::vector<std::unique_ptr<FlightMailbox>> boxes;
+    /** Row-major [from][to] pair lookaheads; maxTick = decoupled. */
+    std::vector<sim::Tick> pairLook;
+    std::vector<std::vector<unsigned>> inbound;
+    std::vector<std::vector<unsigned>> outbound;
 };
 
 /**
@@ -175,6 +222,7 @@ class ShardChannel : public sim::SimObject,
 
     // --- sim::ShardCoupling ----------------------------------------------
     sim::Tick nextSyncTick() const override;
+    void publishOutbound() override;
     void applyInbound(sim::Tick up_to) override;
     void syncDone(sim::Tick tick) override;
     void finalize(sim::Tick end) override;
@@ -213,14 +261,30 @@ class ShardChannel : public sim::SimObject,
         std::uint64_t originSeq;
     };
 
-    /** A pending delivery (local or relayed) and its queue event. */
-    struct Delivery
+    /**
+     * A pending delivery (local or relayed): an intrusive queue event
+     * allocated from the channel's pool, so the per-frame hot path makes
+     * no heap allocation and no std::function indirection.
+     */
+    struct Delivery : public sim::Event
     {
+        Delivery(ShardChannel &owner, FlightRecord rec, bool local,
+                 Transceiver *sender)
+            : owner(owner), rec(std::move(rec)), local(local), sender(sender)
+        {}
+
+        void process() override { owner.deliver(*this); }
+        std::string
+        description() const override
+        {
+            return owner.name() + (local ? ".frameEnd" : ".remoteFrameEnd");
+        }
+
+        ShardChannel &owner;
         FlightRecord rec;
         bool local;
         bool counted = false; ///< collision stat already settled
         Transceiver *sender;  ///< null for relayed flights
-        std::unique_ptr<sim::EventFunctionWrapper> event;
     };
 
     /** Whether the sequential kernel counts @p rec as a collision. */
@@ -228,8 +292,7 @@ class ShardChannel : public sim::SimObject,
 
     void applyRecord(const FlightRecord &record);
     void deliver(Delivery &delivery);
-    void scheduleDelivery(std::unique_ptr<Delivery> delivery,
-                          bool cross_shard);
+    void scheduleDelivery(Delivery *delivery, bool cross_shard);
 
     FrameRelay &relay;
     unsigned shard;
@@ -240,7 +303,10 @@ class ShardChannel : public sim::SimObject,
 
     std::vector<Transceiver *> transceivers;
     std::vector<Flight> window;
-    std::vector<std::unique_ptr<Delivery>> deliveries;
+    ObjectPool<Delivery> deliveryPool;
+    std::vector<Delivery *> deliveries;
+    /** Records transmitted since the last publishOutbound() flush. */
+    std::vector<FlightRecord> outbox;
     /** Delivery ticks that still need a pre-delivery sync. */
     std::multiset<sim::Tick> pendingSyncs;
     /** Per-source records drained but not yet applicable (start >= upTo). */

@@ -30,12 +30,23 @@
  * RNG: the draw for a given transmission is independent of global event
  * order, which is what keeps K-shard runs bit-identical to sequential
  * ones ("shard-stable RNG streams per link").
+ *
+ * Construction is O(N * k) for k neighbors in radio range, not O(N^2):
+ * the log-distance law is invertible, so the maximum distance at which
+ * any pair can interfere is known in closed form, and candidate pairs
+ * are enumerated from a uniform grid of that cell size. The predicates
+ * themselves are evaluated unchanged on every candidate, so the result
+ * (neighbor lists, domains) is identical to the exhaustive pair scan.
+ * Neighbor lists live in one flat CSR array (offsets + data), not
+ * per-node vectors, so iterating a delivery's receiver set at 10k-100k
+ * nodes walks contiguous memory.
  */
 
 #ifndef ULP_NET_SPATIAL_HH
 #define ULP_NET_SPATIAL_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace ulp::net {
@@ -107,6 +118,23 @@ class SpatialModel
      *  carrier sense detects them). Symmetric by construction. */
     bool interferes(unsigned a, unsigned b) const;
 
+    /**
+     * Maximum distance (meters) at which received power can still reach
+     * @p threshold_dbm, from inverting the log-distance law. Returns 0
+     * when even the 1 m distance clamp cannot reach the threshold; never
+     * returns less than 1 m otherwise (the clamp makes every closer pair
+     * equivalent to a 1 m one).
+     */
+    double maxRangeMeters(double threshold_dbm) const;
+
+    /** Reach of interferes(): beyond this separation two nodes can never
+     *  interact in any way. */
+    double
+    interferenceRangeMeters() const
+    {
+        return maxRangeMeters(cfg.sensitivityDbm - cfg.interferenceMarginDb);
+    }
+
     /** Interference-domain id (dense, 0-based, ordered by the smallest
      *  member index) of @p node. */
     unsigned domainOf(unsigned node) const { return domain[node]; }
@@ -126,17 +154,33 @@ class SpatialModel
     bool linkDelivers(unsigned src, unsigned dst, std::uint64_t tx_seq) const;
 
     /** Nodes that can decode @p src (ascending index, src excluded). */
-    const std::vector<unsigned> &
+    std::span<const std::uint32_t>
     neighbors(unsigned src) const
     {
-        return neigh[src];
+        return {neighDat.data() + neighOff[src],
+                neighDat.data() + neighOff[src + 1]};
+    }
+
+    /** Nodes within interference (carrier-sense) reach of @p src
+     *  (ascending index, src excluded). Superset of neighbors(). */
+    std::span<const std::uint32_t>
+    interferers(unsigned src) const
+    {
+        return {intDat.data() + intOff[src],
+                intDat.data() + intOff[src + 1]};
     }
 
   private:
     SpatialConfig cfg;
     std::vector<Position> pos;
     std::vector<unsigned> domain;
-    std::vector<std::vector<unsigned>> neigh;
+    /** CSR decode adjacency: neighbors of src are
+     *  neighDat[neighOff[src] .. neighOff[src+1]), ascending. */
+    std::vector<std::uint32_t> neighOff;
+    std::vector<std::uint32_t> neighDat;
+    /** CSR interference adjacency, same layout. */
+    std::vector<std::uint32_t> intOff;
+    std::vector<std::uint32_t> intDat;
     unsigned domains = 0;
 };
 

@@ -89,22 +89,20 @@ SpatialMedium::frameAirTicks(const Frame &frame) const
 }
 
 void
-SpatialMedium::scheduleDelivery(std::unique_ptr<Delivery> delivery,
-                                bool cross_shard)
+SpatialMedium::scheduleDelivery(Delivery *delivery, bool cross_shard)
 {
-    Delivery *raw = delivery.get();
-    delivery->event = std::make_unique<sim::EventFunctionWrapper>(
-        [this, raw] { deliver(*raw); },
-        name() + (cross_shard ? ".remoteFrameEnd" : ".frameEnd"));
     if (cross_shard) {
-        eventq().scheduleCrossShard(delivery->event.get(),
-                                    delivery->rec.end,
+        eventq().scheduleCrossShard(delivery, delivery->rec.end,
                                     delivery->rec.start);
     } else {
-        eventq().schedule(delivery->event.get(), delivery->rec.end);
+        eventq().schedule(delivery, delivery->rec.end);
     }
-    pendingSyncs.insert(delivery->rec.end);
-    deliveries.push_back(std::move(delivery));
+    // A delivery only needs a pre-resolution sync when some peer's
+    // transmissions can actually reach this shard; at K=1 (or for a
+    // spatially isolated shard) the pending set stays empty.
+    if (!relay.inboundPeers(shard).empty())
+        pendingSyncs.insert(delivery->rec.end);
+    deliveries.push_back(delivery);
 }
 
 void
@@ -112,11 +110,8 @@ SpatialMedium::senseFrameStart(const FlightRecord &record)
 {
     // Start-symbol detect reaches exactly the interference range; the
     // transmitter itself never carrier-senses its own frame.
-    for (unsigned node = 0; node < byNode.size(); ++node) {
-        Transceiver *t = byNode[node];
-        if (!t || node == record.srcNode)
-            continue;
-        if (model.interferes(record.srcNode, node))
+    for (unsigned node : model.interferers(record.srcNode)) {
+        if (Transceiver *t = byNode[node])
             t->frameStarted(record.end);
     }
 }
@@ -136,29 +131,39 @@ SpatialMedium::transmit(Transceiver *sender, const Frame &frame)
     FlightRecord record{start, end,           shard, nextLocalSeq++,
                         src,   txSeq[src]++,  frame};
 
-    // Publish first: peers waiting at a sync only proceed once this
-    // shard's safe tick passes them, which happens strictly after this.
-    for (unsigned to = 0; to < relay.numShards(); ++to) {
-        if (to == shard)
-            continue;
-        if (!relay.mailbox(shard, to).push(record)) {
-            sim::panic("%s: mailbox to shard %u overflowed "
-                       "(raise FlightMailbox::capacity)",
-                       name().c_str(), to);
-        }
-    }
+    // Buffer for the coupled peers; the scheduler flushes the outbox
+    // before every safe-tick publication, so the records are always
+    // visible before any peer may rely on them.
+    if (!relay.outboundPeers(shard).empty())
+        outbox.push_back(record);
 
     window.push_back(
         {record.start, record.end, record.srcNode, record.srcTxSeq});
 
-    auto delivery = std::make_unique<Delivery>();
-    delivery->rec = std::move(record);
-    delivery->local = true;
-    scheduleDelivery(std::move(delivery), /*cross_shard=*/false);
+    Delivery *delivery =
+        deliveryPool.acquire(*this, std::move(record), /*local=*/true);
+    scheduleDelivery(delivery, /*cross_shard=*/false);
 
     ++statFramesSent;
-    senseFrameStart(deliveries.back()->rec);
+    senseFrameStart(delivery->rec);
     return end;
+}
+
+void
+SpatialMedium::publishOutbound()
+{
+    if (outbox.empty())
+        return;
+    for (unsigned to : relay.outboundPeers(shard)) {
+        for (const FlightRecord &record : outbox) {
+            if (!relay.mailbox(shard, to).push(record)) {
+                sim::panic("%s: mailbox to shard %u overflowed "
+                           "(raise FlightMailbox::capacity)",
+                           name().c_str(), to);
+            }
+        }
+    }
+    outbox.clear();
 }
 
 sim::Tick
@@ -179,10 +184,8 @@ SpatialMedium::applyRecord(const FlightRecord &record)
     window.push_back(
         {record.start, record.end, record.srcNode, record.srcTxSeq});
 
-    auto delivery = std::make_unique<Delivery>();
-    delivery->rec = record;
-    delivery->local = false;
-    scheduleDelivery(std::move(delivery), /*cross_shard=*/true);
+    Delivery *delivery = deliveryPool.acquire(*this, record, /*local=*/false);
+    scheduleDelivery(delivery, /*cross_shard=*/true);
 
     // Carrier sense for remote transmissions, applied at the sync point
     // (see the file comment for the cross-K approximation).
@@ -192,9 +195,7 @@ SpatialMedium::applyRecord(const FlightRecord &record)
 void
 SpatialMedium::applyInbound(sim::Tick up_to)
 {
-    for (unsigned from = 0; from < relay.numShards(); ++from) {
-        if (from == shard)
-            continue;
+    for (unsigned from : relay.inboundPeers(shard)) {
         relay.mailbox(from, shard).drain(
             [&](const FlightRecord &rec) { staged[from].push_back(rec); });
     }
@@ -255,7 +256,7 @@ SpatialMedium::finalize(sim::Tick end)
     // Settle the collision stat for local flights still on the air at the
     // horizon (their delivery event lies beyond the run). The interval
     // window is complete for every start <= end, so the verdict is final.
-    for (auto &delivery : deliveries) {
+    for (Delivery *delivery : deliveries) {
         if (!delivery->local || delivery->counted)
             continue;
         delivery->counted = true;
@@ -268,20 +269,16 @@ void
 SpatialMedium::deliver(Delivery &delivery)
 {
     // Retire the Delivery first (mirrors Channel::deliver): receiver
-    // callbacks may transmit, and must see the medium without it.
-    auto it = std::find_if(
-        deliveries.begin(), deliveries.end(),
-        [&](const auto &p) { return p.get() == &delivery; });
-    std::unique_ptr<Delivery> owned;
-    if (it != deliveries.end()) {
-        owned = std::move(*it);
+    // callbacks may transmit, and must see the medium without it. The
+    // pooled slot itself stays live until the end of this function.
+    auto it = std::find(deliveries.begin(), deliveries.end(), &delivery);
+    if (it != deliveries.end())
         deliveries.erase(it);
-    }
 
-    const FlightRecord &rec = owned->rec;
+    const FlightRecord &rec = delivery.rec;
 
-    if (owned->local) {
-        if (!owned->counted && collidesAtStart(rec)) {
+    if (delivery.local) {
+        if (!delivery.counted && collidesAtStart(rec)) {
             ++statCollisions;
             ULP_TRACE("Channel", this, "collision at tick %llu",
                       (unsigned long long)rec.start);
@@ -337,6 +334,8 @@ SpatialMedium::deliver(Delivery &delivery)
         std::erase_if(window,
                       [&](const Flight &f) { return f.end <= horizon; });
     }
+
+    deliveryPool.release(&delivery);
 }
 
 } // namespace ulp::net

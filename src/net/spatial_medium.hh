@@ -92,6 +92,7 @@ class SpatialMedium : public sim::SimObject,
 
     // --- sim::ShardCoupling ----------------------------------------------
     sim::Tick nextSyncTick() const override;
+    void publishOutbound() override;
     void applyInbound(sim::Tick up_to) override;
     void syncDone(sim::Tick tick) override;
     void finalize(sim::Tick end) override;
@@ -124,13 +125,28 @@ class SpatialMedium : public sim::SimObject,
         std::uint64_t srcTxSeq;
     };
 
-    /** A pending delivery (local or relayed) and its queue event. */
-    struct Delivery
+    /**
+     * A pending delivery (local or relayed): an intrusive queue event
+     * allocated from the medium's pool, so the per-frame hot path makes
+     * no heap allocation and no std::function indirection.
+     */
+    struct Delivery : public sim::Event
     {
+        Delivery(SpatialMedium &owner, FlightRecord rec, bool local)
+            : owner(owner), rec(std::move(rec)), local(local)
+        {}
+
+        void process() override { owner.deliver(*this); }
+        std::string
+        description() const override
+        {
+            return owner.name() + (local ? ".frameEnd" : ".remoteFrameEnd");
+        }
+
+        SpatialMedium &owner;
         FlightRecord rec;
         bool local;
         bool counted = false; ///< collision stat already settled
-        std::unique_ptr<sim::EventFunctionWrapper> event;
     };
 
     /** Transmit-time collision verdict for @p rec (at its transmitter). */
@@ -138,8 +154,7 @@ class SpatialMedium : public sim::SimObject,
 
     void applyRecord(const FlightRecord &record);
     void deliver(Delivery &delivery);
-    void scheduleDelivery(std::unique_ptr<Delivery> delivery,
-                          bool cross_shard);
+    void scheduleDelivery(Delivery *delivery, bool cross_shard);
     void senseFrameStart(const FlightRecord &record);
 
     FrameRelay &relay;
@@ -158,7 +173,10 @@ class SpatialMedium : public sim::SimObject,
     std::vector<std::uint64_t> txSeq;
 
     std::vector<Flight> window;
-    std::vector<std::unique_ptr<Delivery>> deliveries;
+    ObjectPool<Delivery> deliveryPool;
+    std::vector<Delivery *> deliveries;
+    /** Records transmitted since the last publishOutbound() flush. */
+    std::vector<FlightRecord> outbox;
     /** Delivery ticks that still need a pre-delivery sync. */
     std::multiset<sim::Tick> pendingSyncs;
     /** Per-source records drained but not yet applicable (start >= upTo). */

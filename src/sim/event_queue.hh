@@ -201,6 +201,13 @@ class EventQueue
      */
     void reschedule(Event *event, Tick when);
 
+    /**
+     * Pre-size the heap's pointer vector for @p n pending events, so a
+     * large network's warm-up does not grow it through repeated
+     * reallocation. Never shrinks.
+     */
+    void reserve(std::size_t n) { heap.reserve(n); }
+
     /** True when no events are pending. */
     bool empty() const { return heap.empty(); }
 

@@ -24,21 +24,92 @@ ParallelScheduler::addShard(EventQueue &queue, ShardCoupling *coupling)
     shard.coupling = coupling;
 }
 
-namespace {
-
-/** Block until @p safe reaches at least @p target. */
 void
-waitFor(const std::atomic<Tick> &safe, Tick target)
+ParallelScheduler::setPairLookahead(std::size_t from, std::size_t to,
+                                    Tick ticks)
 {
-    for (;;) {
-        Tick seen = safe.load(std::memory_order_acquire);
-        if (seen >= target)
-            return;
-        safe.wait(seen, std::memory_order_acquire);
+    if (from >= shards.size() || to >= shards.size())
+        panic("ParallelScheduler: pair lookahead for unknown shard");
+    if (from == to)
+        panic("ParallelScheduler: pair lookahead must name two shards");
+    if (ticks == 0)
+        panic("ParallelScheduler: pair lookahead must be positive");
+    pairOverrides.push_back({from, to, ticks});
+}
+
+void
+ParallelScheduler::resolveTopology()
+{
+    const std::size_t k = shards.size();
+    std::vector<Tick> look(k * k, _lookahead);
+    for (const PairOverride &o : pairOverrides)
+        look[o.from * k + o.to] = o.ticks;
+
+    for (std::size_t i = 0; i < k; ++i) {
+        Shard &shard = shards[i];
+        shard.waitPeers.clear();
+        shard.epochLen = maxTick;
+        for (std::size_t j = 0; j < k; ++j) {
+            if (j == i)
+                continue;
+            // Wait only on peers whose actions can reach us at all.
+            if (look[j * k + i] != maxTick)
+                shard.waitPeers.push_back(j);
+            // The epoch must be short enough that (a) peers publish
+            // before their records can affect us (inbound bound) and
+            // (b) we publish before our records can affect them, so a
+            // one-way coupling still gets periodic publication.
+            shard.epochLen = std::min(
+                shard.epochLen,
+                std::min(look[i * k + j], look[j * k + i]));
+        }
     }
 }
 
+namespace {
+
+/** Short spin before parking: epoch targets are usually satisfied within
+ *  a few hundred loads when the shards are balanced. */
+constexpr int spinRounds = 256;
+
+/** Block until @p shard's safe tick reaches at least @p target. */
+void
+waitForShard(std::atomic<Tick> &safe, std::atomic<int> &waiters, Tick target)
+{
+    Tick seen = safe.load(std::memory_order_acquire);
+    if (seen >= target)
+        return;
+    for (int i = 0; i < spinRounds; ++i) {
+        seen = safe.load(std::memory_order_acquire);
+        if (seen >= target)
+            return;
+    }
+    // Register before the final check: publishers load `waiters` after
+    // their seq_cst safe store, so either they see us (and notify) or our
+    // load below sees their store — no lost wakeup either way.
+    waiters.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+        seen = safe.load(std::memory_order_seq_cst);
+        if (seen >= target)
+            break;
+        safe.wait(seen, std::memory_order_seq_cst);
+    }
+    waiters.fetch_sub(1, std::memory_order_relaxed);
+}
+
 } // namespace
+
+void
+ParallelScheduler::publish(Shard &self, Tick target)
+{
+    // Flush first: the queue has run to target-1, so every buffered
+    // record has start < target — exactly what `safe = target` promises.
+    if (self.coupling)
+        self.coupling->publishOutbound();
+    self.safe.store(target, std::memory_order_seq_cst);
+    if (self.waiters.load(std::memory_order_seq_cst) > 0)
+        self.safe.notify_all();
+}
 
 void
 ParallelScheduler::syncTo(std::size_t idx, Tick target)
@@ -47,12 +118,9 @@ ParallelScheduler::syncTo(std::size_t idx, Tick target)
     // Publish before waiting: the shard holding the minimum outstanding
     // target then always finds every peer at or above it, so the wait
     // graph cannot cycle.
-    self.safe.store(target, std::memory_order_release);
-    self.safe.notify_all();
-    for (Shard &other : shards) {
-        if (&other != &self)
-            waitFor(other.safe, target);
-    }
+    publish(self, target);
+    for (std::size_t peer : self.waitPeers)
+        waitForShard(shards[peer].safe, shards[peer].waiters, target);
     if (self.coupling)
         self.coupling->applyInbound(target);
 }
@@ -62,12 +130,16 @@ ParallelScheduler::runShard(std::size_t idx, Tick end)
 {
     Shard &self = shards[idx];
     EventQueue &queue = *self.queue;
+    const Tick epoch_len = self.epochLen;
 
     Tick epoch_start = 0;
     for (;;) {
         // Inclusive last tick of this epoch, clipped to the horizon.
+        // Phrased via the remaining span so nothing overflows when the
+        // horizon is near the Tick max or the epoch is maxTick long.
+        const Tick remaining = end - epoch_start;
         const Tick epoch_end =
-            std::min(epoch_start + (_lookahead - 1), end);
+            remaining < epoch_len ? end : epoch_start + (epoch_len - 1);
 
         // Run the epoch, stopping at every pending delivery tick to
         // resolve it against the peers' published transmissions.
@@ -85,13 +157,13 @@ ParallelScheduler::runShard(std::size_t idx, Tick end)
 
         if (epoch_end >= end)
             break;
-        epoch_start += _lookahead;
+        // remaining >= epoch_len here, so this cannot overflow.
+        epoch_start += epoch_len;
         syncTo(idx, epoch_start);
     }
 
     // Done: everything this shard will ever publish is published.
-    self.safe.store(maxTick, std::memory_order_release);
-    self.safe.notify_all();
+    publish(self, maxTick);
 }
 
 void
@@ -99,10 +171,13 @@ ParallelScheduler::run(Tick end)
 {
     if (shards.empty())
         return;
+    resolveTopology();
     if (shards.size() == 1) {
         shards[0].queue->runUntil(end);
-        if (shards[0].coupling)
+        if (shards[0].coupling) {
+            shards[0].coupling->publishOutbound();
             shards[0].coupling->finalize(end);
+        }
         return;
     }
 
@@ -115,7 +190,7 @@ ParallelScheduler::run(Tick end)
             runShard(idx, end);
         } catch (...) {
             errors[idx] = std::current_exception();
-            shards[idx].safe.store(maxTick, std::memory_order_release);
+            shards[idx].safe.store(maxTick, std::memory_order_seq_cst);
             shards[idx].safe.notify_all();
         }
     };

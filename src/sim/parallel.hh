@@ -9,33 +9,51 @@
  * minimal frame airtime is a hard lower bound on how far one shard's
  * actions can be from affecting another — the classic PDES *lookahead*.
  *
- * Time is carved into epochs of exactly one lookahead. Within an epoch a
- * shard runs its queue freely; because every frame is on the air for at
- * least one lookahead, a transmission started by a peer during the same
- * epoch cannot *deliver* before the next epoch begins, so the shard never
+ * Time is carved into per-shard epochs. Within an epoch a shard runs its
+ * queue freely; because every frame is on the air for at least one
+ * lookahead, a transmission started by a peer during the same epoch
+ * cannot *deliver* before the next epoch begins, so the shard never
  * processes an event it should not have. Two synchronisation mechanisms
  * keep the shards honest:
  *
- *  - an epoch barrier: all shards meet at each multiple of the lookahead
- *    and apply the frame records their peers published;
+ *  - an epoch barrier: the shard publishes its progress, waits for the
+ *    peers that can affect it to catch up, and applies the frame records
+ *    they published;
  *  - fine-grained safe-time syncs at every frame-delivery tick: before a
  *    shard resolves a delivery at tick e (deciding collision/corruption),
- *    it publishes its own progress, waits until every peer has advanced
- *    to at least e, and applies all peer transmissions that started
- *    strictly before e. Corruption is a pure function of the multiset of
- *    transmission intervals, so once every interval starting before e is
- *    known, the outcome at e is final — this is what makes the parallel
- *    kernel's statistics *identical* to the sequential kernel's, not just
- *    statistically equivalent.
+ *    it publishes its own progress, waits until every *coupled* peer has
+ *    advanced to at least e, and applies all peer transmissions that
+ *    started strictly before e. Corruption is a pure function of the
+ *    multiset of transmission intervals, so once every interval starting
+ *    before e is known, the outcome at e is final — this is what makes
+ *    the parallel kernel's statistics *identical* to the sequential
+ *    kernel's, not just statistically equivalent.
+ *
+ * Lookahead is per shard *pair* (setPairLookahead): pairs whose nodes are
+ * too far apart to ever interact get an infinite (maxTick) lookahead, so
+ * a shard only waits on — and its epoch length is only bounded by — the
+ * peers it is actually coupled to. A shard with no coupled peers runs its
+ * whole horizon as one epoch with zero synchronisation. Shard epochs need
+ * not be aligned: the `safe` protocol only promises "everything I will
+ * ever publish before tick T is visible", which holds at any target.
+ *
+ * Publication is batched: the coupling buffers outbound records locally
+ * and the scheduler flushes them (publishOutbound) immediately before
+ * every `safe` store. Since the store happens only after the queue has
+ * run to target-1, every buffered record has start <= target-1 < target,
+ * so the flush-before-store order preserves the `safe` contract while
+ * keeping the per-transmit hot path free of cross-shard traffic.
  *
  * Deadlock-freedom: a shard always publishes its own target tick (the
  * `safe` atomic) before waiting for the others, and targets are strictly
- * increasing; the shard holding the minimum outstanding target can always
- * proceed, so some shard always makes progress.
+ * increasing; the shard holding the minimum outstanding target always
+ * finds every peer's published target at or above its own, so some shard
+ * always makes progress. Pruning the wait set cannot break this — it
+ * only removes edges from the wait graph.
  *
  * The cross-shard mechanics (what gets published, how inbound records are
  * applied, which ticks need a sync) live behind the ShardCoupling
- * interface, implemented by net::ShardChannel.
+ * interface, implemented by net::ShardChannel and net::SpatialMedium.
  */
 
 #ifndef ULP_SIM_PARALLEL_HH
@@ -44,6 +62,7 @@
 #include <atomic>
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -52,7 +71,7 @@ namespace ulp::sim {
 
 /**
  * The conservative-sync hooks one shard exposes to the scheduler. All
- * methods are invoked on the shard's own worker thread.
+ * methods are invoked on the shard's own worker thread (finalize aside).
  */
 class ShardCoupling
 {
@@ -67,8 +86,15 @@ class ShardCoupling
     virtual Tick nextSyncTick() const = 0;
 
     /**
-     * Every shard has advanced to at least @p up_to: consume the inbound
-     * mailboxes and apply all records timestamped strictly before
+     * Flush locally buffered outbound records into the peers' mailboxes.
+     * Called by the scheduler immediately before each `safe` publication;
+     * everything transmitted so far must be visible to peers afterwards.
+     */
+    virtual void publishOutbound() {}
+
+    /**
+     * Every coupled shard has advanced to at least @p up_to: consume the
+     * inbound mailboxes and apply all records timestamped strictly before
      * @p up_to, in a deterministic total order.
      */
     virtual void applyInbound(Tick up_to) = 0;
@@ -88,9 +114,10 @@ class ShardCoupling
 };
 
 /**
- * Runs K shards in lockstep epochs of one lookahead. Build with the
- * channel lookahead, add the shards, then run() once; the object is not
- * reusable across runs (the per-shard safe ticks are monotone).
+ * Runs K shards in conservative epochs. Build with the default (channel)
+ * lookahead, add the shards, optionally tighten or sever individual pairs
+ * with setPairLookahead, then run() once; the object is not reusable
+ * across runs (the per-shard safe ticks are monotone).
  */
 class ParallelScheduler
 {
@@ -102,6 +129,14 @@ class ParallelScheduler
 
     /** Register one shard. @p coupling may be null (an uncoupled shard). */
     void addShard(EventQueue &queue, ShardCoupling *coupling);
+
+    /**
+     * Earliest delay after which an action of shard @p from can affect
+     * shard @p to; defaults to the global lookahead for every pair.
+     * maxTick means "never" — @p to then neither waits on @p from nor
+     * bounds its epochs by it. Call after both shards are added.
+     */
+    void setPairLookahead(std::size_t from, std::size_t to, Tick ticks);
 
     std::size_t numShards() const { return shards.size(); }
     Tick lookahead() const { return _lookahead; }
@@ -118,6 +153,13 @@ class ParallelScheduler
     {
         EventQueue *queue = nullptr;
         ShardCoupling *coupling = nullptr;
+        /** Epoch length for this shard: the tightest pair lookahead it is
+         *  involved in (either direction); maxTick when fully decoupled.
+         *  Resolved in run(). */
+        Tick epochLen = 0;
+        /** Peers whose actions can reach this shard (pair lookahead below
+         *  maxTick): the only ones worth waiting for. */
+        std::vector<std::size_t> waitPeers;
         /**
          * The tick this shard has published everything before: peers
          * waiting on `safe >= e` may assume every cross-shard record
@@ -125,18 +167,36 @@ class ParallelScheduler
          * per-shard hot atomics never share a cache line.
          */
         alignas(64) std::atomic<Tick> safe{0};
+        /** Number of peers currently blocked in safe.wait(); publishers
+         *  skip the notify syscall while it is zero. */
+        alignas(64) std::atomic<int> waiters{0};
     };
 
     void runShard(std::size_t idx, Tick end);
 
+    /** Flush the coupling's outbound buffer, then advance `safe` to
+     *  @p target and wake any blocked peers. */
+    void publish(Shard &self, Tick target);
+
     /**
-     * Publish progress up to @p target, wait until every shard has done
-     * the same, then apply inbound records older than @p target.
+     * Publish progress up to @p target, wait until every coupled peer has
+     * done the same, then apply inbound records older than @p target.
      */
     void syncTo(std::size_t idx, Tick target);
 
+    /** Resolve per-shard epoch lengths and wait sets from the pair
+     *  lookahead overrides. */
+    void resolveTopology();
+
     Tick _lookahead;
     std::deque<Shard> shards; // deque: stable addresses for the atomics
+    struct PairOverride
+    {
+        std::size_t from;
+        std::size_t to;
+        Tick ticks;
+    };
+    std::vector<PairOverride> pairOverrides;
 };
 
 } // namespace ulp::sim
