@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Campaign fan-out throughput: runs/second for one seed ensemble over a
+ * 3x3 multihop grid, executed five ways —
+ *
+ *   in-process    executeRun() in a loop, no store, no processes: the
+ *                 floor every orchestration overhead is measured from;
+ *   spawn-per-run the coordinator restricted to one run per worker
+ *                 (jobs=1, runs-per-worker=1): what a hand-rolled
+ *                 `for seed in ...; do ulpsim run; done` shell loop
+ *                 pays, with a fork+exec+scenario-parse per run;
+ *   pool jobs=1/2/4  the real pipelined pool, workers parse the
+ *                 scenario once and stream runs.
+ *
+ * The per-run stats records of the jobs=1 and jobs=4 pools must be
+ * byte-identical (the campaign determinism contract); the bench exits
+ * nonzero when they are not. Rows run with more jobs than hardware
+ * threads are flagged oversubscribed — throughput there measures
+ * queuing, not speedup, and is reported for correctness only.
+ *
+ *   bench_campaign [--smoke] [--json[=PATH]]
+ *
+ * --json writes the BENCH_campaign.json snapshot; --smoke shrinks the
+ * ensemble for CI.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "campaign/runner.hh"
+#include "campaign/spec.hh"
+#include "campaign/store.hh"
+#include "scenario/scenario.hh"
+#include "sim/logging.hh"
+
+#include <unistd.h>
+
+#ifndef ULP_BUILD_TYPE
+#define ULP_BUILD_TYPE "unspecified"
+#endif
+
+using namespace ulp;
+
+namespace {
+
+constexpr const char *scenarioText = R"ini(
+[scenario]
+name = bench-campaign-grid
+seconds = 1
+seed = 42
+
+[nodes]
+count = 9
+app = app3
+period = 2000
+signal = sine:60,5
+placement = grid
+spacing = 40
+
+[radio]
+model = spatial
+path-loss-exponent = 2.8
+sensitivity-dbm = -90
+
+[routes]
+sink = 0
+)ini";
+
+using Clock = std::chrono::steady_clock;
+
+double
+since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string
+selfExecutable()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        return "bench_campaign";
+    buf[n] = '\0';
+    return buf;
+}
+
+struct PoolResult
+{
+    double wall = 0.0;
+    std::map<std::uint64_t, std::string> stats; ///< id -> stats JSON
+};
+
+PoolResult
+runPool(const std::string &canonical,
+        const std::vector<campaign::RunSpec> &runs, unsigned jobs,
+        unsigned runsPerWorker)
+{
+    const std::filesystem::path storePath =
+        std::filesystem::temp_directory_path() /
+        "bench_campaign_store.jsonl";
+    std::filesystem::remove(storePath);
+
+    campaign::ResultsStore store = campaign::ResultsStore::open(
+        storePath.string(),
+        {"bench", "<inline>", runs.size(),
+         campaign::campaignDigest(canonical, runs)},
+        false);
+
+    campaign::RunnerConfig cfg;
+    cfg.workerExe = selfExecutable();
+    cfg.jobs = jobs;
+    cfg.timeoutSeconds = 120.0;
+    cfg.quiet = true;
+    cfg.runsPerWorker = runsPerWorker;
+
+    const Clock::time_point start = Clock::now();
+    const campaign::CampaignResult outcome =
+        campaign::runCampaign(canonical, runs, store, cfg);
+    PoolResult result;
+    result.wall = since(start);
+
+    if (outcome.ok != runs.size()) {
+        std::fprintf(stderr,
+                     "bench_campaign: pool jobs=%u finished %llu/%zu "
+                     "runs ok\n",
+                     jobs, static_cast<unsigned long long>(outcome.ok),
+                     runs.size());
+        std::exit(1);
+    }
+    for (const campaign::RunRecord &record :
+         campaign::ResultsStore::load(storePath.string())) {
+        result.stats[record.id] = record.stats;
+    }
+    std::filesystem::remove(storePath);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Workers exec this very binary with the campaign-worker verb.
+    if (argc > 1 && std::strcmp(argv[1], "campaign-worker") == 0)
+        return campaign::workerMain(argc, argv);
+
+    bool smoke = false;
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--json", 6) == 0) {
+            jsonPath = "BENCH_campaign.json";
+            if (argv[i][6] == '=')
+                jsonPath = argv[i] + 7;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_campaign [--smoke] [--json[=PATH]]\n");
+            return 2;
+        }
+    }
+
+    sim::setQuiet(true); // the in-process rows would chatter otherwise
+    const unsigned ensemble = smoke ? 6 : 16;
+    scenario::Scenario base =
+        scenario::parseScenario(scenarioText, "<bench_campaign>");
+    if (smoke)
+        base.seconds = 0.25;
+    const std::string canonical = scenario::printScenario(base);
+
+    std::vector<campaign::RunSpec> runs;
+    for (unsigned r = 0; r < ensemble; ++r) {
+        campaign::RunSpec run;
+        run.id = r;
+        run.overrides.emplace_back("scenario.seed",
+                                   std::to_string(base.seed + r));
+        runs.push_back(std::move(run));
+    }
+
+    bench::banner("Campaign fan-out: " + std::to_string(ensemble) +
+                  "-seed ensemble, 9-node multihop grid, " +
+                  (smoke ? std::string("0.25") : std::string("1")) +
+                  " simulated second(s) per run");
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    // Floor: the simulation alone, no store, no processes.
+    std::map<std::uint64_t, std::string> inprocStats;
+    const Clock::time_point inprocStart = Clock::now();
+    for (const campaign::RunSpec &run : runs) {
+        inprocStats[run.id] = campaign::executeRun(
+            campaign::resolveRun(base, run, "<bench_campaign>"));
+    }
+    const double inproc = since(inprocStart);
+
+    const PoolResult shell = runPool(canonical, runs, 1, 1);
+    const PoolResult pool1 = runPool(canonical, runs, 1, 0);
+    const PoolResult pool2 = runPool(canonical, runs, 2, 0);
+    const PoolResult pool4 = runPool(canonical, runs, 4, 0);
+
+    // The determinism contract: per-run stats bytes must not depend on
+    // the job count (or on running in-process).
+    bool identical = pool1.stats == pool4.stats &&
+                     pool1.stats == pool2.stats &&
+                     pool1.stats == inprocStats;
+    if (!identical) {
+        std::fprintf(stderr, "bench_campaign: per-run stats differ "
+                             "across job counts — determinism violated\n");
+    }
+
+    struct Row
+    {
+        const char *mode;
+        unsigned jobs;
+        double wall;
+    };
+    const Row rows[] = {
+        {"in-process loop (no store, no workers)", 1, inproc},
+        {"spawn per run (shell-loop equivalent)", 1, shell.wall},
+        {"worker pool, jobs=1", 1, pool1.wall},
+        {"worker pool, jobs=2", 2, pool2.wall},
+        {"worker pool, jobs=4", 4, pool4.wall},
+    };
+
+    std::printf("%-42s %8s %10s %9s %7s\n", "configuration", "wall s",
+                "runs/s", "vs pool1", "oversub");
+    bench::rule();
+    for (const Row &row : rows) {
+        std::printf("%-42s %8.3f %10.2f %8.2fx %7s\n", row.mode,
+                    row.wall, ensemble / row.wall,
+                    pool1.wall / row.wall,
+                    row.jobs > hw ? "yes" : "no");
+    }
+    bench::rule();
+    std::printf("coordinator overhead vs in-process: %+.1f ms/run; "
+                "spawn-per-run pays %+.1f ms/run more than the pool\n",
+                1e3 * (pool1.wall - inproc) / ensemble,
+                1e3 * (shell.wall - pool1.wall) / ensemble);
+    std::printf("per-run stats identical across jobs=1/2/4 and "
+                "in-process: %s\n", identical ? "yes" : "NO");
+    if (hw < 4) {
+        std::printf("note: only %u hardware thread(s); parallel rows "
+                    "are oversubscribed and establish correctness, not "
+                    "speedup\n", hw);
+    }
+
+    if (!jsonPath.empty()) {
+        std::FILE *out = std::fopen(jsonPath.c_str(), "wb");
+        if (!out) {
+            std::fprintf(stderr, "bench_campaign: cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::fprintf(out,
+                     "{\n  \"schema\": \"ulpsn-campaign-bench/1\",\n"
+                     "  \"host\": {\"hardware_concurrency\": %u, "
+                     "\"build_type\": \"%s\"},\n"
+                     "  \"runs\": %u,\n  \"rows\": [\n",
+                     hw, ULP_BUILD_TYPE, ensemble);
+        const struct
+        {
+            const char *mode;
+            unsigned jobs;
+            double wall;
+        } jrows[] = {
+            {"in_process", 1, inproc},
+            {"spawn_per_run", 1, shell.wall},
+            {"pool", 1, pool1.wall},
+            {"pool", 2, pool2.wall},
+            {"pool", 4, pool4.wall},
+        };
+        for (std::size_t i = 0; i < std::size(jrows); ++i) {
+            std::fprintf(
+                out,
+                "    {\"mode\": \"%s\", \"jobs\": %u, \"runs\": %u, "
+                "\"wall_s\": %.4f, \"runs_per_s\": %.2f, "
+                "\"speedup_vs_jobs1\": %.3f, \"oversubscribed\": %s}%s\n",
+                jrows[i].mode, jrows[i].jobs, ensemble, jrows[i].wall,
+                ensemble / jrows[i].wall, pool1.wall / jrows[i].wall,
+                jrows[i].jobs > hw ? "true" : "false",
+                i + 1 < std::size(jrows) ? "," : "");
+        }
+        std::fprintf(out, "  ],\n  \"stats_identical\": %s\n}\n",
+                     identical ? "true" : "false");
+        std::fclose(out);
+        std::printf("snapshot written: %s\n", jsonPath.c_str());
+    }
+
+    return identical ? 0 : 1;
+}

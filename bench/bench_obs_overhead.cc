@@ -9,7 +9,11 @@
  *   buffered   all channels recording into the rings, no flusher thread
  *              (finish() writes everything at the end);
  *   streaming  all channels + the background flusher draining to disk
- *              during the run (the ulpsim --trace-out configuration).
+ *              during the run (the ulpsim --trace-out configuration);
+ *   10ms energy  streaming with the energy sampler slowed from the 1 ms
+ *              default to 10 ms (--trace-energy-period=0.01): the knob
+ *              for when the sampler — even change-compressed — is still
+ *              the dominant tracing cost.
  *
  * Each configuration is timed over several repetitions of the same
  * fixed-seed network; the median is reported. Run with no arguments.
@@ -57,7 +61,8 @@ oracleConfig(unsigned nodes)
 enum class Mode { Off, Buffered, Streaming };
 
 double
-runOnce(Mode mode, unsigned nodes, double seconds, std::uint64_t *records)
+runOnce(Mode mode, unsigned nodes, double seconds, double energyPeriod,
+        std::uint64_t *records)
 {
     std::filesystem::path dir =
         std::filesystem::temp_directory_path() / "bench_obs_overhead";
@@ -69,6 +74,7 @@ runOnce(Mode mode, unsigned nodes, double seconds, std::uint64_t *records)
         obs::EventLogConfig ecfg;
         ecfg.dir = dir.string();
         ecfg.ringCapacity = std::size_t{1} << 20;
+        ecfg.energySamplePeriod = sim::secondsToTicks(energyPeriod);
         ecfg.streaming = mode == Mode::Streaming;
         log = std::make_unique<obs::EventLog>(ecfg, 1);
         cfg.telemetrySink = [&log](unsigned s) { return &log->sink(s); };
@@ -89,12 +95,13 @@ runOnce(Mode mode, unsigned nodes, double seconds, std::uint64_t *records)
 }
 
 double
-median(Mode mode, unsigned nodes, double seconds, unsigned reps,
-       std::uint64_t *records)
+median(Mode mode, unsigned nodes, double seconds, double energyPeriod,
+       unsigned reps, std::uint64_t *records)
 {
     std::vector<double> times;
     for (unsigned r = 0; r < reps; ++r)
-        times.push_back(runOnce(mode, nodes, seconds, records));
+        times.push_back(
+            runOnce(mode, nodes, seconds, energyPeriod, records));
     std::sort(times.begin(), times.end());
     return times[times.size() / 2];
 }
@@ -112,11 +119,14 @@ main()
                   "0.5 simulated seconds");
 
     std::uint64_t records = 0;
-    double off = median(Mode::Off, nodes, seconds, reps, nullptr);
+    std::uint64_t slowRecords = 0;
+    double off = median(Mode::Off, nodes, seconds, 0.001, reps, nullptr);
     double buffered =
-        median(Mode::Buffered, nodes, seconds, reps, &records);
+        median(Mode::Buffered, nodes, seconds, 0.001, reps, &records);
     double streaming =
-        median(Mode::Streaming, nodes, seconds, reps, nullptr);
+        median(Mode::Streaming, nodes, seconds, 0.001, reps, nullptr);
+    double slow = median(Mode::Streaming, nodes, seconds, 0.01, reps,
+                         &slowRecords);
 
     std::printf("%-42s %10s %10s\n", "configuration", "host s",
                 "vs off");
@@ -129,9 +139,14 @@ main()
     std::printf("%-42s %10.4f %+9.1f%%\n",
                 "all channels, streaming to disk", streaming,
                 100.0 * (streaming - off) / off);
+    std::printf("%-42s %10.4f %+9.1f%%\n",
+                "streaming, energy-period = 10 ms", slow,
+                100.0 * (slow - off) / off);
     bench::rule();
-    std::printf("records per traced run: %llu (%.1f per simulated ms)\n",
+    std::printf("records per traced run: %llu (%.1f per simulated ms); "
+                "%llu at 10 ms energy sampling\n",
                 static_cast<unsigned long long>(records),
-                records / (seconds * 1e3));
+                records / (seconds * 1e3),
+                static_cast<unsigned long long>(slowRecords));
     return 0;
 }

@@ -1,0 +1,517 @@
+#include "campaign/store.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ulp::campaign {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON line parser, sized for the store's own records: objects,
+// strings, unsigned numbers, arrays of strings, and verbatim capture of
+// one nested object (the stats blob, which must survive byte-identical).
+// ---------------------------------------------------------------------------
+
+struct LineParser
+{
+    const std::string &s;
+    std::size_t pos = 0;
+
+    bool
+    failIf(bool cond)
+    {
+        if (cond)
+            ok = false;
+        return !ok;
+    }
+    bool ok = true;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        ok = false;
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return pos < s.size() && s[pos] == c;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"'))
+            return out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (failIf(pos >= s.size()))
+                return out;
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (failIf(pos + 4 > s.size()))
+                    return out;
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        ok = false;
+                        return out;
+                    }
+                }
+                // The writer only emits \u00XX control escapes.
+                out += static_cast<char>(v & 0xff);
+                break;
+              }
+              default:
+                ok = false;
+                return out;
+            }
+        }
+        if (failIf(pos >= s.size()))
+            return out;
+        ++pos; // closing quote
+        return out;
+    }
+
+    std::uint64_t
+    parseUnsigned()
+    {
+        skipWs();
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        if (failIf(pos == start))
+            return 0;
+        return std::strtoull(s.c_str() + start, nullptr, 10);
+    }
+
+    /** Capture one balanced {...} object verbatim (string-aware). */
+    std::string
+    parseRawObject()
+    {
+        skipWs();
+        if (failIf(pos >= s.size() || s[pos] != '{'))
+            return "";
+        std::size_t start = pos;
+        int depth = 0;
+        bool inString = false;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (inString) {
+                if (c == '\\')
+                    ++pos; // skip the escaped char
+                else if (c == '"')
+                    inString = false;
+            } else if (c == '"') {
+                inString = true;
+            } else if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                if (--depth == 0) {
+                    ++pos;
+                    return s.substr(start, pos - start);
+                }
+            }
+            ++pos;
+        }
+        ok = false;
+        return "";
+    }
+
+    std::vector<std::string>
+    parseStringArray()
+    {
+        std::vector<std::string> out;
+        if (!consume('['))
+            return out;
+        if (peek(']')) {
+            consume(']');
+            return out;
+        }
+        while (ok) {
+            out.push_back(parseString());
+            if (peek(']')) {
+                consume(']');
+                break;
+            }
+            if (!consume(','))
+                break;
+        }
+        return out;
+    }
+
+    /** Skip any value (used for unknown fields: forward compatibility). */
+    void
+    skipValue()
+    {
+        skipWs();
+        if (pos >= s.size()) {
+            ok = false;
+            return;
+        }
+        char c = s[pos];
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            parseRawObject();
+        } else if (c == '[') {
+            int depth = 0;
+            bool inString = false;
+            while (pos < s.size()) {
+                char d = s[pos];
+                if (inString) {
+                    if (d == '\\')
+                        ++pos;
+                    else if (d == '"')
+                        inString = false;
+                } else if (d == '"') {
+                    inString = true;
+                } else if (d == '[') {
+                    ++depth;
+                } else if (d == ']') {
+                    if (--depth == 0) {
+                        ++pos;
+                        return;
+                    }
+                }
+                ++pos;
+            }
+            ok = false;
+        } else {
+            while (pos < s.size() && s[pos] != ',' && s[pos] != '}' &&
+                   s[pos] != ']')
+                ++pos;
+        }
+    }
+};
+
+/** Parse a header line; returns false when malformed. */
+bool
+parseHeaderLine(const std::string &line, ResultsStore::Header *header)
+{
+    LineParser p{line};
+    if (!p.consume('{'))
+        return false;
+    bool isHeader = false;
+    while (p.ok) {
+        std::string key = p.parseString();
+        if (!p.consume(':'))
+            break;
+        if (key == "type")
+            isHeader = p.parseString() == "campaign";
+        else if (key == "campaign")
+            header->campaign = p.parseString();
+        else if (key == "scenario")
+            header->scenario = p.parseString();
+        else if (key == "runs")
+            header->runs = p.parseUnsigned();
+        else if (key == "digest")
+            header->digest =
+                std::strtoull(p.parseString().c_str(), nullptr, 16);
+        else
+            p.skipValue();
+        if (p.peek('}')) {
+            p.consume('}');
+            return p.ok && isHeader;
+        }
+        if (!p.consume(','))
+            break;
+    }
+    return false;
+}
+
+/** Parse a run-record line; returns false when malformed. */
+bool
+parseRecordLine(const std::string &line, RunRecord *record)
+{
+    LineParser p{line};
+    if (!p.consume('{'))
+        return false;
+    bool sawId = false, sawStatus = false;
+    while (p.ok) {
+        std::string key = p.parseString();
+        if (!p.consume(':'))
+            break;
+        if (key == "id") {
+            record->id = p.parseUnsigned();
+            sawId = true;
+        } else if (key == "status") {
+            record->status = p.parseString();
+            sawStatus = true;
+        } else if (key == "attempts")
+            record->attempts = static_cast<unsigned>(p.parseUnsigned());
+        else if (key == "elapsed_us")
+            record->elapsedUs = p.parseUnsigned();
+        else if (key == "overrides")
+            record->overrides = p.parseStringArray();
+        else if (key == "stats")
+            record->stats = p.parseRawObject();
+        else if (key == "error")
+            record->error = p.parseString();
+        else
+            p.skipValue();
+        if (p.peek('}')) {
+            p.consume('}');
+            return p.ok && sawId && sawStatus;
+        }
+        if (!p.consume(','))
+            break;
+    }
+    return false;
+}
+
+struct ParsedStore
+{
+    ResultsStore::Header header;
+    std::vector<RunRecord> records;
+    unsigned torn = 0;
+    /** Byte length of the good prefix (truncation point on resume). */
+    std::size_t goodBytes = 0;
+};
+
+/**
+ * Parse a whole store file. The final line may be torn (no newline, or
+ * unparseable) — counted, not fatal; anything else malformed is fatal.
+ */
+ParsedStore
+parseStore(const std::string &path, const std::string &text)
+{
+    ParsedStore out;
+    std::size_t pos = 0;
+    unsigned lineNo = 0;
+    bool sawHeader = false;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        const bool lastAndTorn = nl == std::string::npos;
+        std::string line = text.substr(
+            pos, lastAndTorn ? std::string::npos : nl - pos);
+        std::size_t next = lastAndTorn ? text.size() : nl + 1;
+        ++lineNo;
+
+        bool good = false;
+        if (!sawHeader) {
+            good = parseHeaderLine(line, &out.header);
+            sawHeader = good;
+        } else {
+            RunRecord record;
+            good = parseRecordLine(line, &record);
+            if (good)
+                out.records.push_back(std::move(record));
+        }
+        if (!good) {
+            const bool lastLine = next >= text.size();
+            if (lastLine && sawHeader) {
+                // A torn tail is the expected crash artifact.
+                ++out.torn;
+                return out;
+            }
+            sim::fatal("%s:%u: malformed results-store line",
+                       path.c_str(), lineNo);
+        }
+        if (lastAndTorn) {
+            // Parsed, but the newline never made it out: the flush was
+            // cut mid-record — treat as torn so it is rewritten whole.
+            out.records.pop_back();
+            ++out.torn;
+            return out;
+        }
+        pos = next;
+        out.goodBytes = pos;
+    }
+    if (!sawHeader)
+        sim::fatal("%s: results store has no header line", path.c_str());
+    return out;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        sim::fatal("cannot open results store '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+ResultsStore
+ResultsStore::open(const std::string &path, const Header &header,
+                   bool resume)
+{
+    ResultsStore store;
+    store.file = path;
+
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(path, ec);
+    if (exists) {
+        if (!resume) {
+            sim::fatal("results store '%s' already exists — use `campaign "
+                       "resume` to continue it or pick another --store",
+                       path.c_str());
+        }
+        ParsedStore parsed = parseStore(path, readWholeFile(path));
+        if (parsed.header.digest != header.digest) {
+            sim::fatal("results store '%s' was produced by a different "
+                       "campaign (digest %016" PRIx64 " != %016" PRIx64
+                       ") — the spec or base scenario changed since",
+                       path.c_str(), parsed.header.digest, header.digest);
+        }
+        for (const RunRecord &record : parsed.records)
+            store.done.insert(record.id);
+        store.torn = parsed.torn;
+        if (parsed.torn) {
+            std::filesystem::resize_file(path, parsed.goodBytes, ec);
+            if (ec) {
+                sim::fatal("cannot truncate torn results store '%s': %s",
+                           path.c_str(), ec.message().c_str());
+            }
+        }
+        store.out = std::fopen(path.c_str(), "ab");
+        if (!store.out)
+            sim::fatal("cannot append to results store '%s'", path.c_str());
+        return store;
+    }
+
+    if (!path.empty()) {
+        std::filesystem::path parent =
+            std::filesystem::path(path).parent_path();
+        if (!parent.empty())
+            std::filesystem::create_directories(parent, ec);
+    }
+    store.out = std::fopen(path.c_str(), "wb");
+    if (!store.out)
+        sim::fatal("cannot create results store '%s'", path.c_str());
+    char buf[1024];
+    int n = std::snprintf(
+        buf, sizeof buf,
+        "{\"type\":\"campaign\",\"campaign\":\"%s\",\"scenario\":\"%s\","
+        "\"runs\":%" PRIu64 ",\"digest\":\"%016" PRIx64 "\"}\n",
+        jsonEscape(header.campaign).c_str(),
+        jsonEscape(header.scenario).c_str(), header.runs, header.digest);
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof buf ||
+        std::fwrite(buf, 1, static_cast<std::size_t>(n), store.out) !=
+            static_cast<std::size_t>(n)) {
+        sim::fatal("cannot write results-store header to '%s'",
+                   path.c_str());
+    }
+    std::fflush(store.out);
+    return store;
+}
+
+std::vector<RunRecord>
+ResultsStore::load(const std::string &path, Header *header)
+{
+    ParsedStore parsed = parseStore(path, readWholeFile(path));
+    if (header)
+        *header = parsed.header;
+    return std::move(parsed.records);
+}
+
+ResultsStore::ResultsStore(ResultsStore &&other) noexcept
+    : file(std::move(other.file)), out(other.out),
+      done(std::move(other.done)), torn(other.torn)
+{
+    other.out = nullptr;
+}
+
+ResultsStore::~ResultsStore()
+{
+    if (out)
+        std::fclose(out);
+}
+
+void
+ResultsStore::append(const RunRecord &record)
+{
+    std::string overrides;
+    for (std::size_t i = 0; i < record.overrides.size(); ++i) {
+        if (i)
+            overrides += ",";
+        overrides += "\"" + jsonEscape(record.overrides[i]) + "\"";
+    }
+    std::ostringstream line;
+    line << "{\"id\":" << record.id << ",\"status\":\""
+         << jsonEscape(record.status) << "\",\"attempts\":"
+         << record.attempts << ",\"elapsed_us\":" << record.elapsedUs
+         << ",\"overrides\":[" << overrides << "],\"stats\":"
+         << (record.stats.empty() ? "{}" : record.stats)
+         << ",\"error\":\"" << jsonEscape(record.error) << "\"}\n";
+    const std::string text = line.str();
+    // One write + flush per record: the crash-safety unit is the line.
+    if (std::fwrite(text.data(), 1, text.size(), out) != text.size())
+        sim::fatal("short write to results store '%s'", file.c_str());
+    std::fflush(out);
+}
+
+} // namespace ulp::campaign

@@ -181,10 +181,36 @@ EventLog::attachSampler(unsigned shard, sim::Simulation &simulation)
     auto *raw = new sim::EventFunctionWrapper(
         [&log, period] {
             const sim::Tick now = log.simulation->curTick();
-            for (const ShardLog::EnergyProbe &probe : log.energyProbes) {
+            for (ShardLog::EnergyProbe &probe : log.energyProbes) {
+                // Emit only when the tracker's accrual *rate* changed
+                // since the last sample. Cumulative energy is piecewise
+                // linear (leakage accrues even when idle, so the value
+                // itself never sits still); while the per-period delta
+                // repeats, the intermediate records are recoverable by
+                // interpolation and every derived power window is
+                // unchanged. When the slope does change, the linear run
+                // is first closed with one boundary record so the new
+                // slope stays one period wide instead of smearing over
+                // the gap.
+                const double joules = probe.joules();
+                const double delta = joules - probe.lastJoules;
+                if (probe.lastJoules >= 0.0 && delta == probe.lastDelta) {
+                    probe.lastJoules = joules;
+                    probe.skipped = true;
+                    continue;
+                }
+                if (probe.skipped) {
+                    log.record(now - period, probe.component,
+                               sim::TelemetryChannel::Energy, 0, 0,
+                               std::bit_cast<std::uint64_t>(
+                                   probe.lastJoules));
+                    probe.skipped = false;
+                }
+                probe.lastJoules = joules;
+                probe.lastDelta = delta;
                 log.record(now, probe.component,
                            sim::TelemetryChannel::Energy, 0, 0,
-                           std::bit_cast<std::uint64_t>(probe.joules()));
+                           std::bit_cast<std::uint64_t>(joules));
             }
             log.simulation->eventq().schedule(log.samplerEvent.get(),
                                               now + period);

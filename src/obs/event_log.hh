@@ -24,6 +24,14 @@
  * (lowest priority, so it observes each tick's final state) that reads
  * every registered cumulative-energy probe, turning the EnergyTrackers
  * into a power-vs-time timeline in the spirit of the paper's Figure 6.
+ * The sampler is slope-compressed: cumulative energy is piecewise
+ * linear (leakage accrues even at idle), so a probe whose per-period
+ * delta repeats emits nothing, and the linear run is closed with one
+ * boundary record when the slope next changes. Skipped records are
+ * recoverable exactly by interpolation, so every derived power window
+ * is unchanged — and the sampler was the dominant cost of tracing (see
+ * bench_obs_overhead). The period is EventLogConfig's
+ * energySamplePeriod ([trace] energy-period / --trace-energy-period).
  */
 
 #ifndef ULP_OBS_EVENT_LOG_HH
@@ -146,6 +154,20 @@ class ShardLog : public sim::TelemetrySink
     {
         std::uint32_t component;
         std::function<double()> joules;
+        /** Last sampled value; -1 guarantees the first sample emits a
+         *  baseline record. */
+        double lastJoules = -1.0;
+        /** Energy accrued over the previous sample period. A sample is
+         *  skipped while the per-period delta repeats exactly: the
+         *  timeline is linear there, so the skipped records are
+         *  recoverable by interpolation and every derived power window
+         *  is unchanged. -1 (impossible for cumulative energy) makes
+         *  the second sample always emit too. */
+        double lastDelta = -1.0;
+        /** Samples were skipped since the last emitted record; when the
+         *  slope changes, the linear run is first closed with a
+         *  boundary record so the new slope is confined to one period. */
+        bool skipped = false;
     };
     std::vector<EnergyProbe> energyProbes;
 

@@ -24,6 +24,9 @@ struct Cursor
     [[noreturn]] void
     fail(const std::string &message) const
     {
+        // line 0 = not a file position (programmatic override contexts).
+        if (line == 0)
+            sim::fatal("%s: %s", file.c_str(), message.c_str());
         sim::fatal("%s:%u: %s", file.c_str(), line, message.c_str());
     }
 };
@@ -387,7 +390,11 @@ parseTraceKey(const Cursor &at, Scenario &sc, const std::string &key,
         sc.trace->out = value;
     else if (key == "channels")
         sc.trace->channels = value;
-    else
+    else if (key == "energy-period") {
+        sc.trace->energyPeriod = parseDouble(at, key, value);
+        if (!(sc.trace->energyPeriod > 0.0))
+            at.fail("'energy-period' must be positive (seconds)");
+    } else
         at.fail("unknown key '" + key + "' in [trace]");
 }
 
@@ -439,6 +446,74 @@ repairPolicyName(RepairPolicy p)
       case RepairPolicy::Triggered: return "triggered";
     }
     return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Cross-key validation.
+// ---------------------------------------------------------------------------
+
+/**
+ * Whole-scenario constraints no single key can check. @p lifecycleLines
+ * carries the source line of each fail/revive entry when coming from
+ * parseScenario (so diagnostics point at the offending entry); it is
+ * null when re-validating after programmatic overrides.
+ */
+void
+validateParsed(Cursor &at, const Scenario &sc,
+               const LifecycleLines *lifecycleLines)
+{
+    if (sc.lifecycle) {
+        auto checkEvents = [&](const std::string &key,
+                               const std::vector<LifecycleEvent> &events,
+                               const std::vector<unsigned> *lines) {
+            for (std::size_t i = 0; i < events.size(); ++i) {
+                at.line = lines ? (*lines)[i] : 0;
+                if (events[i].node >= sc.nodes.count) {
+                    at.fail("'" + key + "' node " +
+                            std::to_string(events[i].node) +
+                            " is out of range (count = " +
+                            std::to_string(sc.nodes.count) + ")");
+                }
+                if (events[i].atSeconds >= sc.seconds) {
+                    at.fail("'" + key + "' time " +
+                            formatDouble(events[i].atSeconds) +
+                            " is at or past the end of the run (seconds = " +
+                            formatDouble(sc.seconds) + ")");
+                }
+            }
+        };
+        checkEvents("fail", sc.lifecycle->fail,
+                    lifecycleLines ? &lifecycleLines->fail : nullptr);
+        checkEvents("revive", sc.lifecycle->revive,
+                    lifecycleLines ? &lifecycleLines->revive : nullptr);
+    }
+    at.line = 0;
+    for (const auto &[index, o] : sc.overrides) {
+        if (index >= sc.nodes.count) {
+            at.fail("[node " + std::to_string(index) +
+                    "] is out of range (count = " +
+                    std::to_string(sc.nodes.count) + ")");
+        }
+        (void)o;
+    }
+    if (sc.fault && sc.fault->campaign.empty())
+        at.fail("[fault] needs a 'campaign' file");
+    if (sc.fault && sc.fault->node >= sc.nodes.count)
+        at.fail("[fault] node is out of range");
+    if (sc.routes.sink && *sc.routes.sink >= sc.nodes.count)
+        at.fail("[routes] sink is out of range");
+    if (sc.threads > sc.nodes.count)
+        at.fail("more threads (" + std::to_string(sc.threads) +
+                ") than nodes (" + std::to_string(sc.nodes.count) + ")");
+    if (sc.nodes.placement == Placement::Explicit) {
+        for (unsigned i = 0; i < sc.nodes.count; ++i) {
+            auto it = sc.overrides.find(i);
+            if (it == sc.overrides.end() || !it->second.x || !it->second.y) {
+                at.fail("placement = explicit but [node " +
+                        std::to_string(i) + "] has no x/y");
+            }
+        }
+    }
 }
 
 } // namespace
@@ -558,59 +633,7 @@ parseScenario(const std::string &text, const std::string &filename)
         }
     }
 
-    // Cross-key validation that needs the whole file. Lifecycle entries
-    // carry their recorded source lines so range errors still point at
-    // the offending entry even though [nodes]/[scenario] may come later.
-    if (sc.lifecycle) {
-        auto checkEvents = [&](const std::string &key,
-                               const std::vector<LifecycleEvent> &events,
-                               const std::vector<unsigned> &lines) {
-            for (std::size_t i = 0; i < events.size(); ++i) {
-                at.line = lines[i];
-                if (events[i].node >= sc.nodes.count) {
-                    at.fail("'" + key + "' node " +
-                            std::to_string(events[i].node) +
-                            " is out of range (count = " +
-                            std::to_string(sc.nodes.count) + ")");
-                }
-                if (events[i].atSeconds >= sc.seconds) {
-                    at.fail("'" + key + "' time " +
-                            formatDouble(events[i].atSeconds) +
-                            " is at or past the end of the run (seconds = " +
-                            formatDouble(sc.seconds) + ")");
-                }
-            }
-        };
-        checkEvents("fail", sc.lifecycle->fail, lifecycleLines.fail);
-        checkEvents("revive", sc.lifecycle->revive, lifecycleLines.revive);
-    }
-    at.line = 0;
-    for (const auto &[index, o] : sc.overrides) {
-        if (index >= sc.nodes.count) {
-            at.fail("[node " + std::to_string(index) +
-                    "] is out of range (count = " +
-                    std::to_string(sc.nodes.count) + ")");
-        }
-        (void)o;
-    }
-    if (sc.fault && sc.fault->campaign.empty())
-        at.fail("[fault] needs a 'campaign' file");
-    if (sc.fault && sc.fault->node >= sc.nodes.count)
-        at.fail("[fault] node is out of range");
-    if (sc.routes.sink && *sc.routes.sink >= sc.nodes.count)
-        at.fail("[routes] sink is out of range");
-    if (sc.threads > sc.nodes.count)
-        at.fail("more threads (" + std::to_string(sc.threads) +
-                ") than nodes (" + std::to_string(sc.nodes.count) + ")");
-    if (sc.nodes.placement == Placement::Explicit) {
-        for (unsigned i = 0; i < sc.nodes.count; ++i) {
-            auto it = sc.overrides.find(i);
-            if (it == sc.overrides.end() || !it->second.x || !it->second.y) {
-                at.fail("placement = explicit but [node " +
-                        std::to_string(i) + "] has no x/y");
-            }
-        }
-    }
+    validateParsed(at, sc, &lifecycleLines);
 
     return sc;
 }
@@ -746,9 +769,70 @@ printScenario(const Scenario &sc)
         os << "\n[trace]\n";
         if (!sc.trace->out.empty())
             os << "out = " << sc.trace->out << "\n";
-        os << "channels = " << sc.trace->channels << "\n";
+        os << "channels = " << sc.trace->channels << "\n"
+           << "energy-period = " << formatDouble(sc.trace->energyPeriod)
+           << "\n";
     }
     return os.str();
+}
+
+void
+applyScenarioKey(Scenario &sc, const std::string &dottedKey,
+                 const std::string &value, const std::string &context)
+{
+    Cursor at{context};
+    auto dot = dottedKey.find('.');
+    if (dot == std::string::npos || dot == 0 ||
+        dot + 1 == dottedKey.size()) {
+        at.fail("override key '" + dottedKey +
+                "' must be section.key (e.g. nodes.period) or node.N.key");
+    }
+    std::string section = dottedKey.substr(0, dot);
+    std::string key = dottedKey.substr(dot + 1);
+    if (value.empty())
+        at.fail("'" + dottedKey + "' has an empty value");
+
+    if (section == "scenario")
+        parseScenarioKey(at, sc, key, value);
+    else if (section == "nodes")
+        parseNodesKey(at, sc, key, value);
+    else if (section == "radio")
+        parseRadioKey(at, sc, key, value);
+    else if (section == "routes")
+        parseRoutesKey(at, sc, key, value);
+    else if (section == "lifecycle") {
+        if (!sc.lifecycle)
+            sc.lifecycle.emplace();
+        LifecycleLines lines; // positions are meaningless for overrides
+        parseLifecycleKey(at, sc, lines, key, value);
+    } else if (section == "fault") {
+        if (!sc.fault)
+            sc.fault.emplace();
+        parseFaultKey(at, sc, key, value);
+    } else if (section == "trace") {
+        if (!sc.trace)
+            sc.trace.emplace();
+        parseTraceKey(at, sc, key, value);
+    } else if (section == "node") {
+        auto dot2 = key.find('.');
+        if (dot2 == std::string::npos || dot2 == 0 ||
+            dot2 + 1 == key.size()) {
+            at.fail("per-node override key '" + dottedKey +
+                    "' must be node.N.key (e.g. node.3.period)");
+        }
+        unsigned node = static_cast<unsigned>(
+            parseUnsigned(at, "node", key.substr(0, dot2), 65'534));
+        parseNodeKey(at, sc.overrides[node], key.substr(dot2 + 1), value);
+    } else
+        at.fail("unknown section '" + section + "' in override key '" +
+                dottedKey + "'");
+}
+
+void
+validateScenario(const Scenario &sc, const std::string &context)
+{
+    Cursor at{context};
+    validateParsed(at, sc, nullptr);
 }
 
 } // namespace ulp::scenario

@@ -212,6 +212,7 @@ struct Scenario
     {
         std::string out;                   ///< telemetry output directory
         std::string channels = "all";
+        double energyPeriod = 0.001;       ///< energy sampler period, seconds
 
         bool operator==(const Trace &) const = default;
     };
@@ -234,6 +235,30 @@ Scenario parseScenarioFile(const std::string &path);
  * defaults included. parseScenario(printScenario(s)) == s.
  */
 std::string printScenario(const Scenario &scenario);
+
+/**
+ * Apply one dotted-key override to a parsed scenario: "section.key"
+ * ("nodes.period", "scenario.seed", "lifecycle.repair", ...) or
+ * "node.N.key" for a per-node override block. The value goes through
+ * exactly the same parsing and per-key validation as a scenario file
+ * line; sweep axes and campaign run lists are built on this. List-valued
+ * lifecycle keys (fail / revive) append, as repeated file keys do.
+ * Diagnostics are raised as sim::fatal("<context>: message").
+ *
+ * Cross-key constraints (node indices in range, threads <= nodes, ...)
+ * are NOT re-checked here — call validateScenario() once after the last
+ * override of a batch.
+ */
+void applyScenarioKey(Scenario &scenario, const std::string &dottedKey,
+                      const std::string &value, const std::string &context);
+
+/**
+ * Re-run the whole-file cross-key validation parseScenario performs
+ * (fatal on violation, labeled with @p context). Needed after
+ * applyScenarioKey batches, which can break invariants no single key
+ * sees — e.g. shrinking [nodes] count below an existing [node N] block.
+ */
+void validateScenario(const Scenario &scenario, const std::string &context);
 
 } // namespace ulp::scenario
 

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -35,8 +36,14 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "baseline/mica2_platform.hh"
 #include "baseline/minios.hh"
+#include "campaign/report.hh"
+#include "campaign/runner.hh"
+#include "campaign/spec.hh"
+#include "campaign/store.hh"
 #include "core/apps.hh"
 #include "core/network.hh"
 #include "core/sensor_node.hh"
@@ -72,6 +79,7 @@ struct Options
     std::string trace;
     std::string traceOut;
     std::string traceChannels = "all";
+    double traceEnergyPeriod = 0.0; ///< 0 = scenario / built-in default
 };
 
 [[noreturn]] void
@@ -82,11 +90,28 @@ usage(int code)
         "\n"
         "  ulpsim run <scenario.ini> [overrides]   execute a scenario file\n"
         "  ulpsim print-scenario <scenario.ini>    dump the resolved form\n"
+        "  ulpsim campaign run <spec.ini>          fan a sweep/ensemble out "
+        "over worker processes\n"
+        "  ulpsim campaign resume <spec.ini>       continue an interrupted "
+        "campaign\n"
+        "  ulpsim campaign report <store.jsonl>    aggregate a results "
+        "store\n"
         "  ulpsim [flags]                          legacy flag interface\n"
         "\n"
         "run overrides:\n"
         "  --threads=K --seconds=S --seed=N --stats --power\n"
         "  --trace=FLAGS --trace-out=DIR --trace-channels=LIST\n"
+        "  --trace-energy-period=S   energy sampler period in seconds\n"
+        "\n"
+        "campaign run/resume options:\n"
+        "  --jobs=N        worker processes (default: hardware threads)\n"
+        "  --store=PATH    results store (default <name>.results.jsonl)\n"
+        "  --timeout=S     per-run wall-clock limit (default 300, 0 = off)\n"
+        "  --list          print the expanded run list and exit\n"
+        "campaign report options:\n"
+        "  --baseline-out=PATH  write a baseline snapshot\n"
+        "  --check=PATH         gate against a baseline (exit 1 on drift)\n"
+        "  --tolerance=T        relative band for --check (default 0.1)\n"
         "\n"
         "legacy flags:\n"
         "  --platform=node|mica2   which full-system model (default node)\n"
@@ -161,6 +186,8 @@ parse(int argc, char **argv, int first, std::vector<std::string> *positional)
             opt.traceOut = v;
         } else if (const char *v = value("--trace-channels")) {
             opt.traceChannels = v;
+        } else if (const char *v = value("--trace-energy-period")) {
+            opt.traceEnergyPeriod = std::strtod(v, nullptr);
         } else if (const char *v = value("--trace")) {
             opt.trace = v;
         } else if (positional && !arg.empty() && arg[0] != '-') {
@@ -214,6 +241,10 @@ validate(const Options &opt)
         complain("--trace-out requires --platform=node");
     if (opt.traceChannels != "all" && opt.traceOut.empty())
         complain("--trace-channels requires --trace-out");
+    if (opt.traceEnergyPeriod != 0.0 && opt.traceOut.empty())
+        complain("--trace-energy-period requires --trace-out");
+    if (opt.traceEnergyPeriod < 0.0)
+        complain("--trace-energy-period must be positive");
     std::uint32_t mask = 0;
     std::string bad;
     if (!obs::parseChannelList(opt.traceChannels, &mask, &bad)) {
@@ -246,8 +277,11 @@ scenarioFromFlags(const Options &opt)
     sc.nodes.signal = opt.signal;
     sc.nodes.noise = opt.noise;
     sc.routes.mode = scenario::RouteMode::None;
-    if (!opt.traceOut.empty())
+    if (!opt.traceOut.empty()) {
         sc.trace = {opt.traceOut, opt.traceChannels};
+        if (opt.traceEnergyPeriod > 0.0)
+            sc.trace->energyPeriod = opt.traceEnergyPeriod;
+    }
     return sc;
 }
 
@@ -277,6 +311,7 @@ runScenario(const scenario::Scenario &sc, bool stats, bool power)
     if (low.trace && !low.trace->out.empty()) {
         obs::EventLogConfig ecfg;
         ecfg.dir = low.trace->out;
+        ecfg.energySamplePeriod = sim::secondsToTicks(low.trace->energyPeriod);
         std::string bad;
         if (!obs::parseChannelList(low.trace->channels, &ecfg.channelMask,
                                    &bad)) {
@@ -440,18 +475,181 @@ runCommand(int argc, char **argv)
         else if (arg.rfind("--seed=", 0) == 0)
             sc.seed = opt.seed;
         else if (arg.rfind("--trace-out=", 0) == 0 ||
-                 arg.rfind("--trace-channels=", 0) == 0) {
+                 arg.rfind("--trace-channels=", 0) == 0 ||
+                 arg.rfind("--trace-energy-period=", 0) == 0) {
             if (!sc.trace)
                 sc.trace.emplace();
             if (arg.rfind("--trace-out=", 0) == 0)
                 sc.trace->out = opt.traceOut;
-            else
+            else if (arg.rfind("--trace-channels=", 0) == 0)
                 sc.trace->channels = opt.traceChannels;
+            else if (opt.traceEnergyPeriod > 0.0)
+                sc.trace->energyPeriod = opt.traceEnergyPeriod;
         }
     }
     if (!opt.trace.empty())
         sim::Trace::enableFromString(opt.trace);
     return runScenario(sc, opt.stats, opt.power);
+}
+
+/** The path workers are exec'd from: this very binary. */
+std::string
+selfExecutable(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/** `ulpsim campaign run|resume|report ...`. */
+int
+campaignCommand(int argc, char **argv)
+{
+    auto cmdUsage = [] {
+        std::fprintf(
+            stderr,
+            "usage: ulpsim campaign run|resume <spec.ini> "
+            "[--jobs=N --store=PATH --timeout=S --list]\n"
+            "       ulpsim campaign report <store.jsonl> "
+            "[--baseline-out=PATH --check=PATH --tolerance=T]\n");
+        return 2;
+    };
+    if (argc < 4)
+        return cmdUsage();
+    const std::string verb = argv[2];
+
+    std::vector<std::string> positional;
+    std::string storePath, baselineOut, checkPath;
+    unsigned jobsFlag = 0;
+    double timeout = 300.0, tolerance = 0.1;
+    bool list = false;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *key) -> const char * {
+            std::size_t n = std::strlen(key);
+            if (arg.compare(0, n, key) == 0 && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (const char *v = value("--jobs"))
+            jobsFlag = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        else if (const char *v = value("--store"))
+            storePath = v;
+        else if (const char *v = value("--timeout"))
+            timeout = std::strtod(v, nullptr);
+        else if (const char *v = value("--baseline-out"))
+            baselineOut = v;
+        else if (const char *v = value("--check"))
+            checkPath = v;
+        else if (const char *v = value("--tolerance"))
+            tolerance = std::strtod(v, nullptr);
+        else if (arg == "--list")
+            list = true;
+        else if (!arg.empty() && arg[0] != '-')
+            positional.push_back(arg);
+        else {
+            std::fprintf(stderr, "unknown campaign option '%s'\n",
+                         arg.c_str());
+            return cmdUsage();
+        }
+    }
+    if (positional.size() != 1)
+        return cmdUsage();
+
+    if (verb == "report") {
+        campaign::ResultsStore::Header header;
+        const std::vector<campaign::RunRecord> records =
+            campaign::ResultsStore::load(positional[0], &header);
+        const std::vector<campaign::GroupSummary> groups =
+            campaign::summarize(records);
+        campaign::printReport(header, records, groups);
+        if (!baselineOut.empty()) {
+            campaign::writeBaseline(baselineOut, header, groups);
+            std::printf("\nbaseline written: %s\n", baselineOut.c_str());
+        }
+        if (!checkPath.empty()) {
+            unsigned violations =
+                campaign::checkBaseline(checkPath, groups, tolerance);
+            if (violations) {
+                std::fprintf(stderr,
+                             "campaign check: %u violation(s) against "
+                             "%s\n",
+                             violations, checkPath.c_str());
+                return 1;
+            }
+            std::printf("\ncampaign check: OK (%zu groups within "
+                        "%.1f%% of %s)\n",
+                        groups.size(), tolerance * 100.0,
+                        checkPath.c_str());
+        }
+        return 0;
+    }
+
+    const bool resume = verb == "resume";
+    if (verb != "run" && !resume)
+        return cmdUsage();
+
+    campaign::CampaignSpec spec =
+        campaign::parseCampaignFile(positional[0]);
+    // The base scenario resolves relative to the spec file's directory.
+    std::filesystem::path scenarioPath = spec.scenario;
+    if (!scenarioPath.is_absolute()) {
+        std::filesystem::path dir =
+            std::filesystem::path(positional[0]).parent_path();
+        if (!dir.empty())
+            scenarioPath = dir / scenarioPath;
+    }
+    scenario::Scenario base =
+        scenario::parseScenarioFile(scenarioPath.string());
+    const std::string canonical = scenario::printScenario(base);
+    const std::vector<campaign::RunSpec> runs =
+        campaign::expandRuns(spec, base);
+    const std::uint64_t digest = campaign::campaignDigest(canonical, runs);
+
+    if (list) {
+        for (const campaign::RunSpec &run : runs) {
+            std::string label = run.label();
+            std::printf("%6llu  %s\n",
+                        static_cast<unsigned long long>(run.id),
+                        label.empty() ? "(base scenario)" : label.c_str());
+        }
+        return 0;
+    }
+
+    if (storePath.empty())
+        storePath = spec.name + ".results.jsonl";
+    campaign::ResultsStore store = campaign::ResultsStore::open(
+        storePath,
+        {spec.name, scenarioPath.string(),
+         static_cast<std::uint64_t>(runs.size()), digest},
+        resume);
+    if (store.tornTail()) {
+        std::fprintf(stderr,
+                     "ulpsim: campaign: truncated a torn final record "
+                     "left by an interrupted coordinator\n");
+    }
+
+    campaign::RunnerConfig rcfg;
+    rcfg.workerExe = selfExecutable(argv[0]);
+    rcfg.jobs = jobsFlag;
+    rcfg.timeoutSeconds = timeout;
+    const campaign::CampaignResult outcome =
+        campaign::runCampaign(canonical, runs, store, rcfg);
+
+    std::printf("campaign %s: %zu runs -> %llu ok, %llu failed, "
+                "%llu skipped (already stored), %llu retried\n"
+                "store: %s\n",
+                spec.name.c_str(), runs.size(),
+                static_cast<unsigned long long>(outcome.ok),
+                static_cast<unsigned long long>(outcome.failed),
+                static_cast<unsigned long long>(outcome.skipped),
+                static_cast<unsigned long long>(outcome.retried),
+                storePath.c_str());
+    return outcome.failed ? 1 : 0;
 }
 
 int
@@ -520,6 +718,10 @@ int
 main(int argc, char **argv)
 {
     try {
+        if (argc > 1 && std::strcmp(argv[1], "campaign-worker") == 0)
+            return campaign::workerMain(argc, argv);
+        if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
+            return campaignCommand(argc, argv);
         if (argc > 1 && std::strcmp(argv[1], "run") == 0)
             return runCommand(argc, argv);
         if (argc > 1 && std::strcmp(argv[1], "print-scenario") == 0) {
