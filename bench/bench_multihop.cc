@@ -17,13 +17,20 @@
  *   (none)         the full table on stdout
  *   --smoke        one short gated run at 64 nodes (CI under sanitizers)
  *   --json[=PATH]  machine-readable BENCH_multihop.json snapshot
+ *   --check[=PATH] perf-regression smoke: re-measure the small rows and
+ *                  compare events/host-second against the committed
+ *                  snapshot with a loose ref/4 band (Release CI only —
+ *                  a sanitizer or Debug build is legitimately slower)
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/network.hh"
@@ -64,12 +71,14 @@ struct Row
     unsigned nodes = 0;
     double spacing = 0.0;
     double seconds = 0.0;
+    double minProb = 1.0;
     unsigned maxDepth = 0;
     std::uint64_t framesSent = 0;
     std::uint64_t sinkPackets = 0;
     std::size_t origins = 0;
     double totalEnergyJ = 0.0;
     double energyPerBitJ = 0.0; ///< network energy per delivered payload bit
+    double eventsPerHostSec = 0.0; ///< K = 1 run, includes lowering amortized out
     bool oracleOk = false;      ///< K = 2/4 stats byte-identical to K = 1
 };
 
@@ -79,6 +88,7 @@ struct RunResult
     std::uint64_t sinkPackets = 0;
     std::size_t origins = 0;
     double totalEnergyJ = 0.0;
+    double hostSeconds = 0.0; ///< wall-clock time of the run itself
     std::string stats;
 };
 
@@ -87,9 +97,15 @@ run(const scenario::Scenario &sc)
 {
     scenario::Lowered low = scenario::lower(sc);
     core::Network network(low.spec);
+    const auto start = std::chrono::steady_clock::now();
     network.runForSeconds(low.seconds);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
 
     RunResult r;
+    r.hostSeconds = elapsed;
     r.counters = network.counters();
     const core::MessageProcessor &mp = network.node(*low.sink).msgProc();
     r.sinkPackets = mp.localDeliveries();
@@ -114,6 +130,7 @@ sweepPoint(unsigned nodes, double spacing, double seconds,
     row.nodes = nodes;
     row.spacing = spacing;
     row.seconds = seconds;
+    row.minProb = min_prob;
     row.maxDepth = scenario::lower(sc).maxDepth();
     row.framesSent = k1.counters.framesSent;
     row.sinkPackets = k1.sinkPackets;
@@ -123,6 +140,11 @@ sweepPoint(unsigned nodes, double spacing, double seconds,
         k1.sinkPackets
             ? k1.totalEnergyJ / (static_cast<double>(k1.sinkPackets) *
                                  payloadBits)
+            : 0.0;
+    row.eventsPerHostSec =
+        k1.hostSeconds > 0.0
+            ? static_cast<double>(k1.counters.eventsProcessed) /
+                  k1.hostSeconds
             : 0.0;
 
     // The determinism gate: the same workload on 2 and 4 shards must
@@ -176,19 +198,112 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
         std::fprintf(
             f,
             "    {\"nodes\": %u, \"spacing_m\": %g, \"seconds\": %g, "
+            "\"min_prob\": %g, "
             "\"max_depth\": %u, \"frames_sent\": %llu, "
             "\"sink_packets\": %llu, \"origins\": %zu, "
             "\"total_energy_j\": %.9g, \"energy_per_bit_j\": %.9g, "
+            "\"events_per_host_second\": %.9g, "
             "\"threads_oracle_ok\": %s}%s\n",
-            r.nodes, r.spacing, r.seconds, r.maxDepth,
+            r.nodes, r.spacing, r.seconds, r.minProb, r.maxDepth,
             static_cast<unsigned long long>(r.framesSent),
             static_cast<unsigned long long>(r.sinkPackets), r.origins,
-            r.totalEnergyJ, r.energyPerBitJ, r.oracleOk ? "true" : "false",
+            r.totalEnergyJ, r.energyPerBitJ, r.eventsPerHostSec,
+            r.oracleOk ? "true" : "false",
             i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+/**
+ * Perf-regression smoke (CI), mirroring bench_sim_throughput --check:
+ * re-measure the small rows of the committed snapshot and fail only
+ * below ref/4 — the CI host differs from the host that wrote the
+ * snapshot, so the gate catches order-of-magnitude scenario-path
+ * regressions, not drift. Rows above the node cap are skipped (and
+ * said so): re-lowering a 10k-node grid is a bench, not a smoke.
+ */
+int
+runCheck(const std::string &path)
+{
+    constexpr unsigned maxCheckNodes = 256;
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "check: cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("check: host has %u core(s), %s build; reference %s\n",
+                cores, ULP_BUILD_TYPE, path.c_str());
+
+    int failures = 0;
+    unsigned rows = 0;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t n = text.find("\"nodes\": ", pos);
+        if (n == std::string::npos)
+            break;
+        const unsigned nodes = static_cast<unsigned>(
+            std::strtoul(text.c_str() + n + 9, nullptr, 10));
+        const std::size_t sp = text.find("\"spacing_m\": ", n);
+        const std::size_t se = text.find("\"seconds\": ", n);
+        const std::size_t mp = text.find("\"min_prob\": ", n);
+        const std::size_t ev = text.find("\"events_per_host_second\": ", n);
+        if (sp == std::string::npos || se == std::string::npos ||
+            mp == std::string::npos || ev == std::string::npos)
+            break;
+        const double spacing = std::strtod(text.c_str() + sp + 13, nullptr);
+        const double seconds = std::strtod(text.c_str() + se + 11, nullptr);
+        const double minProb = std::strtod(text.c_str() + mp + 12, nullptr);
+        const double ref = std::strtod(text.c_str() + ev + 26, nullptr);
+        pos = ev + 26;
+
+        if (nodes > maxCheckNodes) {
+            std::printf("check: %4u nodes: skipped (> %u-node smoke cap)\n",
+                        nodes, maxCheckNodes);
+            continue;
+        }
+        ++rows;
+
+        // Same workload as the committed row, best of two runs: the
+        // first run eats the cold caches.
+        scenario::Scenario sc = gridScenario(nodes, 1, spacing, seconds);
+        sc.routes.minProb = minProb;
+        double measured = 0.0;
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            RunResult r = run(sc);
+            if (r.hostSeconds > 0.0)
+                measured = std::max(
+                    measured,
+                    static_cast<double>(r.counters.eventsProcessed) /
+                        r.hostSeconds);
+        }
+        const bool ok = ref <= 0.0 || measured >= ref / 4.0;
+        std::printf("check: %4u nodes %5gm: %8.2f Mev/s vs committed "
+                    "%8.2f Mev/s -> %s\n",
+                    nodes, spacing, measured / 1e6, ref / 1e6,
+                    ok ? "ok" : "REGRESSION");
+        if (!ok)
+            ++failures;
+    }
+    if (rows == 0) {
+        std::fprintf(stderr, "check: no rows parsed from %s\n",
+                     path.c_str());
+        return 1;
+    }
+    if (failures) {
+        std::fprintf(stderr, "check: %d of %u rows below the ref/4 band\n",
+                     failures, rows);
+        return 1;
+    }
+    std::printf("check OK: all %u rows within band\n", rows);
     return 0;
 }
 
@@ -199,7 +314,9 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool json = false;
+    bool check = false;
     std::string jsonPath = "BENCH_multihop.json";
+    std::string checkPath = "BENCH_multihop.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -208,14 +325,28 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             json = true;
             jsonPath = argv[i] + 7;
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
+        } else if (std::strncmp(argv[i], "--check=", 8) == 0) {
+            check = true;
+            checkPath = argv[i] + 8;
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_multihop [--smoke] [--json[=PATH]]\n");
+            std::fprintf(stderr, "usage: bench_multihop [--smoke] "
+                                 "[--json[=PATH]] [--check[=PATH]]\n");
             return 2;
         }
     }
 
     sim::setQuiet(true); // keep the table clean of msgProc-busy warnings
+
+    if (check) {
+        try {
+            return runCheck(checkPath);
+        } catch (const sim::SimError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
 
     try {
         std::vector<Row> rows;

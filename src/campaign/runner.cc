@@ -24,6 +24,7 @@
 #include "scenario/resilience.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
+#include "sleep/controller.hh"
 
 namespace ulp::campaign {
 
@@ -85,6 +86,7 @@ executeRun(const scenario::Scenario &scenario)
     const unsigned N = static_cast<unsigned>(low.spec.nodes.size());
 
     core::Network network(low.spec);
+    sleep::SleepController sleepCtl(network);
 
     if (low.broadcastLoss > 0.0) {
         if (!network.broadcastChannel()) {

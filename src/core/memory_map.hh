@@ -97,6 +97,15 @@ constexpr Addr radioStatus = 0x01;  ///< RadioStatus bits
 constexpr Addr radioTxLen = 0x02;   ///< frame length to transmit
 constexpr Addr radioRxLen = 0x03;   ///< received frame length (read)
 constexpr Addr radioMacCtrl = 0x04; ///< bits 0-2 max retries, bit 3 auto-ACK
+// Beacon-enabled (duty-cycled) MAC configuration. Platform firmware does
+// not normally touch these; the network builder programs them from the
+// scenario's [mac] section, like the message processor's identity.
+constexpr Addr radioMacMode = 0x05; ///< 0 CSMA, 1 beacon device, 2 coord
+constexpr Addr radioBeaconOrder = 0x06; ///< BO: beacon interval 2^BO
+constexpr Addr radioSfOrder = 0x07; ///< SO: active superframe 2^SO
+constexpr Addr radioAddrHi = 0x08;  ///< MAC short address, high byte
+constexpr Addr radioAddrLo = 0x09;  ///< MAC short address, low byte
+constexpr Addr radioGuard = 0x0A;   ///< pre-beacon wake guard, symbols
 constexpr Addr radioTxFifo = 0x20;  ///< TX FIFO window (32 B)
 constexpr Addr radioRxFifo = 0x40;  ///< RX FIFO window (32 B)
 

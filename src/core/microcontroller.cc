@@ -71,6 +71,7 @@ Microcontroller::forceReset()
     if (!_powered)
         return;
     ++statForcedResets;
+    lastResetReason = mcu::ResetReason::Watchdog;
     if (probes)
         probes->record(Probe::McuForcedReset);
     core.stopClock();

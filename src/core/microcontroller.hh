@@ -19,6 +19,7 @@
 #include "core/power_controller.hh"
 #include "core/probes.hh"
 #include "mcu/mcu.hh"
+#include "mcu/reset_reason.hh"
 #include "power/energy_tracker.hh"
 
 namespace ulp::core {
@@ -64,6 +65,18 @@ class Microcontroller : public sim::SimObject,
 
     bool awake() const { return _powered && !core.sleeping(); }
 
+    /**
+     * Why the core was last (re)booted. forceReset() latches Watchdog
+     * itself; the supply/sleep owners (SensorNode, Network, the sleep
+     * controller) latch BrownOut / DeepSleepTimer before re-booting.
+     */
+    mcu::ResetReason resetReason() const { return lastResetReason; }
+
+    void latchResetReason(mcu::ResetReason reason)
+    {
+        lastResetReason = reason;
+    }
+
     mcu::Mcu &mcuCore() { return core; }
     const mcu::Mcu &mcuCore() const { return core; }
 
@@ -92,6 +105,7 @@ class Microcontroller : public sim::SimObject,
     ProbeRecorder *probes;
     std::uint16_t stackTop;
     bool _powered = false;
+    mcu::ResetReason lastResetReason = mcu::ResetReason::PowerOn;
 
     mcu::Mcu core;
     power::EnergyTracker tracker;

@@ -145,6 +145,7 @@ Network::build(const scenario::NetworkSpec &spec)
             for (const MessageProcessor::Route &r : ns.routes)
                 node->msgProc().preloadRoute(r.origin, r.nextHop);
             node->setReviveHook([this, i] { reviveNodeNow(i); });
+            applyNodePlatformConfig(i);
         }
     }
 
@@ -273,9 +274,55 @@ Network::reviveNodeNow(unsigned node)
     n->supplyUp();
     if (shards[s].spatialChannel)
         shards[s].spatialChannel->bind(&n->radio(), node);
+    applyNodePlatformConfig(node);
     // Reinstall the factory image (SRAM did not survive) and boot. The
     // route CAM is intentionally left empty: repair re-teaches it.
     apps::install(*n, builtSpec.nodes[node].buildApp());
+}
+
+void
+Network::wakeNodeFromDeepSleep(unsigned node)
+{
+    SensorNode *n = nodeByIndex[node];
+    if (!n->inDeepSleep())
+        return;
+    const unsigned s = shardOfNode[node];
+    if (&n->simulation() != shards[s].simulation.get())
+        sim::panic("Network: node %u woken on a foreign shard", node);
+    n->deepSleepWake();
+    if (shards[s].spatialChannel)
+        shards[s].spatialChannel->bind(&n->radio(), node);
+    applyNodePlatformConfig(node);
+    apps::install(*n, builtSpec.nodes[node].buildApp());
+    // A scheduled wake knows its topology: restore the spec's preload
+    // (deep sleep wiped the CAM along with the rest of the SRAM domain).
+    for (const MessageProcessor::Route &r : builtSpec.nodes[node].routes)
+        n->msgProc().preloadRoute(r.origin, r.nextHop);
+}
+
+void
+Network::applyNodePlatformConfig(unsigned node)
+{
+    if (builtSpec.mac.mode != sleep::MacMode::Beacon)
+        return;
+    const scenario::NodeSpec &ns = builtSpec.nodes[node];
+    RadioDevice &radio = nodeByIndex[node]->radio();
+    const std::uint16_t addr = ns.config.address;
+    radio.busWrite(map::radioBeaconOrder,
+                   static_cast<std::uint8_t>(builtSpec.mac.beaconOrder));
+    radio.busWrite(map::radioSfOrder,
+                   static_cast<std::uint8_t>(builtSpec.mac.sfOrder));
+    radio.busWrite(map::radioAddrHi, static_cast<std::uint8_t>(addr >> 8));
+    radio.busWrite(map::radioAddrLo, static_cast<std::uint8_t>(addr));
+    radio.busWrite(map::radioGuard,
+                   static_cast<std::uint8_t>(
+                       std::min(builtSpec.mac.guardSymbols, 255u)));
+    radio.setBeaconDriftPpm(builtSpec.mac.driftPpm);
+    // Mode last: a coordinator starts its beacon grid on the mode write,
+    // so every other register must already hold its value.
+    radio.busWrite(map::radioMacMode,
+                   ns.macCoordinator ? RadioDevice::macModeBeaconCoord
+                                     : RadioDevice::macModeBeaconDevice);
 }
 
 void

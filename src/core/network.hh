@@ -158,6 +158,16 @@ class Network
     void scheduleNodePowerOff(unsigned node, sim::Tick when);
     void scheduleNodeRevive(unsigned node, sim::Tick when);
 
+    /**
+     * Wake @p node from deep sleep (SensorNode::deepSleepEnter), now.
+     * Shard-local like reviveNodeNow. Unlike a revive, this is a
+     * *scheduled* wake with known topology: the radio is re-bound, the
+     * MAC registers are reprogrammed, the application image is
+     * reinstalled, and the spec's routing-CAM preload is restored (a
+     * revived crash victim instead waits for repair to re-teach routes).
+     */
+    void wakeNodeFromDeepSleep(unsigned node);
+
     /** The spec the network was built from (route repair re-derives
      *  addresses and applications from it). */
     const scenario::NetworkSpec &spec() const { return builtSpec; }
@@ -183,6 +193,11 @@ class Network
     };
 
     void build(const scenario::NetworkSpec &spec);
+
+    /** Program the node's platform registers the scenario owns (beacon
+     *  MAC mode, orders, address, guard, drift). Idempotent; re-run on
+     *  revive and deep-sleep wake since gating wipes transaction state. */
+    void applyNodePlatformConfig(unsigned node);
 
     std::unique_ptr<net::SpatialModel> model;
     std::unique_ptr<net::FrameRelay> relay;

@@ -40,6 +40,16 @@ enum class Probe : unsigned {
     McuForcedReset,       ///< the microcontroller was forcibly reset
     NodeDown,             ///< full supply loss: the node powered off
     NodeUp,               ///< the node's supply recovered and it rebooted
+    LightSleepEnter,      ///< sleep policy froze the node (radio in RX)
+    LightSleepExit,       ///< the node resumed from light sleep
+    DeepSleepEnter,       ///< sleep policy gated the node (state loss)
+    DeepSleepExit,        ///< timer wakeup cold-booted the node
+    BeaconTx,             ///< the coordinator MAC transmitted a beacon
+    BeaconRx,             ///< a device MAC received (re)sync from a beacon
+    BeaconMiss,           ///< an expected beacon never arrived
+    MacSleep,             ///< the radio MAC slept between superframes
+    MacWake,              ///< the radio MAC woke ahead of a beacon
+    MacDataRequest,       ///< a device pulled pending indirect data
     NumProbes,
 };
 
@@ -67,6 +77,16 @@ probeName(Probe probe)
       case Probe::McuForcedReset: return "McuForcedReset";
       case Probe::NodeDown: return "NodeDown";
       case Probe::NodeUp: return "NodeUp";
+      case Probe::LightSleepEnter: return "LightSleepEnter";
+      case Probe::LightSleepExit: return "LightSleepExit";
+      case Probe::DeepSleepEnter: return "DeepSleepEnter";
+      case Probe::DeepSleepExit: return "DeepSleepExit";
+      case Probe::BeaconTx: return "BeaconTx";
+      case Probe::BeaconRx: return "BeaconRx";
+      case Probe::BeaconMiss: return "BeaconMiss";
+      case Probe::MacSleep: return "MacSleep";
+      case Probe::MacWake: return "MacWake";
+      case Probe::MacDataRequest: return "MacDataRequest";
       default: return "unknown";
     }
 }
@@ -77,7 +97,9 @@ isMacProbe(Probe probe)
 {
     return probe == Probe::RadioTxCmd || probe == Probe::RadioTxDone ||
            probe == Probe::RadioRxDone || probe == Probe::RadioRetry ||
-           probe == Probe::RadioAckSent;
+           probe == Probe::RadioAckSent || probe == Probe::BeaconTx ||
+           probe == Probe::BeaconRx || probe == Probe::BeaconMiss ||
+           probe == Probe::MacDataRequest;
 }
 
 class ProbeRecorder : public sim::SimObject
@@ -116,6 +138,23 @@ class ProbeRecorder : public sim::SimObject
                             static_cast<std::uint8_t>(idx), 0,
                             counts[idx]);
             }
+        }
+    }
+
+    /**
+     * Emit a sleep-state transition on the SleepState telemetry channel
+     * (a = new state, b = old, payload = running transition count).
+     * Probe counts are recorded separately by the callers (the
+     * light/deep-sleep and MacSleep/MacWake probes above).
+     */
+    void
+    recordSleepState(sim::SleepCode now, sim::SleepCode was)
+    {
+        ++sleepTransitions;
+        if (obs && obs->wants(sim::TelemetryChannel::SleepState)) {
+            obs->record(curTick(), obsId, sim::TelemetryChannel::SleepState,
+                        static_cast<std::uint8_t>(now),
+                        static_cast<std::uint16_t>(was), sleepTransitions);
         }
     }
 
@@ -165,6 +204,7 @@ class ProbeRecorder : public sim::SimObject
     bool keepHistory = false;
     std::size_t historyLimit = 64 * 1024;
     std::uint64_t overflows = 0;
+    std::uint64_t sleepTransitions = 0;
 
     sim::TelemetrySink *obs = nullptr;
     std::uint32_t obsId = 0;

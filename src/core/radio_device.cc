@@ -26,6 +26,21 @@ RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
       macAckTxEvent(this, &RadioDevice::macSendAck, name + ".macAckTx"),
       macAckAirEndEvent(this, &RadioDevice::macAckAirEnd,
                         name + ".macAckAirEnd"),
+      beaconEvent(this, &RadioDevice::beaconTx, name + ".beacon"),
+      beaconAirEndEvent(this, &RadioDevice::beaconAirEnd,
+                        name + ".beaconAirEnd"),
+      capEndEvent(this, &RadioDevice::capEnd, name + ".capEnd"),
+      guardWakeEvent(this, &RadioDevice::macGuardWake,
+                     name + ".guardWake"),
+      beaconMissEvent(this, &RadioDevice::beaconMissed,
+                      name + ".beaconMiss"),
+      indirectTxEvent(this, &RadioDevice::indirectTxSend,
+                      name + ".indirectTx"),
+      indirectAirEndEvent(this, &RadioDevice::indirectAirEnd,
+                          name + ".indirectAirEnd"),
+      dataReqEvent(this, &RadioDevice::dataReqSend, name + ".dataReq"),
+      dataReqAirEndEvent(this, &RadioDevice::dataReqAirEnd,
+                         name + ".dataReqAirEnd"),
       statTx(this, "framesSent", "frames transmitted"),
       statRx(this, "framesReceived", "intact frames received"),
       statCrcErrors(this, "crcErrors",
@@ -48,7 +63,27 @@ RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
                      "MAC transactions abandoned after the retry budget"),
       statAcksSent(this, "acksSent", "auto-acknowledgements transmitted"),
       statAcksReceived(this, "acksReceived",
-                       "ACKs that completed a MAC transaction")
+                       "ACKs that completed a MAC transaction"),
+      statBeaconsSent(this, "beaconsSent",
+                      "superframe beacons transmitted (coordinator)"),
+      statBeaconsReceived(this, "beaconsReceived",
+                          "beacons heard and synced to (device)"),
+      statBeaconsMissed(this, "beaconsMissed",
+                        "expected beacons that never arrived"),
+      statMacSleeps(this, "macSleeps",
+                    "radio MAC sleeps between superframes"),
+      statDeferredTx(this, "deferredTx",
+                     "transmissions parked until the next CAP"),
+      statDataRequests(this, "dataRequests",
+                       "MAC data-request commands transmitted"),
+      statIndirectQueued(this, "indirectQueued",
+                         "frames queued for indirect delivery"),
+      statIndirectDelivered(this, "indirectDelivered",
+                            "indirect frames delivered on data request"),
+      statIndirectExpired(this, "indirectExpired",
+                          "indirect frames expired unclaimed"),
+      statIndirectDropped(this, "indirectDropped",
+                          "indirect frames dropped, transaction queue full")
 {
     if (channel) {
         channel->attach(this);
@@ -97,6 +132,18 @@ RadioDevice::busRead(map::Addr offset)
         return rxLen;
       case radioMacCtrl:
         return macCtrlReg;
+      case radioMacMode:
+        return macModeReg;
+      case radioBeaconOrder:
+        return beaconOrderReg;
+      case radioSfOrder:
+        return sfOrderReg;
+      case radioAddrHi:
+        return static_cast<std::uint8_t>(macAddr >> 8);
+      case radioAddrLo:
+        return static_cast<std::uint8_t>(macAddr & 0xFF);
+      case radioGuard:
+        return guardSymbolsReg;
       default:
         if (offset >= radioTxFifo && offset < radioTxFifo + fifoBytes)
             return txFifo[offset - radioTxFifo];
@@ -131,6 +178,31 @@ RadioDevice::busWrite(map::Addr offset, std::uint8_t value)
       case radioMacCtrl:
         macCtrlReg = value & (macRetriesMask | macAutoAckBit);
         return;
+      case radioMacMode: {
+        bool was_coord = beaconCoordinator();
+        macModeReg = value <= macModeBeaconCoord ? value : macModeCsma;
+        if (powered() && beaconCoordinator() && !was_coord)
+            scheduleBeacons();
+        if (!beaconCoordinator() && beaconEvent.scheduled())
+            eventq().deschedule(&beaconEvent);
+        return;
+      }
+      case radioBeaconOrder:
+        beaconOrderReg = std::min<std::uint8_t>(value, maxBeaconOrder);
+        return;
+      case radioSfOrder:
+        sfOrderReg = std::min<std::uint8_t>(value, maxBeaconOrder);
+        return;
+      case radioAddrHi:
+        macAddr = static_cast<std::uint16_t>(
+            (macAddr & 0x00FF) | (value << 8));
+        return;
+      case radioAddrLo:
+        macAddr = static_cast<std::uint16_t>((macAddr & 0xFF00) | value);
+        return;
+      case radioGuard:
+        guardSymbolsReg = value;
+        return;
       default:
         if (offset >= radioTxFifo && offset < radioTxFifo + fifoBytes)
             txFifo[offset - radioTxFifo] = value;
@@ -159,6 +231,22 @@ RadioDevice::startTx()
             static_cast<double>(txLen) * 8.0 / net::Channel::defaultBitRate);
         beActiveFor(clock.ticksToCycles(air) + 1);
         scheduleRel(&txDoneEvent, air);
+        return;
+    }
+
+    if (beaconMode()) {
+        // A coordinator's unicast data is for a device that is most
+        // likely asleep: it goes to the pending-indirect queue and is
+        // advertised in the beacon until the device pulls it. Everything
+        // else (device data upward, broadcasts, commands) contends in
+        // the CAP.
+        if (beaconCoordinator() &&
+            frame->type == net::Frame::Type::Data &&
+            frame->dest != net::Frame::broadcastAddr) {
+            queueIndirect(*frame);
+            return;
+        }
+        macStartTx(*frame);
         return;
     }
 
@@ -215,6 +303,10 @@ RadioDevice::macStartTx(const net::Frame &frame)
 void
 RadioDevice::macCsmaBegin()
 {
+    if (beaconMode()) {
+        macCapBegin();
+        return;
+    }
     macCcaBusyCount = 0;
     auto slots = random.uniformInt(0, (1u << macBe) - 1);
     statBackoffSlots += static_cast<double>(slots);
@@ -225,6 +317,27 @@ RadioDevice::macCsmaBegin()
 void
 RadioDevice::macCcaDecide()
 {
+    if (beaconMode()) {
+        // No carrier sense in beacon mode: CCA would read the
+        // K-approximate medium-busy horizon and break the thread-count
+        // oracle; the superframe already serialises contention. Our own
+        // transmitter (beacon or ACK in the air) still has priority.
+        if (txBusy) {
+            scheduleRel(&macCcaEvent, backoffSlotTicks);
+            return;
+        }
+        // A device that never synced (or lost sync) has no superframe
+        // to respect: it transmits unsynchronized rather than deferring
+        // forever, as 802.15.4 devices that fail to track beacons do.
+        const bool synced = beaconCoordinator() || _beaconSynced;
+        if (synced && !inCap()) {
+            macWaitingCap = true;
+            ++statDeferredTx;
+            return;
+        }
+        macAirStart();
+        return;
+    }
     if (mediumBusy()) {
         ++statCcaBusy;
         if (++macCcaBusyCount >= macMaxCsmaBackoffs) {
@@ -263,6 +376,15 @@ void
 RadioDevice::macAirEnd()
 {
     txBusy = false;
+    if (beaconMode() &&
+        (pendingTx.type != net::Frame::Type::Data ||
+         pendingTx.dest == net::Frame::broadcastAddr ||
+         macMaxRetries() == 0)) {
+        // Beacon mode routes every TX through the MAC for CAP timing,
+        // but only unicast data with a retry budget is acknowledged.
+        macFinish(true);
+        return;
+    }
     if (!channel) {
         // No medium to answer: behave like an acknowledged success so
         // single-node setups keep working with the MAC enabled.
@@ -314,6 +436,7 @@ RadioDevice::macFinish(bool success)
 {
     macActive = false;
     awaitingAck = false;
+    macWaitingCap = false;
     if (success) {
         ++statTx;
         recordProbe(Probe::RadioTxDone);
@@ -358,6 +481,373 @@ RadioDevice::macAckAirEnd()
     txBusy = false;
 }
 
+// --- beacon-enabled (duty-cycled) MAC --------------------------------------
+
+unsigned
+RadioDevice::beaconOrderEff() const
+{
+    // Devices follow the coordinator's advertised orders once synced;
+    // before the first beacon (and on the coordinator) the registers rule.
+    unsigned bo = (!beaconCoordinator() && _beaconSynced) ? syncedBo
+                                                          : beaconOrderReg;
+    return std::min<unsigned>(bo, maxBeaconOrder);
+}
+
+unsigned
+RadioDevice::sfOrderEff() const
+{
+    unsigned so = (!beaconCoordinator() && _beaconSynced) ? syncedSo
+                                                          : sfOrderReg;
+    return std::min(so, beaconOrderEff());
+}
+
+sim::Tick
+RadioDevice::guardTicks() const
+{
+    unsigned symbols = guardSymbolsReg ? guardSymbolsReg
+                                       : defaultGuardSymbols;
+    sim::Tick guard = static_cast<sim::Tick>(symbols) * symbolTicks;
+    // Crystal-tolerance budget: the longer the sleep, the earlier the
+    // device must wake to be sure of catching the beacon.
+    guard += static_cast<sim::Tick>(
+        driftPpm * 1e-6 * static_cast<double>(beaconIntervalTicks()));
+    return guard;
+}
+
+sim::Tick
+RadioDevice::airTicks(const net::Frame &frame) const
+{
+    return sim::secondsToTicks(static_cast<double>(frame.sizeBytes()) *
+                               8.0 / net::Channel::defaultBitRate);
+}
+
+void
+RadioDevice::scheduleBeacons()
+{
+    // First beacon one base superframe out: devices configured in the
+    // same scenario are awake and hunting by then.
+    nextBeaconAt = curTick() + baseSuperframeTicks;
+    eventq().reschedule(&beaconEvent, nextBeaconAt);
+}
+
+void
+RadioDevice::beaconTx()
+{
+    if (!powered())
+        return;
+    macWakeNow();
+
+    // Age the transaction queue: a frame is advertised for a bounded
+    // number of beacons, then expires with a TX failure to the app.
+    for (auto it = pendingIndirect.begin(); it != pendingIndirect.end();) {
+        if (it->beaconsLeft == 0) {
+            ++statIndirectExpired;
+            postIrq(Irq::RadioTxFail);
+            it = pendingIndirect.erase(it);
+        } else {
+            --it->beaconsLeft;
+            ++it;
+        }
+    }
+
+    if (txBusy || macActive) {
+        // Radio busy at the beacon point (a CAP transaction spilled
+        // over): skip this beacon but hold the grid.
+        ULP_TRACE("Radio", this, "beacon skipped: transmitter busy");
+    } else {
+        net::Frame beacon;
+        beacon.type = net::Frame::Type::Beacon;
+        beacon.seq = beaconSeq++;
+        beacon.src = macAddr;
+        beacon.dest = net::Frame::broadcastAddr;
+        beacon.payload.push_back(beaconOrderReg);
+        beacon.payload.push_back(sfOrderReg);
+        beacon.payload.push_back(
+            static_cast<std::uint8_t>(pendingIndirect.size()));
+        for (const PendingIndirect &p : pendingIndirect) {
+            beacon.payload.push_back(
+                static_cast<std::uint8_t>(p.frame.dest >> 8));
+            beacon.payload.push_back(
+                static_cast<std::uint8_t>(p.frame.dest & 0xFF));
+        }
+        txBusy = true;
+        sim::Tick end = channel ? channel->transmit(this, beacon)
+                                : curTick() + airTicks(beacon);
+        beActiveFor(clock.ticksToCycles(end - curTick()) + 1);
+        eventq().schedule(&beaconAirEndEvent, end);
+        ++statBeaconsSent;
+        recordProbe(Probe::BeaconTx);
+        ULP_TRACE("Radio", this, "beacon %u: BO %u SO %u, %zu pending",
+                  beacon.seq, beaconOrderReg, sfOrderReg,
+                  pendingIndirect.size());
+    }
+
+    lastBeaconAt = curTick();
+    capEndTick = curTick() + superframeTicks();
+    eventq().reschedule(&capEndEvent, capEndTick);
+    nextBeaconAt += beaconIntervalTicks();
+    eventq().reschedule(&beaconEvent, nextBeaconAt);
+}
+
+void
+RadioDevice::beaconAirEnd()
+{
+    txBusy = false;
+    // Resume a transmission that was parked while our beacon was on air.
+    if (macActive && macWaitingCap) {
+        macWaitingCap = false;
+        macCapBegin();
+    }
+}
+
+void
+RadioDevice::beaconReceived(const net::Frame &frame)
+{
+    if (beaconCoordinator())
+        return; // another PAN's coordinator; not our problem
+    lastBeaconAt = curTick();
+    _beaconSynced = true;
+    lostBeacons = 0;
+    if (frame.payload.size() >= 2) {
+        syncedBo = std::min<std::uint8_t>(frame.payload[0], maxBeaconOrder);
+        syncedSo = std::min(frame.payload[1], syncedBo);
+    } else {
+        syncedBo = beaconOrderReg;
+        syncedSo = sfOrderReg;
+    }
+    for (sim::Event *ev : {&guardWakeEvent, &beaconMissEvent}) {
+        if (ev->scheduled())
+            eventq().deschedule(ev);
+    }
+    macWakeNow();
+    ++statBeaconsReceived;
+    recordProbe(Probe::BeaconRx);
+    capEndTick = curTick() + superframeTicks();
+    eventq().reschedule(&capEndEvent, capEndTick);
+    expectedBeaconAt = curTick() + beaconIntervalTicks();
+
+    // A CAP opened: release a deferred transmission.
+    if (macActive && macWaitingCap) {
+        macWaitingCap = false;
+        macCapBegin();
+    }
+
+    // Pull indirect data advertised for us: data request after the
+    // turnaround plus a slotted backoff (several children may have heard
+    // their address in the same beacon).
+    std::size_t n = frame.payload.size() >= 3 ? frame.payload[2] : 0;
+    for (std::size_t i = 0;
+         i < n && 3 + 2 * i + 1 < frame.payload.size(); ++i) {
+        std::uint16_t addr = static_cast<std::uint16_t>(
+            (frame.payload[3 + 2 * i] << 8) | frame.payload[4 + 2 * i]);
+        if (addr != macAddr)
+            continue;
+        if (dataReqQueued || macActive || txBusy)
+            break; // busy this CAP; the frame stays advertised
+        dataReq = net::Frame{};
+        dataReq.type = net::Frame::Type::Command;
+        dataReq.seq = beaconSeq++;
+        dataReq.destPan = frame.destPan;
+        dataReq.dest = frame.src;
+        dataReq.src = macAddr;
+        dataReq.payload.push_back(cmdFrameDataRequest);
+        dataReqQueued = true;
+        auto slots = random.uniformInt(0, (1u << capBackoffExp) - 1);
+        statBackoffSlots += static_cast<double>(slots);
+        eventq().reschedule(&dataReqEvent,
+                            curTick() + turnaroundTicks +
+                                static_cast<sim::Tick>(slots) *
+                                    backoffSlotTicks);
+        break;
+    }
+}
+
+void
+RadioDevice::capEnd()
+{
+    if (beaconCoordinator()) {
+        macTrySleep();
+        return;
+    }
+    if (!_beaconSynced)
+        return;
+    sim::Tick guard = guardTicks();
+    sim::Tick wake_at =
+        expectedBeaconAt > guard ? expectedBeaconAt - guard : curTick();
+    if (wake_at <= curTick()) {
+        // The guard swallows the whole inactive span: stay awake and
+        // just arm the miss check.
+        eventq().reschedule(&beaconMissEvent, expectedBeaconAt + guard);
+        return;
+    }
+    eventq().reschedule(&guardWakeEvent, wake_at);
+    macTrySleep();
+}
+
+void
+RadioDevice::macGuardWake()
+{
+    macWakeNow();
+    eventq().reschedule(&beaconMissEvent,
+                        expectedBeaconAt + guardTicks());
+}
+
+void
+RadioDevice::beaconMissed()
+{
+    ++statBeaconsMissed;
+    recordProbe(Probe::BeaconMiss);
+    ULP_TRACE("Radio", this, "beacon missed (%u consecutive)",
+              lostBeacons + 1);
+    if (++lostBeacons >= maxLostBeacons) {
+        // Sync loss: stay awake in RX and hunt for a beacon. With no
+        // CAP to honour, a parked transmission goes out unsynchronized.
+        _beaconSynced = false;
+        if (macActive && macWaitingCap) {
+            macWaitingCap = false;
+            macCapBegin();
+        }
+        return;
+    }
+    // Keep the grid: stay awake through the gap and expect the next one.
+    expectedBeaconAt += beaconIntervalTicks();
+    eventq().reschedule(&beaconMissEvent,
+                        expectedBeaconAt + guardTicks());
+}
+
+void
+RadioDevice::macTrySleep()
+{
+    if (sfOrderEff() >= beaconOrderEff())
+        return; // always-active superframe
+    if (!powered() || macAsleep)
+        return;
+    if (txBusy || macActive || awaitingAck || ackTxPending ||
+        dataReqQueued || indirectTxQueued)
+        return; // a transaction is still running; skip this sleep window
+    macAsleep = true;
+    ++statMacSleeps;
+    recordProbe(Probe::MacSleep);
+    recordSleepState(sim::SleepCode::MacSleep, sim::SleepCode::Awake);
+    tracker.setState(power::PowerState::Gated);
+    ULP_TRACE("Radio", this, "MAC sleep until next superframe");
+}
+
+void
+RadioDevice::macWakeNow()
+{
+    if (!macAsleep)
+        return;
+    macAsleep = false;
+    recordProbe(Probe::MacWake);
+    recordSleepState(sim::SleepCode::Awake, sim::SleepCode::MacSleep);
+    if (powered())
+        tracker.setState(power::PowerState::Idle);
+}
+
+void
+RadioDevice::macCapBegin()
+{
+    // Unsynced devices bypass the CAP gate (see macCcaDecide).
+    const bool synced = beaconCoordinator() || _beaconSynced;
+    if (synced && !inCap()) {
+        if (!macWaitingCap) {
+            macWaitingCap = true;
+            ++statDeferredTx;
+        }
+        return;
+    }
+    auto slots = random.uniformInt(0, (1u << capBackoffExp) - 1);
+    statBackoffSlots += static_cast<double>(slots);
+    scheduleRel(&macCcaEvent,
+                static_cast<sim::Tick>(slots) * backoffSlotTicks);
+}
+
+void
+RadioDevice::queueIndirect(const net::Frame &frame)
+{
+    if (pendingIndirect.size() >= pendingIndirectCap) {
+        ++statIndirectDropped;
+        postIrq(Irq::RadioTxFail);
+        ULP_TRACE("Radio", this,
+                  "indirect queue full: seq %u dropped", frame.seq);
+        return;
+    }
+    pendingIndirect.push_back({frame, indirectExpiryBeacons});
+    ++statIndirectQueued;
+    ULP_TRACE("Radio", this, "indirect queued: seq %u for %u", frame.seq,
+              frame.dest);
+}
+
+void
+RadioDevice::indirectRequested(std::uint16_t src)
+{
+    if (indirectTxQueued)
+        return;
+    auto it = std::find_if(pendingIndirect.begin(), pendingIndirect.end(),
+                           [src](const PendingIndirect &p) {
+                               return p.frame.dest == src;
+                           });
+    if (it == pendingIndirect.end())
+        return;
+    indirectTx = it->frame;
+    pendingIndirect.erase(it);
+    indirectTxQueued = true;
+    eventq().reschedule(&indirectTxEvent, curTick() + turnaroundTicks);
+}
+
+void
+RadioDevice::indirectTxSend()
+{
+    indirectTxQueued = false;
+    if (!powered())
+        return;
+    if (txBusy || macActive) {
+        // Transmitter claimed during the turnaround: requeue for one
+        // more beacon; the device will ask again.
+        pendingIndirect.insert(pendingIndirect.begin(), {indirectTx, 1});
+        return;
+    }
+    lastTx = indirectTx;
+    txBusy = true;
+    sim::Tick end = channel ? channel->transmit(this, indirectTx)
+                            : curTick() + airTicks(indirectTx);
+    beActiveFor(clock.ticksToCycles(end - curTick()) + 1);
+    eventq().schedule(&indirectAirEndEvent, end);
+}
+
+void
+RadioDevice::indirectAirEnd()
+{
+    txBusy = false;
+    ++statTx;
+    ++statIndirectDelivered;
+    recordProbe(Probe::RadioTxDone);
+    postIrq(Irq::RadioTxDone);
+    ULP_TRACE("Radio", this, "indirect delivered: seq %u", indirectTx.seq);
+}
+
+void
+RadioDevice::dataReqSend()
+{
+    dataReqQueued = false;
+    if (!powered() || txBusy || macActive || macAsleep)
+        return;
+    txBusy = true;
+    sim::Tick end = channel ? channel->transmit(this, dataReq)
+                            : curTick() + airTicks(dataReq);
+    beActiveFor(clock.ticksToCycles(end - curTick()) + 1);
+    eventq().schedule(&dataReqAirEndEvent, end);
+    ++statDataRequests;
+    recordProbe(Probe::MacDataRequest);
+}
+
+void
+RadioDevice::dataReqAirEnd()
+{
+    txBusy = false;
+}
+
 void
 RadioDevice::frameStarted(sim::Tick end_tick)
 {
@@ -371,6 +861,32 @@ RadioDevice::frameArrived(const net::Frame &frame, bool corrupted)
 {
     if (!powered()) {
         ++statMissed;
+        return;
+    }
+    if (macAsleep) {
+        // A sleeping radio MAC hears nothing: anything on the air while
+        // we sleep is missed, exactly like a powered-off radio.
+        ++statMissed;
+        return;
+    }
+    if (beaconMode() && frame.type == net::Frame::Type::Beacon) {
+        // Beacon tracking is MAC-level: it runs even for pure senders
+        // with RX disabled (they need the superframe grid to transmit).
+        if (corrupted)
+            ++statCrcErrors;
+        else
+            beaconReceived(frame);
+        return;
+    }
+    if (beaconMode() && frame.type == net::Frame::Type::Command &&
+        frame.payload.size() == 1 &&
+        frame.payload[0] == cmdFrameDataRequest) {
+        // MAC-internal traffic: the coordinator serves it, devices drop
+        // their neighbours' requests; never surfaced to the masters.
+        if (corrupted)
+            ++statCrcErrors;
+        else if (beaconCoordinator() && frame.dest == macAddr)
+            indirectRequested(frame.src);
         return;
     }
     if (macCtrlReg != 0 && frame.type == net::Frame::Type::Ack) {
@@ -427,10 +943,23 @@ RadioDevice::injectFrame(const net::Frame &frame)
     rxLen = static_cast<std::uint8_t>(wire.size());
     rxReady = true;
     ++statRx;
+    // Light-sleep wake-on-frame: the controller's hook runs before the
+    // RX interrupt so the node is fully awake when the ISR executes.
+    if (rxWakeHook)
+        rxWakeHook();
     recordProbe(Probe::RadioRxDone);
     postIrq(Irq::RadioRxDone);
     ULP_TRACE("Radio", this, "RX frame: %zu bytes, seq %u src %u",
               wire.size(), frame.seq, frame.src);
+}
+
+void
+RadioDevice::onPowerOn()
+{
+    // Beacon configuration persists like macCtrlReg; a re-powered
+    // coordinator restarts its grid, a device wakes unsynced and hunts.
+    if (beaconCoordinator())
+        scheduleBeacons();
 }
 
 void
@@ -440,7 +969,10 @@ RadioDevice::onPowerOff()
         eventq().deschedule(&txDoneEvent);
     for (sim::Event *ev :
          {&macCcaEvent, &macAirEndEvent, &macAckTimeoutEvent,
-          &macAckTxEvent, &macAckAirEndEvent}) {
+          &macAckTxEvent, &macAckAirEndEvent, &beaconEvent,
+          &beaconAirEndEvent, &capEndEvent, &guardWakeEvent,
+          &beaconMissEvent, &indirectTxEvent, &indirectAirEndEvent,
+          &dataReqEvent, &dataReqAirEndEvent}) {
         if (ev->scheduled())
             eventq().deschedule(ev);
     }
@@ -453,9 +985,22 @@ RadioDevice::onPowerOff()
     txLen = 0;
     txFifo.fill(0);
     rxFifo.fill(0);
+    // Beacon-MAC transaction state dies with the supply. macAsleep is
+    // cleared silently: losing power is not a MAC sleep transition (the
+    // power tracker is already Gated by powerOff itself).
+    macAsleep = false;
+    _beaconSynced = false;
+    lostBeacons = 0;
+    capEndTick = 0;
+    expectedBeaconAt = 0;
+    macWaitingCap = false;
+    pendingIndirect.clear();
+    indirectTxQueued = false;
+    dataReqQueued = false;
     // rxEnabled persists as configuration so forwarding nodes return to
-    // listening when the ISR powers the radio back on; the MAC control
-    // register persists the same way.
+    // listening when the ISR powers the radio back on; the MAC control,
+    // mode, superframe-order, address, and guard registers persist the
+    // same way.
 }
 
 } // namespace ulp::core

@@ -21,12 +21,31 @@
  * turnaround. Success posts Irq::RadioTxDone as before; exhausting the
  * retry budget posts Irq::RadioTxFail. With radioMacCtrl == 0 (reset
  * value) behaviour is exactly the legacy fire-and-forget model.
+ *
+ * Duty-cycled beacon mode (map::radioMacMode, 802.15.4 beacon-enabled
+ * PAN): one coordinator emits beacons every aBaseSuperframeDuration x
+ * 2^BO; the active (CAP) portion lasts aBaseSuperframeDuration x 2^SO
+ * from the beacon, and outside it the radio MAC sleeps (energy tracker
+ * Gated). Devices sync to beacon arrivals, wake a guard window (plus a
+ * configurable clock-drift compensation) before the next expected
+ * beacon, and count missed beacons; four consecutive misses drop sync
+ * and the device stays in RX hunting for one. Transmissions happen only
+ * inside the CAP with slotted random backoff and NO carrier sense --
+ * CCA reads the K-approximate mediumBusyUntil and would break the
+ * byte-identical K=1/2/4 stats oracle, while the superframe structure
+ * already serialises contention -- and a TX issued outside the CAP is
+ * deferred to the next one. A coordinator's unicast data to a (likely
+ * sleeping) device goes to a small pending-indirect queue advertised in
+ * the beacon; the device pulls it with a MAC data-request command
+ * during the CAP, exactly the 802.15.4 indirect-delivery shape.
  */
 
 #ifndef ULP_CORE_RADIO_DEVICE_HH
 #define ULP_CORE_RADIO_DEVICE_HH
 
 #include <array>
+#include <functional>
+#include <vector>
 
 #include "core/slave_device.hh"
 #include "net/channel.hh"
@@ -66,6 +85,30 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     static constexpr unsigned macMaxBE = 5;
     /** macMaxCSMABackoffs: busy CCAs before the attempt is abandoned. */
     static constexpr unsigned macMaxCsmaBackoffs = 4;
+
+    /** map::radioMacMode values. */
+    static constexpr std::uint8_t macModeCsma = 0;
+    static constexpr std::uint8_t macModeBeaconDevice = 1;
+    static constexpr std::uint8_t macModeBeaconCoord = 2;
+
+    /** aBaseSuperframeDuration: 960 symbols. */
+    static constexpr sim::Tick baseSuperframeTicks = 960 * symbolTicks;
+    /** Largest beacon/superframe order accepted by the registers. */
+    static constexpr unsigned maxBeaconOrder = 14;
+    /** Pre-beacon wake guard when map::radioGuard is 0, in symbols. */
+    static constexpr unsigned defaultGuardSymbols = 128;
+    /** CAP slotted backoff draws from [0, 2^capBackoffExp) slots. */
+    static constexpr unsigned capBackoffExp = 3;
+    /** Consecutive missed beacons before a device drops superframe sync. */
+    static constexpr unsigned maxLostBeacons = 4;
+    /** Indirect (pending) frames a coordinator holds for sleeping
+     *  devices; 802.15.4 calls this the transaction queue. */
+    static constexpr std::size_t pendingIndirectCap = 4;
+    /** Beacons an unclaimed indirect frame is advertised in before the
+     *  coordinator expires it (macTransactionPersistenceTime). */
+    static constexpr unsigned indirectExpiryBeacons = 4;
+    /** Command-frame identifier of a MAC data request (payload[0]). */
+    static constexpr std::uint8_t cmdFrameDataRequest = 0x04;
 
     RadioDevice(sim::Simulation &simulation, const std::string &name,
                 sim::SimObject *parent, InterruptBus &irq_bus,
@@ -150,8 +193,102 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     unsigned macMaxRetries() const { return macCtrlReg & macRetriesMask; }
     bool macAutoAck() const { return macCtrlReg & macAutoAckBit; }
 
+    // --- beacon-enabled (duty-cycled) MAC ---------------------------------
+    bool beaconMode() const { return macModeReg != macModeCsma; }
+    bool beaconCoordinator() const
+    {
+        return macModeReg == macModeBeaconCoord;
+    }
+    /** The radio MAC is asleep between superframes (tracker Gated). */
+    bool macSleeping() const { return macAsleep; }
+    /** A device has heard a beacon and tracks the superframe grid. */
+    bool beaconSynced() const { return _beaconSynced; }
+    std::uint16_t macAddress() const { return macAddr; }
+
+    /** Beacon interval: aBaseSuperframeDuration x 2^BO. */
+    sim::Tick beaconIntervalTicks() const
+    {
+        return baseSuperframeTicks << beaconOrderEff();
+    }
+    /** Active (CAP) portion: aBaseSuperframeDuration x 2^SO. */
+    sim::Tick superframeTicks() const
+    {
+        return baseSuperframeTicks << sfOrderEff();
+    }
+
+    /**
+     * Device clock-drift compensation in parts per million: the device
+     * wakes (drift_ppm * beacon interval) early on top of the guard, the
+     * classic crystal-tolerance budget of a beacon-tracking 802.15.4
+     * node. Scenario-programmed (no hardware register on the real chip
+     * either; it is a property of the crystal, not the MAC).
+     */
+    void setBeaconDriftPpm(double ppm) { driftPpm = ppm < 0 ? 0.0 : ppm; }
+    double beaconDriftPpm() const { return driftPpm; }
+
+    /**
+     * Called whenever an intact frame is surfaced to the masters
+     * (injectFrame), before the RX interrupt fires. The sleep controller
+     * uses it for light-sleep wake-on-frame: the hook runs synchronously,
+     * so the node is fully awake before the ISR executes.
+     */
+    void setRxWakeHook(std::function<void()> hook)
+    {
+        rxWakeHook = std::move(hook);
+    }
+
+    std::uint64_t beaconsSent() const
+    {
+        return static_cast<std::uint64_t>(statBeaconsSent.value());
+    }
+    std::uint64_t beaconsReceived() const
+    {
+        return static_cast<std::uint64_t>(statBeaconsReceived.value());
+    }
+    std::uint64_t beaconsMissed() const
+    {
+        return static_cast<std::uint64_t>(statBeaconsMissed.value());
+    }
+    std::uint64_t macSleeps() const
+    {
+        return static_cast<std::uint64_t>(statMacSleeps.value());
+    }
+    std::uint64_t deferredTx() const
+    {
+        return static_cast<std::uint64_t>(statDeferredTx.value());
+    }
+    std::uint64_t dataRequests() const
+    {
+        return static_cast<std::uint64_t>(statDataRequests.value());
+    }
+    std::uint64_t indirectQueued() const
+    {
+        return static_cast<std::uint64_t>(statIndirectQueued.value());
+    }
+    std::uint64_t indirectDelivered() const
+    {
+        return static_cast<std::uint64_t>(statIndirectDelivered.value());
+    }
+    std::uint64_t indirectExpired() const
+    {
+        return static_cast<std::uint64_t>(statIndirectExpired.value());
+    }
+    std::uint64_t indirectDropped() const
+    {
+        return static_cast<std::uint64_t>(statIndirectDropped.value());
+    }
+
   protected:
+    void onPowerOn() override;
     void onPowerOff() override;
+
+    /** While the beacon MAC sleeps between superframes the radio rests at
+     *  the gated draw instead of idle-listening. */
+    power::PowerState restingState() const override
+    {
+        return macAsleep ? power::PowerState::Gated
+                         : power::PowerState::Idle;
+    }
 
   private:
     void startTx();
@@ -170,6 +307,29 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     void macSendAck();
     void macAckAirEnd();
     bool mediumBusy() const { return curTick() < mediumBusyUntil; }
+
+    // Beacon-mode (duty-cycled) path.
+    unsigned beaconOrderEff() const;
+    unsigned sfOrderEff() const;
+    sim::Tick guardTicks() const;
+    bool inCap() const { return curTick() < capEndTick; }
+    void macCapBegin();
+    void scheduleBeacons();
+    void beaconTx();
+    void beaconAirEnd();
+    void beaconReceived(const net::Frame &frame);
+    void beaconMissed();
+    void capEnd();
+    void macTrySleep();
+    void macWakeNow();
+    void macGuardWake();
+    void queueIndirect(const net::Frame &frame);
+    void indirectRequested(std::uint16_t src);
+    void indirectTxSend();
+    void indirectAirEnd();
+    void dataReqSend();
+    void dataReqAirEnd();
+    sim::Tick airTicks(const net::Frame &frame) const;
 
     net::Medium *channel;
     bool attachedToChannel = false;
@@ -201,6 +361,50 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     sim::MemberEventWrapper<RadioDevice> macAckTxEvent;
     sim::MemberEventWrapper<RadioDevice> macAckAirEndEvent;
 
+    // Beacon-mode state. The mode and superframe registers persist
+    // across power gating like macCtrlReg (they are configuration);
+    // everything below them is transaction state and resets.
+    std::uint8_t macModeReg = macModeCsma;
+    std::uint8_t beaconOrderReg = 6;   ///< BI = 960 x 2^6 symbols ~ 983 ms
+    std::uint8_t sfOrderReg = 3;       ///< CAP = 960 x 2^3 symbols ~ 123 ms
+    std::uint8_t guardSymbolsReg = 0;  ///< 0 selects defaultGuardSymbols
+    std::uint16_t macAddr = 0;
+    double driftPpm = 0.0;
+    std::function<void()> rxWakeHook;
+
+    bool macAsleep = false;
+    bool _beaconSynced = false;        ///< device tracks the beacon grid
+    std::uint8_t syncedBo = 0;         ///< BO adopted from the last beacon
+    std::uint8_t syncedSo = 0;         ///< SO adopted from the last beacon
+    sim::Tick lastBeaconAt = 0;        ///< arrival (device) / TX (coord)
+    sim::Tick expectedBeaconAt = 0;    ///< device: next beacon due
+    sim::Tick capEndTick = 0;          ///< absolute end of the current CAP
+    unsigned lostBeacons = 0;          ///< consecutive misses
+    bool macWaitingCap = false;        ///< TX parked until the next CAP
+    std::uint8_t beaconSeq = 0;
+    sim::Tick nextBeaconAt = 0;
+
+    struct PendingIndirect
+    {
+        net::Frame frame;
+        unsigned beaconsLeft;
+    };
+    std::vector<PendingIndirect> pendingIndirect;
+    bool indirectTxQueued = false;
+    net::Frame indirectTx;
+    bool dataReqQueued = false;
+    net::Frame dataReq;
+
+    sim::MemberEventWrapper<RadioDevice> beaconEvent;
+    sim::MemberEventWrapper<RadioDevice> beaconAirEndEvent;
+    sim::MemberEventWrapper<RadioDevice> capEndEvent;
+    sim::MemberEventWrapper<RadioDevice> guardWakeEvent;
+    sim::MemberEventWrapper<RadioDevice> beaconMissEvent;
+    sim::MemberEventWrapper<RadioDevice> indirectTxEvent;
+    sim::MemberEventWrapper<RadioDevice> indirectAirEndEvent;
+    sim::MemberEventWrapper<RadioDevice> dataReqEvent;
+    sim::MemberEventWrapper<RadioDevice> dataReqAirEndEvent;
+
     sim::stats::Scalar statTx;
     sim::stats::Scalar statRx;
     sim::stats::Scalar statCrcErrors;
@@ -214,6 +418,16 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     sim::stats::Scalar statTxFailures;
     sim::stats::Scalar statAcksSent;
     sim::stats::Scalar statAcksReceived;
+    sim::stats::Scalar statBeaconsSent;
+    sim::stats::Scalar statBeaconsReceived;
+    sim::stats::Scalar statBeaconsMissed;
+    sim::stats::Scalar statMacSleeps;
+    sim::stats::Scalar statDeferredTx;
+    sim::stats::Scalar statDataRequests;
+    sim::stats::Scalar statIndirectQueued;
+    sim::stats::Scalar statIndirectDelivered;
+    sim::stats::Scalar statIndirectExpired;
+    sim::stats::Scalar statIndirectDropped;
 };
 
 } // namespace ulp::core

@@ -196,8 +196,15 @@ SensorNode::supplyDown()
 {
     if (!_alive)
         return;
-    _alive = false;
     probeRecorder->record(Probe::NodeDown);
+    powerDownInternal();
+}
+
+void
+SensorNode::powerDownInternal()
+{
+    _alive = false;
+    _lightSleep = false; // supply loss trumps any retention sleep
     // Masters first: a hung/running uC releases the bus, the EP aborts
     // whatever it was doing, and every pending request line goes away.
     microcontroller->forceReset();
@@ -223,7 +230,15 @@ SensorNode::supplyUp()
 {
     if (_alive)
         return;
+    powerUpInternal();
+    probeRecorder->record(Probe::NodeUp);
+}
+
+void
+SensorNode::powerUpInternal()
+{
     _alive = true;
+    _deepSleep = false;
     for (auto &bank : bankPower)
         bank.powerOn();
     // The brown-in supervisor releases reset milliseconds after the
@@ -249,7 +264,63 @@ SensorNode::supplyUp()
                                static_cast<std::uint8_t>(cfg.pan >> 8));
     messageProcessor->busWrite(map::msgPanLo,
                                static_cast<std::uint8_t>(cfg.pan));
-    probeRecorder->record(Probe::NodeUp);
+}
+
+void
+SensorNode::lightSleepEnter()
+{
+    if (!_alive || _lightSleep || _deepSleep)
+        return;
+    _lightSleep = true;
+    probeRecorder->record(Probe::LightSleepEnter);
+    probeRecorder->recordSleepState(sim::SleepCode::LightSleep,
+                                    sim::SleepCode::Awake);
+    timerUnit->freeze();
+    sensorAdc->powerOff();
+    thresholdFilter->powerOff();
+    compressorDev->powerOff();
+}
+
+void
+SensorNode::lightSleepExit()
+{
+    if (!_lightSleep)
+        return;
+    _lightSleep = false;
+    sensorAdc->powerOn();
+    thresholdFilter->powerOn();
+    compressorDev->powerOn();
+    timerUnit->thaw();
+    probeRecorder->record(Probe::LightSleepExit);
+    probeRecorder->recordSleepState(sim::SleepCode::Awake,
+                                    sim::SleepCode::LightSleep);
+}
+
+void
+SensorNode::deepSleepEnter()
+{
+    if (!_alive || _deepSleep)
+        return;
+    probeRecorder->record(Probe::DeepSleepEnter);
+    probeRecorder->recordSleepState(sim::SleepCode::DeepSleep,
+                                    _lightSleep ? sim::SleepCode::LightSleep
+                                                : sim::SleepCode::Awake);
+    _deepSleep = true;
+    powerDownInternal();
+}
+
+void
+SensorNode::deepSleepWake()
+{
+    if (!_deepSleep)
+        return;
+    powerUpInternal();
+    // Boot firmware reads this to tell a scheduled wake from a power-on
+    // or watchdog reset (powerDownInternal's forceReset latched Watchdog).
+    microcontroller->latchResetReason(mcu::ResetReason::DeepSleepTimer);
+    probeRecorder->record(Probe::DeepSleepExit);
+    probeRecorder->recordSleepState(sim::SleepCode::Awake,
+                                    sim::SleepCode::DeepSleep);
 }
 
 double

@@ -129,6 +129,39 @@ class SensorNode : public sim::SimObject
         reviveHook = std::move(hook);
     }
 
+    // --- sleep policies (driven by sleep::SleepController) -----------------
+    /**
+     * Light sleep: retention sleep. Timers freeze (configuration
+     * retained), the sensing chain (sensor, filter, compressor) is
+     * power-gated; the radio, message processor, masters and SRAM stay
+     * powered so an incoming frame wakes the node and is handled
+     * immediately (RadioDevice::setRxWakeHook). No-op when already
+     * sleeping or dead.
+     */
+    void lightSleepEnter();
+
+    /** Leave light sleep: re-power the sensing chain, thaw the timers.
+     *  No-op when not in light sleep. */
+    void lightSleepExit();
+
+    bool inLightSleep() const { return _lightSleep; }
+
+    /**
+     * Deep sleep: everything supplyDown() takes down — banks gated,
+     * radio off the medium, CAM and SRAM contents lost — but deliberate:
+     * no NodeDown probe, and the wake path (deepSleepWake) latches
+     * mcu::ResetReason::DeepSleepTimer so boot firmware can tell a
+     * scheduled wake from a power-on or watchdog reset. The owner
+     * (Network::wakeNodeFromDeepSleep) re-installs the app on wake.
+     */
+    void deepSleepEnter();
+
+    /** Supply back up after deep sleep; the caller re-binds the radio,
+     *  reinstalls the application image, and re-preloads routes. */
+    void deepSleepWake();
+
+    bool inDeepSleep() const { return _deepSleep; }
+
     /** Aggregate energy drawn by every component so far (the ledger the
      *  battery integrates). */
     double totalEnergyJoules() const;
@@ -145,6 +178,9 @@ class SensorNode : public sim::SimObject
     double totalAverageWatts() const;
 
   private:
+    void powerDownInternal();
+    void powerUpInternal();
+
     NodeConfig cfg;
     sim::ClockDomain clockDomain;
 
@@ -172,6 +208,8 @@ class SensorNode : public sim::SimObject
     std::unique_ptr<power::HarvestingSupply> harvestSupply;
     double supplyLastEnergy = 0.0;
     bool _alive = true;
+    bool _lightSleep = false;
+    bool _deepSleep = false;
     std::function<void()> reviveHook;
 };
 

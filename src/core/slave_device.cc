@@ -59,7 +59,7 @@ void
 SlaveDevice::becomeIdle()
 {
     if (_powered)
-        tracker.setState(power::PowerState::Idle);
+        tracker.setState(restingState());
 }
 
 void

@@ -85,6 +85,25 @@ class SlaveDevice : public sim::SimObject,
     virtual void onPowerOn() {}
     virtual void onPowerOff() {}
 
+    /**
+     * The resting power state while powered and not Active. Idle for
+     * ordinary slaves; the radio overrides this to Gated while its MAC
+     * sleeps between 802.15.4 superframes, so the duty-cycled ledger is
+     * right even when an active stint ends mid-sleep.
+     */
+    virtual power::PowerState restingState() const
+    {
+        return power::PowerState::Idle;
+    }
+
+    /** Emit a transition on the SleepState telemetry channel. */
+    void
+    recordSleepState(sim::SleepCode now, sim::SleepCode was)
+    {
+        if (probes)
+            probes->recordSleepState(now, was);
+    }
+
     void postIrq(Irq irq) { irqBus.post(irq); }
 
     void

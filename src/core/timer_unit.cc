@@ -220,6 +220,47 @@ TimerUnit::predecessorFired(unsigned idx)
         fire(idx);
 }
 
+void
+TimerUnit::freeze()
+{
+    if (_frozen || !powered())
+        return;
+    _frozen = true;
+    for (unsigned i = 0; i < numTimers; ++i) {
+        Timer &timer = timers[i];
+        if (timer.fireEvent->scheduled()) {
+            timer.count = timerCount(i);
+            stopCountdown(i);
+        }
+        timer.tracker->setState(power::PowerState::Gated);
+    }
+    wdtStop();
+    tracker.setState(power::PowerState::Gated);
+}
+
+void
+TimerUnit::thaw()
+{
+    if (!_frozen)
+        return;
+    _frozen = false;
+    tracker.setState(power::PowerState::Idle);
+    for (unsigned i = 0; i < numTimers; ++i) {
+        Timer &timer = timers[i];
+        if (!running(timer)) {
+            timer.tracker->setState(power::PowerState::Idle);
+            continue;
+        }
+        timer.tracker->setState((timer.ctrl & ctrlChain)
+                                    ? power::PowerState::Idle
+                                    : power::PowerState::Active);
+        if (!(timer.ctrl & ctrlChain))
+            startCountdown(i);
+    }
+    if (watchdogEnabled())
+        wdtRestart();
+}
+
 // --- watchdog --------------------------------------------------------------
 
 std::uint8_t
@@ -314,6 +355,7 @@ TimerUnit::onPowerOn()
 void
 TimerUnit::onPowerOff()
 {
+    _frozen = false; // supply loss trumps any retention freeze
     for (unsigned i = 0; i < numTimers; ++i) {
         stopCountdown(i);
         timers[i].ctrl = 0;

@@ -68,6 +68,22 @@ class TimerUnit : public SlaveDevice
         wdtResetHook = std::move(hook);
     }
 
+    /**
+     * Light-sleep retention: stop the timer clocks without losing any
+     * configuration. Running countdowns latch their remaining count and
+     * deschedule; the watchdog pauses (it restarts its full period on
+     * thaw, the usual "watchdog held in sleep" semantics). The block and
+     * per-timer trackers drop to the gated draw — retention latches keep
+     * state at leakage power. No-op when already frozen.
+     */
+    void freeze();
+
+    /** Resume the clocks frozen by freeze(): running countdowns pick up
+     *  from their latched counts. No-op when not frozen. */
+    void thaw();
+
+    bool frozen() const { return _frozen; }
+
     bool watchdogEnabled() const { return (wdtCtrlReg & wdtEnable) != 0; }
     std::uint64_t watchdogBarks() const
     {
@@ -114,6 +130,8 @@ class TimerUnit : public SlaveDevice
     void wdtBark();
 
     std::array<Timer, numTimers> timers;
+
+    bool _frozen = false;
 
     std::uint8_t wdtCtrlReg = 0;
     std::uint16_t wdtLoad = 0;

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reset-reason codes, latched by the platform whenever the shared U8
+ * core is (re)booted. Real MCUs expose this as a status register so
+ * early boot code can tell a cold power-on from a watchdog bark or a
+ * timer wakeup out of deep sleep; firmware and tests read it through
+ * core::Microcontroller::resetReason().
+ */
+
+#ifndef ULP_MCU_RESET_REASON_HH
+#define ULP_MCU_RESET_REASON_HH
+
+#include <cstdint>
+
+namespace ulp::mcu {
+
+enum class ResetReason : std::uint8_t {
+    PowerOn = 0,   ///< first supply-up (cold boot)
+    BrownOut,      ///< supply collapsed and recovered (lifecycle revive)
+    Watchdog,      ///< the watchdog barked and forced a reset
+    DeepSleepTimer, ///< the sleep policy's timer ended a deep-sleep window
+};
+
+constexpr const char *
+resetReasonName(ResetReason reason)
+{
+    switch (reason) {
+      case ResetReason::PowerOn: return "power-on";
+      case ResetReason::BrownOut: return "brown-out";
+      case ResetReason::Watchdog: return "watchdog";
+      case ResetReason::DeepSleepTimer: return "deep-sleep-timer";
+    }
+    return "?";
+}
+
+} // namespace ulp::mcu
+
+#endif // ULP_MCU_RESET_REASON_HH

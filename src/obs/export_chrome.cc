@@ -145,6 +145,9 @@ exportChrome(const MergedLog &log, const ExportNames &names)
     std::vector<Stint> power(log.components.size());
     std::vector<Stint> ep(log.components.size());
     std::vector<Stint> bus(log.components.size());
+    std::vector<Stint> sleep(log.components.size());
+    static const char *sleepStateNames[] = {"awake", "light sleep",
+                                            "deep sleep", "mac sleep"};
     std::vector<double> lastEnergy(log.components.size(), 0.0);
     std::vector<std::uint64_t> lastEnergyTick(log.components.size(), 0);
     std::vector<bool> haveEnergy(log.components.size(), false);
@@ -206,6 +209,16 @@ exportChrome(const MergedLog &log, const ExportNames &names)
             instant(c, cat, probe, r.tick);
             break;
           }
+          case TelemetryChannel::SleepState: {
+            // Awake (0) is the baseline; only sleep stints get boxes.
+            Stint &s = sleep[c];
+            if (s.open && s.state != 0)
+                duration(c, "sleep",
+                         stateName(sleepStateNames, 4, s.state), s.since,
+                         r.tick);
+            s = {r.a, r.tick, true};
+            break;
+          }
           case TelemetryChannel::Energy: {
             double joules = std::bit_cast<double>(r.payload);
             if (haveEnergy[c] && r.tick > lastEnergyTick[c]) {
@@ -239,6 +252,12 @@ exportChrome(const MergedLog &log, const ExportNames &names)
                      ep[c].since, endTick);
         if (bus[c].open && endTick > bus[c].since)
             duration(c, "bus", "mcu holds bus", bus[c].since, endTick);
+        if (sleep[c].open && sleep[c].state != 0 &&
+            endTick > sleep[c].since) {
+            duration(c, "sleep",
+                     stateName(sleepStateNames, 4, sleep[c].state),
+                     sleep[c].since, endTick);
+        }
     }
 
     os << "\n]}\n";

@@ -267,6 +267,27 @@ lower(const Scenario &sc)
         spec.spatial = cfg;
     }
 
+    // MAC selection: the beacon coordinator defaults to the routing
+    // sink (the node everything converges on anyway).
+    std::optional<unsigned> coordinator;
+    if (sc.mac && sc.mac->mode == sleep::MacMode::Beacon) {
+        spec.mac.mode = sleep::MacMode::Beacon;
+        spec.mac.beaconOrder = sc.mac->beaconOrder;
+        spec.mac.sfOrder = sc.mac->sfOrder;
+        spec.mac.guardSymbols = sc.mac->guard;
+        spec.mac.driftPpm = sc.mac->driftPpm;
+        coordinator = sc.mac->coordinator ? sc.mac->coordinator
+                                          : sc.routes.sink;
+        if (!coordinator) {
+            sim::fatal("scenario '%s': [mac] mode = beacon needs a "
+                       "coordinator (set [mac] coordinator or [routes] "
+                       "sink)",
+                       sc.name.c_str());
+        }
+    }
+    const Scenario::Sleep sleepDefaults =
+        sc.sleep ? *sc.sleep : Scenario::Sleep{};
+
     spec.nodes.reserve(N);
     for (unsigned i = 0; i < N; ++i) {
         const NodeOverride &o = overrideFor(sc, i);
@@ -321,6 +342,22 @@ lower(const Scenario &sc)
         ns.at(pos[i].x, pos[i].y);
         if (o.domain)
             ns.inDomain(*o.domain);
+
+        if (coordinator && i == *coordinator)
+            ns.macCoordinator = true;
+        // Sleep policy: an explicit per-node override always wins; the
+        // [sleep] default skips the sink and the beacon coordinator,
+        // which must stay awake to serve the rest of the network.
+        const bool exempt = (sc.routes.sink && i == *sc.routes.sink) ||
+                            (coordinator && i == *coordinator);
+        ns.sleep.policy = o.sleepPolicy
+                              ? *o.sleepPolicy
+                              : (exempt ? sleep::Policy::None
+                                        : sleepDefaults.policy);
+        ns.sleep.schedule.periodSeconds =
+            o.sleepPeriod ? *o.sleepPeriod : sleepDefaults.period;
+        ns.sleep.schedule.onSeconds =
+            o.sleepOn ? *o.sleepOn : sleepDefaults.on;
         // One wildcard CAM route per relay: any origin -> our parent.
         // Frames addressed to us that are not ours re-serialize toward
         // the sink; the sink itself has no routes and delivers locally.

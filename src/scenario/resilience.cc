@@ -68,6 +68,7 @@ ResilienceManager::ResilienceManager(core::Network &network,
     }
     lastDownCount.assign(N, 0);
     lastUpCount.assign(N, 0);
+    lastDeepCount.assign(N, 0);
 }
 
 std::vector<std::vector<unsigned>>
@@ -270,14 +271,20 @@ ResilienceManager::run()
         bool churned = false;
         for (unsigned i = 0; i < N; ++i) {
             core::SensorNode &node = net.node(i);
+            // `alive` gates link usability: a deep sleeper cannot relay
+            // right now. But it is scheduled, not dead — it still counts
+            // as an alive node for the death/degradation metrics.
             alive[i] = node.alive();
-            aliveNodes += alive[i] ? 1 : 0;
+            aliveNodes += (alive[i] || node.inDeepSleep()) ? 1 : 0;
             const std::uint64_t down =
                 node.probes().count(core::Probe::NodeDown);
             const std::uint64_t up = node.probes().count(core::Probe::NodeUp);
-            if (down != lastDownCount[i]) {
-                // Full supply loss wiped the route CAM — whatever we
-                // taught it is gone, even if it already revived.
+            const std::uint64_t deep =
+                node.probes().count(core::Probe::DeepSleepEnter);
+            if (down != lastDownCount[i] || deep != lastDeepCount[i]) {
+                // Full supply loss (or a deep-sleep cycle) wiped the
+                // route CAM — whatever we taught it is gone, even if
+                // the node is already back up.
                 taught[i].reset();
                 churned = true;
             }
@@ -285,6 +292,7 @@ ResilienceManager::run()
                 churned = true;
             lastDownCount[i] = down;
             lastUpCount[i] = up;
+            lastDeepCount[i] = deep;
         }
 
         ResilienceSample sample;

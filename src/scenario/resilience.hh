@@ -145,6 +145,7 @@ class ResilienceManager
      *  catch deaths (and die+revive pairs) between two control points. */
     std::vector<std::uint64_t> lastDownCount;
     std::vector<std::uint64_t> lastUpCount;
+    std::vector<std::uint64_t> lastDeepCount;
     std::uint8_t cmdSeq = 0; ///< sequence for injected command frames
 
     ResilienceReport lastReport;

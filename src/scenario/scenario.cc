@@ -229,6 +229,69 @@ parseRoutesKey(const Cursor &at, Scenario &sc, const std::string &key,
         at.fail("unknown key '" + key + "' in [routes]");
 }
 
+ulp::sleep::Policy
+parseSleepPolicy(const Cursor &at, const std::string &key,
+                 const std::string &value)
+{
+    if (value == "none")
+        return ulp::sleep::Policy::None;
+    if (value == "light")
+        return ulp::sleep::Policy::Light;
+    if (value == "deep")
+        return ulp::sleep::Policy::Deep;
+    at.fail("'" + key + "' must be none, light or deep, got '" + value +
+            "'");
+}
+
+void
+parseMacKey(const Cursor &at, Scenario &sc, const std::string &key,
+            const std::string &value)
+{
+    Scenario::Mac &m = *sc.mac;
+    if (key == "mode") {
+        if (value == "csma")
+            m.mode = ulp::sleep::MacMode::Csma;
+        else if (value == "beacon")
+            m.mode = ulp::sleep::MacMode::Beacon;
+        else
+            at.fail("'mode' must be csma or beacon, got '" + value + "'");
+    } else if (key == "beacon-order")
+        m.beaconOrder =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 14));
+    else if (key == "sf-order")
+        m.sfOrder = static_cast<unsigned>(parseUnsigned(at, key, value, 14));
+    else if (key == "guard")
+        m.guard = static_cast<unsigned>(parseUnsigned(at, key, value, 255));
+    else if (key == "drift-ppm") {
+        m.driftPpm = parseDouble(at, key, value);
+        if (m.driftPpm < 0.0)
+            at.fail("'drift-ppm' must be non-negative");
+    } else if (key == "coordinator")
+        m.coordinator =
+            static_cast<unsigned>(parseUnsigned(at, key, value, 65'533));
+    else
+        at.fail("unknown key '" + key + "' in [mac]");
+}
+
+void
+parseSleepKey(const Cursor &at, Scenario &sc, const std::string &key,
+              const std::string &value)
+{
+    Scenario::Sleep &s = *sc.sleep;
+    if (key == "policy")
+        s.policy = parseSleepPolicy(at, key, value);
+    else if (key == "period") {
+        s.period = parseDouble(at, key, value);
+        if (!(s.period > 0.0))
+            at.fail("'period' must be positive (seconds)");
+    } else if (key == "on") {
+        s.on = parseDouble(at, key, value);
+        if (!(s.on > 0.0))
+            at.fail("'on' must be positive (seconds)");
+    } else
+        at.fail("unknown key '" + key + "' in [sleep]");
+}
+
 void
 parseNodeKey(const Cursor &at, NodeOverride &o, const std::string &key,
              const std::string &value)
@@ -271,7 +334,17 @@ parseNodeKey(const Cursor &at, NodeOverride &o, const std::string &key,
     else if (key == "domain")
         o.domain =
             static_cast<unsigned>(parseUnsigned(at, key, value, 255));
-    else
+    else if (key == "sleep-policy")
+        o.sleepPolicy = parseSleepPolicy(at, key, value);
+    else if (key == "sleep-period") {
+        o.sleepPeriod = parseDouble(at, key, value);
+        if (!(*o.sleepPeriod > 0.0))
+            at.fail("'sleep-period' must be positive (seconds)");
+    } else if (key == "sleep-on") {
+        o.sleepOn = parseDouble(at, key, value);
+        if (!(*o.sleepOn > 0.0))
+            at.fail("'sleep-on' must be positive (seconds)");
+    } else
         at.fail("unknown key '" + key + "' in [node N]");
 }
 
@@ -496,6 +569,45 @@ validateParsed(Cursor &at, const Scenario &sc,
         }
         (void)o;
     }
+    if (sc.mac && sc.mac->mode == ulp::sleep::MacMode::Beacon) {
+        const Scenario::Mac &m = *sc.mac;
+        if (m.sfOrder > m.beaconOrder) {
+            at.fail("[mac] sf-order (" + std::to_string(m.sfOrder) +
+                    ") must not exceed beacon-order (" +
+                    std::to_string(m.beaconOrder) + ")");
+        }
+        if (!m.coordinator && !sc.routes.sink) {
+            at.fail("[mac] mode = beacon needs a coordinator "
+                    "(set [mac] coordinator or [routes] sink)");
+        }
+        if (m.coordinator && *m.coordinator >= sc.nodes.count)
+            at.fail("[mac] coordinator is out of range");
+    }
+    // Sleep schedules: every node's *effective* on-window must fit
+    // inside its effective period, whichever of the [sleep] defaults
+    // and [node N] overrides each value comes from.
+    {
+        const Scenario::Sleep defaults =
+            sc.sleep ? *sc.sleep : Scenario::Sleep{};
+        for (unsigned i = 0; i < sc.nodes.count; ++i) {
+            auto it = sc.overrides.find(i);
+            const NodeOverride *o =
+                it == sc.overrides.end() ? nullptr : &it->second;
+            const ulp::sleep::Policy policy =
+                o && o->sleepPolicy ? *o->sleepPolicy : defaults.policy;
+            if (policy == ulp::sleep::Policy::None)
+                continue;
+            const double period =
+                o && o->sleepPeriod ? *o->sleepPeriod : defaults.period;
+            const double on = o && o->sleepOn ? *o->sleepOn : defaults.on;
+            if (on >= period) {
+                at.fail("node " + std::to_string(i) +
+                        ": sleep on-window (" + formatDouble(on) +
+                        "s) must be shorter than the period (" +
+                        formatDouble(period) + "s)");
+            }
+        }
+    }
     if (sc.fault && sc.fault->campaign.empty())
         at.fail("[fault] needs a 'campaign' file");
     if (sc.fault && sc.fault->node >= sc.nodes.count)
@@ -530,7 +642,9 @@ parseScenario(const std::string &text, const std::string &filename)
         Scenario,
         Nodes,
         Radio,
+        Mac,
         Routes,
+        Sleep,
         Lifecycle,
         Node,
         Fault,
@@ -562,9 +676,17 @@ parseScenario(const std::string &text, const std::string &filename)
                 section = Section::Nodes;
             else if (sec == "radio")
                 section = Section::Radio;
-            else if (sec == "routes")
+            else if (sec == "mac") {
+                section = Section::Mac;
+                if (!sc.mac)
+                    sc.mac.emplace();
+            } else if (sec == "routes")
                 section = Section::Routes;
-            else if (sec == "lifecycle") {
+            else if (sec == "sleep") {
+                section = Section::Sleep;
+                if (!sc.sleep)
+                    sc.sleep.emplace();
+            } else if (sec == "lifecycle") {
                 section = Section::Lifecycle;
                 if (!sc.lifecycle)
                     sc.lifecycle.emplace();
@@ -615,8 +737,14 @@ parseScenario(const std::string &text, const std::string &filename)
           case Section::Radio:
             parseRadioKey(at, sc, key, value);
             break;
+          case Section::Mac:
+            parseMacKey(at, sc, key, value);
+            break;
           case Section::Routes:
             parseRoutesKey(at, sc, key, value);
+            break;
+          case Section::Sleep:
+            parseSleepKey(at, sc, key, value);
             break;
           case Section::Lifecycle:
             parseLifecycleKey(at, sc, lifecycleLines, key, value);
@@ -693,11 +821,33 @@ printScenario(const Scenario &sc)
        << "interference-margin-db = "
        << formatDouble(r.spatial.interferenceMarginDb) << "\n";
 
+    if (sc.mac) {
+        const Scenario::Mac &m = *sc.mac;
+        os << "\n[mac]\n"
+           << "mode = "
+           << (m.mode == ulp::sleep::MacMode::Beacon ? "beacon" : "csma")
+           << "\n"
+           << "beacon-order = " << m.beaconOrder << "\n"
+           << "sf-order = " << m.sfOrder << "\n"
+           << "guard = " << m.guard << "\n"
+           << "drift-ppm = " << formatDouble(m.driftPpm) << "\n";
+        if (m.coordinator)
+            os << "coordinator = " << *m.coordinator << "\n";
+    }
+
     os << "\n[routes]\n";
     if (sc.routes.sink)
         os << "sink = " << *sc.routes.sink << "\n";
     os << "mode = " << routeModeName(sc.routes.mode) << "\n"
        << "min-prob = " << formatDouble(sc.routes.minProb) << "\n";
+
+    if (sc.sleep) {
+        const Scenario::Sleep &s = *sc.sleep;
+        os << "\n[sleep]\n"
+           << "policy = " << ulp::sleep::policyName(s.policy) << "\n"
+           << "period = " << formatDouble(s.period) << "\n"
+           << "on = " << formatDouble(s.on) << "\n";
+    }
 
     if (sc.lifecycle) {
         const Scenario::Lifecycle &l = *sc.lifecycle;
@@ -758,6 +908,13 @@ printScenario(const Scenario &sc)
             os << "next-hop = " << *o.nextHop << "\n";
         if (o.domain)
             os << "domain = " << *o.domain << "\n";
+        if (o.sleepPolicy)
+            os << "sleep-policy = " << ulp::sleep::policyName(*o.sleepPolicy)
+               << "\n";
+        if (o.sleepPeriod)
+            os << "sleep-period = " << formatDouble(*o.sleepPeriod) << "\n";
+        if (o.sleepOn)
+            os << "sleep-on = " << formatDouble(*o.sleepOn) << "\n";
     }
 
     if (sc.fault) {
@@ -798,9 +955,17 @@ applyScenarioKey(Scenario &sc, const std::string &dottedKey,
         parseNodesKey(at, sc, key, value);
     else if (section == "radio")
         parseRadioKey(at, sc, key, value);
-    else if (section == "routes")
+    else if (section == "mac") {
+        if (!sc.mac)
+            sc.mac.emplace();
+        parseMacKey(at, sc, key, value);
+    } else if (section == "routes")
         parseRoutesKey(at, sc, key, value);
-    else if (section == "lifecycle") {
+    else if (section == "sleep") {
+        if (!sc.sleep)
+            sc.sleep.emplace();
+        parseSleepKey(at, sc, key, value);
+    } else if (section == "lifecycle") {
         if (!sc.lifecycle)
             sc.lifecycle.emplace();
         LifecycleLines lines; // positions are meaningless for overrides

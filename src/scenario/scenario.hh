@@ -9,9 +9,11 @@
  * resolved.
  *
  * Syntax:
- *   - sections in brackets: [scenario], [nodes], [radio], [routes],
- *     [lifecycle] (node churn and route repair), [node N] (per-node
- *     overrides; duplicate headers are an error), [fault], [trace]
+ *   - sections in brackets: [scenario], [nodes], [radio], [mac]
+ *     (CSMA-CA vs beacon-enabled 802.15.4), [routes], [sleep]
+ *     (duty-cycled sleep policies), [lifecycle] (node churn and route
+ *     repair), [node N] (per-node overrides; duplicate headers are an
+ *     error), [fault], [trace]
  *   - `key = value` assignments; '#' and ';' start comments
  *   - unknown sections and unknown keys are errors, not warnings
  *   - every diagnostic carries "file:line:"
@@ -52,6 +54,7 @@
 #include <vector>
 
 #include "net/spatial.hh"
+#include "sleep/policy.hh"
 
 namespace ulp::scenario {
 
@@ -119,6 +122,9 @@ struct NodeOverride
     std::optional<unsigned> dest;
     std::optional<unsigned> nextHop;
     std::optional<unsigned> domain;
+    std::optional<ulp::sleep::Policy> sleepPolicy;
+    std::optional<double> sleepPeriod; ///< seconds
+    std::optional<double> sleepOn;     ///< seconds
 
     bool operator==(const NodeOverride &) const = default;
 };
@@ -163,6 +169,21 @@ struct Scenario
         bool operator==(const Radio &) const = default;
     } radio;
 
+    // --- [mac] ------------------------------------------------------------
+    struct Mac
+    {
+        ulp::sleep::MacMode mode = ulp::sleep::MacMode::Csma;
+        unsigned beaconOrder = 6;          ///< BI = base * 2^BO
+        unsigned sfOrder = 3;              ///< CAP = base * 2^SO
+        unsigned guard = 0;                ///< wake guard, symbols; 0 = default
+        double driftPpm = 0.0;             ///< device clock drift, ppm
+        /** Beacon coordinator node index; defaults to [routes] sink. */
+        std::optional<unsigned> coordinator;
+
+        bool operator==(const Mac &) const = default;
+    };
+    std::optional<Mac> mac;
+
     // --- [routes] ---------------------------------------------------------
     struct Routes
     {
@@ -172,6 +193,20 @@ struct Scenario
 
         bool operator==(const Routes &) const = default;
     } routes;
+
+    // --- [sleep] ----------------------------------------------------------
+    struct Sleep
+    {
+        /** Network-wide default policy. The sink and the beacon
+         *  coordinator are exempt unless a [node N] override opts them
+         *  back in. */
+        ulp::sleep::Policy policy = ulp::sleep::Policy::None;
+        double period = 1.0;               ///< schedule period, seconds
+        double on = 0.1;                   ///< awake window, seconds
+
+        bool operator==(const Sleep &) const = default;
+    };
+    std::optional<Sleep> sleep;
 
     // --- [lifecycle] ------------------------------------------------------
     struct Lifecycle

@@ -35,6 +35,7 @@
 #include "net/channel.hh"
 #include "net/spatial.hh"
 #include "sim/telemetry.hh"
+#include "sleep/policy.hh"
 
 namespace ulp::scenario {
 
@@ -66,6 +67,14 @@ struct NodeSpec
      * application image used verbatim instead of `app`/`params`.
      */
     std::optional<core::apps::NodeApp> prebuiltApp;
+
+    /** Resolved sleep policy (scenario [sleep] + per-node overrides);
+     *  driven by sleep::SleepController, not by the node itself. */
+    ulp::sleep::NodeSleep sleep;
+
+    /** This node is the beacon coordinator when the network MAC is
+     *  beacon-enabled (lowering marks the routes sink by default). */
+    bool macCoordinator = false;
 
     // --- fluent builder ---------------------------------------------------
     NodeSpec &
@@ -145,6 +154,10 @@ struct NetworkSpec
 
     /** Optional per-shard telemetry sink factory (see Network::Config). */
     std::function<sim::TelemetrySink *(unsigned)> telemetrySink;
+
+    /** Network-wide MAC selection ([mac] section). With MacMode::Beacon
+     *  the network builder programs every radio's beacon registers. */
+    ulp::sleep::MacConfig mac;
 
     // --- fluent builder ---------------------------------------------------
     NodeSpec &

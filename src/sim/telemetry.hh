@@ -24,6 +24,8 @@
  *   Mac:    a = Probe id (radio/MAC milestones), payload = running count
  *   Probe:  a = Probe id (all other milestones), payload = running count
  *   Energy: payload = bit_cast<uint64_t>(cumulative joules), periodic
+ *   SleepState: a = new sleep state, b = old (0 awake, 1 light sleep,
+ *           2 deep sleep, 3 radio MAC sleep between superframes)
  */
 
 #ifndef ULP_SIM_TELEMETRY_HH
@@ -45,7 +47,16 @@ enum class TelemetryChannel : std::uint8_t {
     Mac,       ///< radio/MAC probe milestones (TX, retry, ACK, ...)
     Probe,     ///< every other probe milestone
     Energy,    ///< periodic cumulative-energy samples
+    SleepState, ///< node/radio sleep-policy transitions
     NumChannels,
+};
+
+/** SleepState channel codes (the a/b record fields). */
+enum class SleepCode : std::uint8_t {
+    Awake = 0,
+    LightSleep = 1,
+    DeepSleep = 2,
+    MacSleep = 3, ///< radio-only: asleep between 802.15.4 superframes
 };
 
 constexpr unsigned numTelemetryChannels =
@@ -73,6 +84,8 @@ telemetryChannelName(TelemetryChannel channel)
         return "probe";
       case TelemetryChannel::Energy:
         return "energy";
+      case TelemetryChannel::SleepState:
+        return "sleep";
       case TelemetryChannel::NumChannels:
         break;
     }

@@ -55,6 +55,7 @@
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 #include "sim/trace.hh"
+#include "sleep/controller.hh"
 
 using namespace ulp;
 
@@ -327,6 +328,10 @@ runScenario(const scenario::Scenario &sc, bool stats, bool power)
             log->attachSampler(s, network.shardSimulation(s));
     }
 
+    // Duty-cycled sleep schedules from the [sleep] section (a no-op
+    // when every node's policy is none).
+    sleep::SleepController sleepCtl(network);
+
     if (low.broadcastLoss > 0.0) {
         if (!network.broadcastChannel()) {
             sim::fatal("[radio] loss needs the sequential broadcast "
@@ -394,6 +399,14 @@ runScenario(const scenario::Scenario &sc, bool stats, bool power)
         std::printf("packets at sink:   %llu (origins %zu, max depth %u)\n",
                     static_cast<unsigned long long>(mp.localDeliveries()),
                     mp.localDeliveriesBySource().size(), low.maxDepth());
+    }
+    if (sleepCtl.managedNodes()) {
+        std::printf("sleep:             %u nodes managed (light sleeps "
+                    "%llu, deep sleeps %llu, frame wakes %llu)\n",
+                    sleepCtl.managedNodes(),
+                    static_cast<unsigned long long>(sleepCtl.lightSleeps()),
+                    static_cast<unsigned long long>(sleepCtl.deepSleeps()),
+                    static_cast<unsigned long long>(sleepCtl.frameWakes()));
     }
     if (resilience)
         scenario::printResilienceReport(std::cout, *resilience);
