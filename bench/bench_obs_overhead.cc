@@ -36,26 +36,23 @@ using namespace ulp;
 
 namespace {
 
-core::Network::Config
-oracleConfig(unsigned nodes)
+scenario::NetworkSpec
+oracleSpec(unsigned nodes)
 {
-    core::Network::Config cfg;
-    cfg.numNodes = nodes;
-    cfg.threads = 1;
-    cfg.channelSeed = 42;
-    cfg.nodeConfig = [](unsigned i) {
+    scenario::NetworkSpec spec;
+    spec.threads = 1;
+    spec.channelSeed = 42;
+    for (unsigned i = 0; i < nodes; ++i) {
         core::NodeConfig nc;
         nc.address = static_cast<std::uint16_t>(1 + i);
         nc.seed = 1000 + i;
         nc.sensorSignal = [](sim::Tick) { return 200; };
-        return nc;
-    };
-    cfg.nodeApp = [](unsigned i) {
         core::apps::AppParams params;
         params.samplePeriodCycles = 2500 + 37 * i;
-        return core::apps::buildApp1(params);
-    };
-    return cfg;
+        spec.addNode().withConfig(nc).withPrebuiltApp(
+            core::apps::buildApp1(params));
+    }
+    return spec;
 }
 
 enum class Mode { Off, Buffered, Streaming };
@@ -69,7 +66,7 @@ runOnce(Mode mode, unsigned nodes, double seconds, double energyPeriod,
     std::filesystem::remove_all(dir);
 
     std::unique_ptr<obs::EventLog> log;
-    core::Network::Config cfg = oracleConfig(nodes);
+    scenario::NetworkSpec spec = oracleSpec(nodes);
     if (mode != Mode::Off) {
         obs::EventLogConfig ecfg;
         ecfg.dir = dir.string();
@@ -77,11 +74,11 @@ runOnce(Mode mode, unsigned nodes, double seconds, double energyPeriod,
         ecfg.energySamplePeriod = sim::secondsToTicks(energyPeriod);
         ecfg.streaming = mode == Mode::Streaming;
         log = std::make_unique<obs::EventLog>(ecfg, 1);
-        cfg.telemetrySink = [&log](unsigned s) { return &log->sink(s); };
+        spec.telemetrySink = [&log](unsigned s) { return &log->sink(s); };
     }
 
     auto start = std::chrono::steady_clock::now();
-    core::Network network(cfg);
+    core::Network network(spec);
     if (log)
         log->attachSampler(0, network.shardSimulation(0));
     network.runForSeconds(seconds);

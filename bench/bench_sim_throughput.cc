@@ -291,27 +291,24 @@ collectResult(Network &network)
 NetworkResult
 runNetwork(unsigned num_nodes, double seconds, unsigned threads = 1)
 {
-    Network::Config cfg;
-    cfg.numNodes = num_nodes;
-    cfg.threads = threads;
-    cfg.channelSeed = 42;
-    cfg.nodeConfig = [](unsigned i) {
+    scenario::NetworkSpec spec;
+    spec.threads = threads;
+    spec.channelSeed = 42;
+    // ~40 Hz sampling: 64 nodes x 40 fps x 384 us airtime ~ 98% of
+    // channel capacity, so the largest scale runs near saturation
+    // (heavy but not total collisions) instead of collapsing.
+    for (unsigned i = 0; i < num_nodes; ++i) {
         NodeConfig nc;
         nc.address = static_cast<std::uint16_t>(1 + i);
         nc.seed = 1000 + i;
         nc.sensorSignal = [](sim::Tick) { return 200; };
-        return nc;
-    };
-    // ~40 Hz sampling: 64 nodes x 40 fps x 384 us airtime ~ 98% of
-    // channel capacity, so the largest scale runs near saturation
-    // (heavy but not total collisions) instead of collapsing.
-    cfg.nodeApp = [](unsigned i) {
         apps::AppParams params;
         params.samplePeriodCycles = 2500 + 37 * i;
-        return apps::buildApp1(params);
-    };
+        spec.addNode().withConfig(nc).withPrebuiltApp(
+            apps::buildApp1(params));
+    }
 
-    Network network(cfg);
+    Network network(spec);
     network.runForSeconds(seconds);
     return collectResult(network);
 }

@@ -8,13 +8,13 @@
 namespace ulp::core {
 
 Compressor::Compressor(sim::Simulation &simulation, const std::string &name,
-                       sim::SimObject *parent, InterruptBus &irq_bus,
+                       sim::SimObject *parent, fabric::EventSource &event_port,
                        ProbeRecorder *probes,
                        const sim::ClockDomain &clock,
                        const power::PowerModel &model,
                        sim::Tick wakeup_ticks, const Timing &timing)
     : SlaveDevice(simulation, name, parent, {comp::base, comp::size},
-                  irq_bus, probes, clock, model, wakeup_ticks, true),
+                  event_port, probes, clock, model, wakeup_ticks, true),
       timing(timing),
       doneEvent([this] { finishEncode(); }, name + ".encodeDone"),
       statBlocks(this, "blocksEncoded", "sample blocks encoded"),

@@ -28,7 +28,7 @@ EventProcessor::EventProcessor(sim::Simulation &simulation,
                    "services stalled waiting for the data bus"),
       statWakeups(this, "wakeups", "WAKEUP instructions executed")
 {
-    irqBus.setListener([this] { wakeup(); });
+    irqBus.setSink(this);
     obs = simulation.telemetry();
     if (obs) {
         obsId = obs->registerComponent(this->name());

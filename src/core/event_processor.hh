@@ -26,12 +26,13 @@
 #include "core/interrupt_bus.hh"
 #include "core/power_controller.hh"
 #include "core/probes.hh"
+#include "fabric/event_port.hh"
 #include "power/energy_tracker.hh"
 #include "sim/clock.hh"
 
 namespace ulp::core {
 
-class EventProcessor : public sim::SimObject
+class EventProcessor : public sim::SimObject, public fabric::EventSink
 {
   public:
     enum class State { Ready, WaitBus, Lookup, Fetch, Execute };
@@ -70,6 +71,9 @@ class EventProcessor : public sim::SimObject
     /** The microcontroller wrapper calls this when it releases the bus. */
     void busReleased();
 
+    /** fabric::EventSink — the interrupt bus pokes us on accepted posts. */
+    void eventPosted() override { wakeup(); }
+
     /**
      * Full supply loss (node death): abort whatever the FSM is doing and
      * park in READY with no scheduled events. Unlike the normal path no
@@ -103,7 +107,7 @@ class EventProcessor : public sim::SimObject
     const Timing &timing() const { return _timing; }
 
   private:
-    void wakeup();            ///< interrupt-bus listener
+    void wakeup();            ///< new-work check behind eventPosted()
     void advance();           ///< one state-machine step
     void consume(sim::Cycles cycles, sim::Tick extra_ticks = 0);
     void enterReady();

@@ -1,5 +1,6 @@
 #include "core/interrupt_bus.hh"
 
+#include "fabric/event_port.hh"
 #include "sim/logging.hh"
 #include "sim/telemetry.hh"
 #include "sim/trace.hh"
@@ -52,8 +53,8 @@ InterruptBus::post(Irq irq)
                     static_cast<std::uint8_t>(code), irqPost,
                     asserted.to_ullong());
     }
-    if (listener)
-        listener();
+    if (sink)
+        sink->eventPosted();
 }
 
 std::optional<Irq>

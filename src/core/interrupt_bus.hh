@@ -13,11 +13,14 @@
 #define ULP_CORE_INTERRUPT_BUS_HH
 
 #include <bitset>
-#include <functional>
 #include <optional>
 
 #include "core/interrupts.hh"
 #include "sim/sim_object.hh"
+
+namespace ulp::fabric {
+class EventSink;
+} // namespace ulp::fabric
 
 namespace ulp::core {
 
@@ -46,8 +49,12 @@ class InterruptBus : public sim::SimObject
     /** Peek at the code arbitration would currently grant. */
     std::optional<Irq> peek() const;
 
-    /** The event processor registers here to be poked on posts. */
-    void setListener(std::function<void()> cb) { listener = std::move(cb); }
+    /**
+     * The event processor registers here to be poked on posts. A typed
+     * port rather than a std::function: one virtual call per accepted
+     * post, no per-post closure indirection.
+     */
+    void setSink(fabric::EventSink *event_sink) { sink = event_sink; }
 
     /**
      * Full supply loss (node death): every asserted request line goes
@@ -67,7 +74,7 @@ class InterruptBus : public sim::SimObject
 
   private:
     std::bitset<numIrqCodes> asserted;
-    std::function<void()> listener;
+    fabric::EventSink *sink = nullptr;
 
     sim::TelemetrySink *obs = nullptr;
     std::uint32_t obsId = 0;

@@ -10,14 +10,14 @@ namespace ulp::core {
 MessageProcessor::MessageProcessor(sim::Simulation &simulation,
                                    const std::string &name,
                                    sim::SimObject *parent,
-                                   InterruptBus &irq_bus,
+                                   fabric::EventSource &event_port,
                                    ProbeRecorder *probes,
                                    const sim::ClockDomain &clock,
                                    const power::PowerModel &model,
                                    sim::Tick wakeup_ticks,
                                    const Timing &timing)
     : SlaveDevice(simulation, name, parent, {map::msgBase, map::msgSize},
-                  irq_bus, probes, clock, model, wakeup_ticks, true),
+                  event_port, probes, clock, model, wakeup_ticks, true),
       timing(timing),
       doneEvent([this] {
           if (activeCmd == cmdPrepare)

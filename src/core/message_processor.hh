@@ -93,7 +93,7 @@ class MessageProcessor : public SlaveDevice
     };
 
     MessageProcessor(sim::Simulation &simulation, const std::string &name,
-                     sim::SimObject *parent, InterruptBus &irq_bus,
+                     sim::SimObject *parent, fabric::EventSource &event_port,
                      ProbeRecorder *probes, const sim::ClockDomain &clock,
                      const power::PowerModel &model, sim::Tick wakeup_ticks,
                      const Timing &timing);

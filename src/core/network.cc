@@ -10,41 +10,9 @@
 
 namespace ulp::core {
 
-namespace {
-
-/** Lower the legacy lambda Config into a resolved spec. */
-scenario::NetworkSpec
-specFromConfig(const Network::Config &config)
-{
-    if (config.numNodes == 0)
-        sim::fatal("Network: need at least one node");
-    if (!config.nodeConfig || !config.nodeApp)
-        sim::fatal("Network: nodeConfig and nodeApp must be set");
-
-    scenario::NetworkSpec spec;
-    spec.threads = config.threads;
-    spec.channelSeed = config.channelSeed;
-    spec.bitRate = config.bitRate;
-    spec.telemetrySink = config.telemetrySink;
-    spec.nodes.reserve(config.numNodes);
-    for (unsigned i = 0; i < config.numNodes; ++i) {
-        spec.addNode()
-            .withConfig(config.nodeConfig(i))
-            .withPrebuiltApp(config.nodeApp(i));
-    }
-    return spec;
-}
-
-} // namespace
-
 Network::Network(const scenario::NetworkSpec &spec)
 {
     build(spec);
-}
-
-Network::Network(const Config &config)
-{
-    build(specFromConfig(config));
 }
 
 void
@@ -303,9 +271,15 @@ Network::wakeNodeFromDeepSleep(unsigned node)
 void
 Network::applyNodePlatformConfig(unsigned node)
 {
+    const scenario::NodeSpec &ns = builtSpec.nodes[node];
+    // Event-fabric links first: they are retention state (wiped with the
+    // CAMs on supply loss), so every build/revive/wake path re-arms them.
+    if (!ns.links.empty()) {
+        nodeByIndex[node]->fabric().configure(ns.links,
+                                              ns.params.threshold);
+    }
     if (builtSpec.mac.mode != sleep::MacMode::Beacon)
         return;
-    const scenario::NodeSpec &ns = builtSpec.nodes[node];
     RadioDevice &radio = nodeByIndex[node]->radio();
     const std::uint16_t addr = ns.config.address;
     radio.busWrite(map::radioBeaconOrder,
@@ -379,6 +353,8 @@ Network::counters() const
             c.framesSent += node->radio().framesSent();
             c.epIsrs += node->ep().isrsExecuted();
             c.mcuWakeups += node->micro().wakeups();
+            c.fabricLinked += node->fabric().linkedDelivered();
+            c.fabricDrops += node->fabric().sinkBusyDrops();
         }
     }
     c.endTick = shards[0].simulation->curTick();

@@ -21,9 +21,9 @@
  * `threads=K` — so this class is also where the per-shard stat trees are
  * merged back into the exact report the sequential kernel prints.
  *
- * The primary constructor takes a lowered scenario::NetworkSpec; the
- * legacy Config (per-node lambdas) is kept as a thin shim that lowers
- * itself into a spec, so both configuration paths run the same code.
+ * The constructor takes a lowered scenario::NetworkSpec — the single
+ * configuration path (the legacy per-node-lambda Config shim is gone;
+ * build a spec with scenario::NetworkSpec/NodeSpec directly).
  *
  * Parallel-mode restrictions (enforced here): no channel loss model and
  * no Gilbert-Elliott bursts on the broadcast medium (see net/relay.hh
@@ -51,28 +51,6 @@ namespace ulp::core {
 class Network
 {
   public:
-    /** Legacy lambda-based configuration (lowered into a NetworkSpec). */
-    struct Config
-    {
-        unsigned numNodes = 1;
-        /** Simulation shards (worker threads). 1 = sequential kernel. */
-        unsigned threads = 1;
-        /** Seed for the sequential channel's loss RNG (kept for layout
-         *  parity; neither kernel draws from it while loss is off). */
-        std::uint64_t channelSeed = 1;
-        double bitRate = net::Channel::defaultBitRate;
-        /** Per-node configuration, called with the global node index. */
-        std::function<NodeConfig(unsigned)> nodeConfig;
-        /** Per-node application, called with the global node index. */
-        std::function<apps::NodeApp(unsigned)> nodeApp;
-        /**
-         * Optional per-shard telemetry sink factory (obs::EventLog::sink
-         * wrapped in a lambda). Installed on each shard's Simulation
-         * before any node is constructed, so every component registers.
-         */
-        std::function<sim::TelemetrySink *(unsigned)> telemetrySink;
-    };
-
     /** The headline counters both kernels must agree on. */
     struct Counters
     {
@@ -84,13 +62,16 @@ class Network
         std::uint64_t collisions = 0;
         std::uint64_t epIsrs = 0;
         std::uint64_t mcuWakeups = 0;
+        /** Events the fabric serviced over links (EP never woke). */
+        std::uint64_t fabricLinked = 0;
+        /** Linked events dropped at a busy sink (§4.2.4 overload). */
+        std::uint64_t fabricDrops = 0;
         sim::Tick endTick = 0;
 
         bool operator==(const Counters &) const = default;
     };
 
     explicit Network(const scenario::NetworkSpec &spec);
-    explicit Network(const Config &config);
     ~Network();
 
     Network(const Network &) = delete;

@@ -48,6 +48,7 @@ struct NodeConfig
     power::PowerModel filterPower = table5::thresholdFilter;
     power::PowerModel compressorPower = table5::compressor;
     power::PowerModel mcuPower = table5::microcontroller;
+    power::PowerModel fabricPower = table5::eventFabric;
     /** Radio/sensor power excluded by default, as in the paper (§6.2.1). */
     power::PowerModel radioPower = table5::excluded;
     power::PowerModel sensorPower = table5::excluded;

@@ -51,6 +51,14 @@ constexpr power::PowerModel microcontroller{45.0e-6, 0.05e-6, 1e-9};
  *  scaled from the threshold filter's comparator-class circuit). */
 constexpr power::PowerModel compressor{0.6e-6, 1e-9, 0.1e-9};
 
+/**
+ * Peripheral event-linking fabric (PELS-style routing matrix; our
+ * estimate, scaled from the EP by relative complexity: a CAM lookup and
+ * a microcoded bus sequencer, no FSM/program store). Gated draw is
+ * exactly zero so scenarios without links see an unchanged ledger.
+ */
+constexpr power::PowerModel eventFabric{1.4e-6, 2e-9, 0.0};
+
 /** Radio/sensor power is excluded from the paper's estimates (§6.2.1). */
 constexpr power::PowerModel excluded{0.0, 0.0, 0.0};
 

@@ -50,6 +50,7 @@ enum class Probe : unsigned {
     MacSleep,             ///< the radio MAC slept between superframes
     MacWake,              ///< the radio MAC woke ahead of a beacon
     MacDataRequest,       ///< a device pulled pending indirect data
+    FabricLatch,          ///< the event fabric latched a probe.latch link
     NumProbes,
 };
 
@@ -87,6 +88,7 @@ probeName(Probe probe)
       case Probe::MacSleep: return "MacSleep";
       case Probe::MacWake: return "MacWake";
       case Probe::MacDataRequest: return "MacDataRequest";
+      case Probe::FabricLatch: return "FabricLatch";
       default: return "unknown";
     }
 }

@@ -8,14 +8,14 @@
 namespace ulp::core {
 
 RadioDevice::RadioDevice(sim::Simulation &simulation, const std::string &name,
-                         sim::SimObject *parent, InterruptBus &irq_bus,
+                         sim::SimObject *parent, fabric::EventSource &event_port,
                          ProbeRecorder *probes,
                          const sim::ClockDomain &clock,
                          const power::PowerModel &model,
                          sim::Tick wakeup_ticks, net::Medium *channel,
                          std::uint64_t seed)
     : SlaveDevice(simulation, name, parent,
-                  {map::radioBase, map::radioSize}, irq_bus, probes, clock,
+                  {map::radioBase, map::radioSize}, event_port, probes, clock,
                   model, wakeup_ticks, true),
       channel(channel), random(seed),
       txDoneEvent(this, &RadioDevice::txDone, name + ".txDone"),

@@ -111,7 +111,7 @@ class RadioDevice : public SlaveDevice, public net::Transceiver
     static constexpr std::uint8_t cmdFrameDataRequest = 0x04;
 
     RadioDevice(sim::Simulation &simulation, const std::string &name,
-                sim::SimObject *parent, InterruptBus &irq_bus,
+                sim::SimObject *parent, fabric::EventSource &event_port,
                 ProbeRecorder *probes, const sim::ClockDomain &clock,
                 const power::PowerModel &model, sim::Tick wakeup_ticks,
                 net::Medium *channel, std::uint64_t seed = 0x5eed);

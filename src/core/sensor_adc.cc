@@ -8,12 +8,12 @@
 namespace ulp::core {
 
 SensorAdc::SensorAdc(sim::Simulation &simulation, const std::string &name,
-                     sim::SimObject *parent, InterruptBus &irq_bus,
+                     sim::SimObject *parent, fabric::EventSource &event_port,
                      ProbeRecorder *probes, const sim::ClockDomain &clock,
                      const power::PowerModel &model, sim::Tick wakeup_ticks,
                      Signal signal, double noise_stddev, std::uint64_t seed)
     : SlaveDevice(simulation, name, parent,
-                  {map::sensorBase, map::sensorSize}, irq_bus, probes,
+                  {map::sensorBase, map::sensorSize}, event_port, probes,
                   clock, model, wakeup_ticks, true),
       signal(std::move(signal)), noiseStddev(noise_stddev), random(seed),
       doneEvent([this] { acquisitionDone(); }, name + ".acqDone"),
@@ -77,7 +77,7 @@ SensorAdc::acquisitionDone()
     busy = false;
     done = true;
     held = convert();
-    postIrq(Irq::AdcDone);
+    raiseEvent(Irq::AdcDone, held);
     ULP_TRACE("Sensor", this, "acquisition done: %u", held);
 }
 

@@ -31,7 +31,7 @@ class SensorAdc : public SlaveDevice
     static constexpr sim::Cycles defaultAcquireCycles = 2;
 
     SensorAdc(sim::Simulation &simulation, const std::string &name,
-              sim::SimObject *parent, InterruptBus &irq_bus,
+              sim::SimObject *parent, fabric::EventSource &event_port,
               ProbeRecorder *probes, const sim::ClockDomain &clock,
               const power::PowerModel &model, sim::Tick wakeup_ticks,
               Signal signal, double noise_stddev = 0.0,

@@ -14,6 +14,11 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
     bus = std::make_unique<DataBus>(simulation, "bus", this);
     interruptBus = std::make_unique<InterruptBus>(simulation, "irqBus",
                                                   this);
+    // The fabric is every slave's event port: linked events it services
+    // itself, the rest fall through to the interrupt bus -> EP path.
+    eventFabric = std::make_unique<fabric::EventFabric>(
+        simulation, "fabric", this, *interruptBus, probeRecorder.get(),
+        clockDomain, cfg.fabricPower, fabric::EventFabric::Timing{});
     powerController =
         std::make_unique<PowerController>(simulation, "powerCtrl", this);
     powerController->setGatingDisabled(cfg.gatingDisabled);
@@ -37,14 +42,14 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
     }
 
     timerUnit = std::make_unique<TimerUnit>(
-        simulation, "timers", this, *interruptBus, probeRecorder.get(),
+        simulation, "timers", this, *eventFabric, probeRecorder.get(),
         clockDomain, cfg.timerPower, cfg.slaveWakeupTicks);
     bus->addSlave(timerUnit.get());
     powerController->registerComponent(ComponentId::Timers,
                                        timerUnit.get());
 
     thresholdFilter = std::make_unique<ThresholdFilter>(
-        simulation, "filter", this, *interruptBus, probeRecorder.get(),
+        simulation, "filter", this, *eventFabric, probeRecorder.get(),
         clockDomain, cfg.filterPower, cfg.slaveWakeupTicks,
         cfg.filterCompareCycles);
     bus->addSlave(thresholdFilter.get());
@@ -52,14 +57,14 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
                                        thresholdFilter.get());
 
     messageProcessor = std::make_unique<MessageProcessor>(
-        simulation, "msgProc", this, *interruptBus, probeRecorder.get(),
+        simulation, "msgProc", this, *eventFabric, probeRecorder.get(),
         clockDomain, cfg.msgPower, cfg.slaveWakeupTicks, cfg.msgTiming);
     bus->addSlave(messageProcessor.get());
     powerController->registerComponent(ComponentId::MsgProc,
                                        messageProcessor.get());
 
     compressorDev = std::make_unique<Compressor>(
-        simulation, "compressor", this, *interruptBus,
+        simulation, "compressor", this, *eventFabric,
         probeRecorder.get(), clockDomain, cfg.compressorPower,
         cfg.slaveWakeupTicks, Compressor::Timing{});
     bus->addSlave(compressorDev.get());
@@ -69,7 +74,7 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
     // Decorrelate the MAC backoff streams of nodes sharing one config
     // seed: two nodes drawing identical backoffs would collide forever.
     radioDevice = std::make_unique<RadioDevice>(
-        simulation, "radio", this, *interruptBus, probeRecorder.get(),
+        simulation, "radio", this, *eventFabric, probeRecorder.get(),
         clockDomain, cfg.radioPower, cfg.slaveWakeupTicks, channel,
         cfg.seed + 0x9e3779b97f4a7c15ull * (cfg.address + 1));
     bus->addSlave(radioDevice.get());
@@ -77,7 +82,7 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
                                        radioDevice.get());
 
     sensorAdc = std::make_unique<SensorAdc>(
-        simulation, "sensor", this, *interruptBus, probeRecorder.get(),
+        simulation, "sensor", this, *eventFabric, probeRecorder.get(),
         clockDomain, cfg.sensorPower, cfg.slaveWakeupTicks,
         cfg.sensorSignal, cfg.sensorNoiseStddev, cfg.seed);
     bus->addSlave(sensorAdc.get());
@@ -94,6 +99,9 @@ SensorNode::SensorNode(sim::Simulation &simulation, const std::string &name,
     powerController->registerComponent(ComponentId::Microcontroller,
                                        microcontroller.get());
     eventProcessor->setWakeMcu(
+        [this](std::uint16_t handler) { microcontroller->wake(handler); });
+    eventFabric->bind(*bus, *powerController);
+    eventFabric->setWakeMcu(
         [this](std::uint16_t handler) { microcontroller->wake(handler); });
     timerUnit->setWatchdogResetHook(
         [this] { microcontroller->forceReset(); });
@@ -220,9 +228,11 @@ SensorNode::powerDownInternal()
     for (auto &bank : bankPower)
         bank.powerOff();
     // Full supply loss clears even the retention latches that survive
-    // ordinary gating: duplicate suppression and routes are gone.
+    // ordinary gating: duplicate suppression, routes, and the event
+    // fabric's link CAM are gone. The owner re-arms links on revive.
     messageProcessor->clearDuplicateCam();
     messageProcessor->clearRoutes();
+    eventFabric->clearLinks();
 }
 
 void
@@ -327,6 +337,7 @@ double
 SensorNode::totalEnergyJoules() const
 {
     return eventProcessor->energyTracker().energyJoules() +
+           eventFabric->energyJoules() +
            timerUnit->energyJoules() +
            messageProcessor->energyJoules() +
            thresholdFilter->energyJoules() +
@@ -354,6 +365,9 @@ SensorNode::powerReport() const
                       eventProcessor->averagePowerWatts(),
                       eventProcessor->utilization(),
                       eventProcessor->energyTracker().energyJoules()});
+    report.push_back({"Event Fabric", eventFabric->averagePowerWatts(),
+                      eventFabric->utilization(),
+                      eventFabric->energyJoules()});
     report.push_back({"Timer", timerUnit->averagePowerWatts(),
                       static_cast<double>(timerUnit->runningTimers()) /
                           TimerUnit::numTimers,
@@ -386,6 +400,7 @@ double
 SensorNode::totalAverageWatts() const
 {
     return eventProcessor->averagePowerWatts() +
+           eventFabric->averagePowerWatts() +
            timerUnit->averagePowerWatts() +
            messageProcessor->averagePowerWatts() +
            thresholdFilter->averagePowerWatts() +

@@ -28,6 +28,7 @@
 #include "core/sensor_adc.hh"
 #include "core/threshold_filter.hh"
 #include "core/timer_unit.hh"
+#include "fabric/event_fabric.hh"
 #include "mcu/assembler.hh"
 #include "net/channel.hh"
 #include "power/harvest.hh"
@@ -77,6 +78,7 @@ class SensorNode : public sim::SimObject
     memory::Sram &memory() { return *sram; }
     DataBus &dataBus() { return *bus; }
     InterruptBus &irqBus() { return *interruptBus; }
+    fabric::EventFabric &fabric() { return *eventFabric; }
     PowerController &powerCtrl() { return *powerController; }
     ProbeRecorder &probes() { return *probeRecorder; }
 
@@ -187,6 +189,7 @@ class SensorNode : public sim::SimObject
     std::unique_ptr<ProbeRecorder> probeRecorder;
     std::unique_ptr<DataBus> bus;
     std::unique_ptr<InterruptBus> interruptBus;
+    std::unique_ptr<fabric::EventFabric> eventFabric;
     std::unique_ptr<PowerController> powerController;
 
     std::unique_ptr<memory::Sram> sram;

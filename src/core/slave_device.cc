@@ -8,7 +8,8 @@ namespace ulp::core {
 
 SlaveDevice::SlaveDevice(sim::Simulation &simulation, const std::string &name,
                          sim::SimObject *parent, AddrRange range,
-                         InterruptBus &irq_bus, ProbeRecorder *probes,
+                         fabric::EventSource &event_port,
+                         ProbeRecorder *probes,
                          const sim::ClockDomain &clock,
                          const power::PowerModel &model,
                          sim::Tick wakeup_ticks, bool initially_powered)
@@ -17,7 +18,7 @@ SlaveDevice::SlaveDevice(sim::Simulation &simulation, const std::string &name,
       tracker(*this, model,
               initially_powered ? power::PowerState::Idle
                                 : power::PowerState::Gated),
-      range(range), irqBus(irq_bus), probes(probes),
+      range(range), port(event_port), probes(probes),
       wakeupTicks(wakeup_ticks), _powered(initially_powered),
       idleEvent([this] { becomeIdle(); }, name + ".idle")
 {

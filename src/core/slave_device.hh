@@ -1,7 +1,8 @@
 /**
  * @file
  * Common behaviour of the memory-mapped slave accelerators: an address
- * range on the data bus, an interrupt request line, a power enable
+ * range on the data bus, a typed event port (routed by the fabric to a
+ * linked sink or down to the interrupt bus), a power enable
  * handshake, and active/idle/gated energy accounting. Every slave is
  * "nearly invisible during the entire lifetime of the application" when
  * gated (paper §4.2.6).
@@ -11,9 +12,9 @@
 #define ULP_CORE_SLAVE_DEVICE_HH
 
 #include "core/bus.hh"
-#include "core/interrupt_bus.hh"
 #include "core/power_controller.hh"
 #include "core/probes.hh"
+#include "fabric/event_port.hh"
 #include "power/energy_tracker.hh"
 #include "sim/clock.hh"
 
@@ -26,7 +27,7 @@ class SlaveDevice : public sim::SimObject,
   public:
     SlaveDevice(sim::Simulation &simulation, const std::string &name,
                 sim::SimObject *parent, AddrRange range,
-                InterruptBus &irq_bus, ProbeRecorder *probes,
+                fabric::EventSource &event_port, ProbeRecorder *probes,
                 const sim::ClockDomain &clock,
                 const power::PowerModel &model, sim::Tick wakeup_ticks,
                 bool initially_powered);
@@ -104,7 +105,18 @@ class SlaveDevice : public sim::SimObject,
             probes->recordSleepState(now, was);
     }
 
-    void postIrq(Irq irq) { irqBus.post(irq); }
+    /** Raise a plain event on this device's request line. */
+    void postIrq(Irq irq) { port.raise({irq, 0, false}); }
+
+    /**
+     * Raise an event that carries its datum (an ADC sample, a filter
+     * input), so a fabric link can consume it without re-reading the
+     * device over the data bus.
+     */
+    void raiseEvent(Irq irq, std::uint8_t datum)
+    {
+        port.raise({irq, datum, true});
+    }
 
     void
     recordProbe(Probe probe)
@@ -131,7 +143,7 @@ class SlaveDevice : public sim::SimObject,
     void becomeIdle();
 
     AddrRange range;
-    InterruptBus &irqBus;
+    fabric::EventSource &port;
     ProbeRecorder *probes;
     sim::Tick wakeupTicks;
     bool _powered;

@@ -7,14 +7,14 @@ namespace ulp::core {
 ThresholdFilter::ThresholdFilter(sim::Simulation &simulation,
                                  const std::string &name,
                                  sim::SimObject *parent,
-                                 InterruptBus &irq_bus,
+                                 fabric::EventSource &event_port,
                                  ProbeRecorder *probes,
                                  const sim::ClockDomain &clock,
                                  const power::PowerModel &model,
                                  sim::Tick wakeup_ticks,
                                  sim::Cycles compare_cycles)
     : SlaveDevice(simulation, name, parent,
-                  {map::filterBase, map::filterSize}, irq_bus, probes,
+                  {map::filterBase, map::filterSize}, event_port, probes,
                   clock, model, wakeup_ticks, true),
       compareCycles(compare_cycles),
       decideEvent([this] { decide(); }, name + ".decide"),
@@ -74,7 +74,7 @@ ThresholdFilter::decide()
     ULP_TRACE("Filter", this, "datum %u %s threshold %u", datum,
               pass ? ">=" : "<", thresh);
     if (ctrl & ctrlIrqMode)
-        postIrq(pass ? Irq::FilterPass : Irq::FilterFail);
+        raiseEvent(pass ? Irq::FilterPass : Irq::FilterFail, datum);
 }
 
 void

@@ -25,7 +25,7 @@ class ThresholdFilter : public SlaveDevice
     static constexpr sim::Cycles defaultCompareCycles = 3;
 
     ThresholdFilter(sim::Simulation &simulation, const std::string &name,
-                    sim::SimObject *parent, InterruptBus &irq_bus,
+                    sim::SimObject *parent, fabric::EventSource &event_port,
                     ProbeRecorder *probes, const sim::ClockDomain &clock,
                     const power::PowerModel &model, sim::Tick wakeup_ticks,
                     sim::Cycles compare_cycles = defaultCompareCycles);

@@ -6,12 +6,12 @@
 namespace ulp::core {
 
 TimerUnit::TimerUnit(sim::Simulation &simulation, const std::string &name,
-                     sim::SimObject *parent, InterruptBus &irq_bus,
+                     sim::SimObject *parent, fabric::EventSource &event_port,
                      ProbeRecorder *probes, const sim::ClockDomain &clock,
                      const power::PowerModel &block_model,
                      sim::Tick wakeup_ticks)
     : SlaveDevice(simulation, name, parent,
-                  {map::timerBase, map::timerSize}, irq_bus, probes, clock,
+                  {map::timerBase, map::timerSize}, event_port, probes, clock,
                   // The block tracker accounts the idle/gated baseline;
                   // running timers add their active-power share via the
                   // per-timer trackers below.

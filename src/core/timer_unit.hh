@@ -47,7 +47,7 @@ class TimerUnit : public SlaveDevice
     static constexpr unsigned wdtUnitCycles = 256;
 
     TimerUnit(sim::Simulation &simulation, const std::string &name,
-              sim::SimObject *parent, InterruptBus &irq_bus,
+              sim::SimObject *parent, fabric::EventSource &event_port,
               ProbeRecorder *probes, const sim::ClockDomain &clock,
               const power::PowerModel &block_model,
               sim::Tick wakeup_ticks);

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Typed event ports between peripherals, the event fabric and the
+ * interrupt bus.
+ *
+ * Devices no longer call InterruptBus::post() directly: they raise a
+ * typed Event through the EventSource port they were constructed with
+ * (in practice the node's EventFabric). The fabric either services the
+ * event autonomously over a scenario-declared link, or forwards it to
+ * the interrupt bus where the event processor picks it up exactly as
+ * before.
+ *
+ * EventSink is the typed replacement for the old
+ * InterruptBus::setListener(std::function) coupling: whoever wants to
+ * be poked when a request line is asserted (the EP) implements it.
+ */
+
+#ifndef ULP_FABRIC_EVENT_PORT_HH
+#define ULP_FABRIC_EVENT_PORT_HH
+
+#include <cstdint>
+
+#include "core/interrupts.hh"
+
+namespace ulp::fabric {
+
+/**
+ * One peripheral event. The interrupt code identifies the request line
+ * the device would have asserted; producers whose event carries a datum
+ * (an ADC sample, a filter input) attach it so a linked sink can use it
+ * without a bus round-trip through the EP.
+ */
+struct Event {
+    core::Irq irq;
+    std::uint8_t datum = 0;
+    bool hasDatum = false;
+};
+
+/** Producer-side port: devices raise events here. */
+class EventSource
+{
+  public:
+    virtual ~EventSource() = default;
+    virtual void raise(const Event &event) = 0;
+};
+
+/**
+ * Consumer-side notification port on the interrupt bus: implemented by
+ * the event processor, poked once per accepted post.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+    virtual void eventPosted() = 0;
+};
+
+} // namespace ulp::fabric
+
+#endif // ULP_FABRIC_EVENT_PORT_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The event-link vocabulary: named producer events, named sink actions,
+ * and the Link pairs scenarios declare in their [events] section
+ * (`link = adc.threshold -> msgproc.tx`).
+ *
+ * Sources are a superset of the interrupt codes: `adc.threshold` routes
+ * the same AdcDone request line as `adc.done` but adds the fabric-side
+ * threshold comparator, so at most one of them may be linked per node.
+ */
+
+#ifndef ULP_FABRIC_LINKS_HH
+#define ULP_FABRIC_LINKS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/components.hh"
+#include "core/interrupts.hh"
+
+namespace ulp::fabric {
+
+enum class Source : std::uint8_t {
+    Timer0Fire,
+    Timer1Fire,
+    Timer2Fire,
+    Timer3Fire,
+    WatchdogBark,
+    AdcDone,
+    AdcThreshold,
+    FilterPass,
+    FilterFail,
+    CompDone,
+    MsgBatchFull,
+    MsgTxReady,
+    MsgRxForward,
+    MsgRxDrop,
+    MsgRxLocal,
+    MsgRxIrregular,
+    RadioTxDone,
+    RadioRxDone,
+    RadioTxFail,
+    NumSources
+};
+
+enum class Sink : std::uint8_t {
+    AdcSample,
+    MsgProcTx,
+    RadioTx,
+    RadioGate,
+    Timer0Restart,
+    Timer1Restart,
+    Timer2Restart,
+    Timer3Restart,
+    ProbeLatch,
+    McuWake,
+    Ep,
+    NumSinks
+};
+
+struct Link {
+    Source source;
+    Sink sink;
+    bool operator==(const Link &) const = default;
+};
+
+constexpr std::size_t numSources =
+    static_cast<std::size_t>(Source::NumSources);
+constexpr std::size_t numSinks = static_cast<std::size_t>(Sink::NumSinks);
+
+/** Interrupt code the source's producer asserts. */
+constexpr core::Irq
+sourceIrq(Source source)
+{
+    using core::Irq;
+    switch (source) {
+      case Source::Timer0Fire: return Irq::Timer0;
+      case Source::Timer1Fire: return Irq::Timer1;
+      case Source::Timer2Fire: return Irq::Timer2;
+      case Source::Timer3Fire: return Irq::Timer3;
+      case Source::WatchdogBark: return Irq::Watchdog;
+      case Source::AdcDone: return Irq::AdcDone;
+      case Source::AdcThreshold: return Irq::AdcDone;
+      case Source::FilterPass: return Irq::FilterPass;
+      case Source::FilterFail: return Irq::FilterFail;
+      case Source::CompDone: return Irq::CompDone;
+      case Source::MsgBatchFull: return Irq::MsgBatchFull;
+      case Source::MsgTxReady: return Irq::MsgTxReady;
+      case Source::MsgRxForward: return Irq::MsgRxForward;
+      case Source::MsgRxDrop: return Irq::MsgRxDrop;
+      case Source::MsgRxLocal: return Irq::MsgRxLocal;
+      case Source::MsgRxIrregular: return Irq::MsgRxIrregular;
+      case Source::RadioTxDone: return Irq::RadioTxDone;
+      case Source::RadioRxDone: return Irq::RadioRxDone;
+      case Source::RadioTxFail: return Irq::RadioTxFail;
+      default: return Irq::Timer0;
+    }
+}
+
+/** True when the producer attaches a datum to the raised event. */
+constexpr bool
+sourceCarriesDatum(Source source)
+{
+    switch (source) {
+      case Source::AdcDone:
+      case Source::AdcThreshold:
+      case Source::FilterPass:
+      case Source::FilterFail:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Source gated by the fabric threshold comparator before the sink. */
+constexpr bool
+sourceThresholdGated(Source source)
+{
+    return source == Source::AdcThreshold;
+}
+
+/**
+ * The accelerator the fabric power-gates once the linked event has been
+ * consumed (the EP ISRs' trailing SWITCHOFF, moved into the fabric).
+ */
+constexpr std::optional<core::ComponentId>
+sourceRetiredComponent(Source source)
+{
+    switch (source) {
+      case Source::AdcDone:
+      case Source::AdcThreshold:
+        return core::ComponentId::Sensor;
+      case Source::FilterPass:
+      case Source::FilterFail:
+        return core::ComponentId::Filter;
+      case Source::CompDone:
+        return core::ComponentId::Compressor;
+      default:
+        return std::nullopt;
+    }
+}
+
+const char *sourceName(Source source);
+const char *sinkName(Sink sink);
+
+std::optional<Source> parseSource(std::string_view text);
+std::optional<Sink> parseSink(std::string_view text);
+
+/** "source -> sink", the canonical scenario spelling. */
+std::string linkName(const Link &link);
+
+} // namespace ulp::fabric
+
+#endif // ULP_FABRIC_LINKS_HH

@@ -209,6 +209,15 @@ exportChrome(const MergedLog &log, const ExportNames &names)
             instant(c, cat, probe, r.tick);
             break;
           }
+          case TelemetryChannel::Fabric: {
+            static const char *kinds[] = {"linked", "busy drop",
+                                          "filtered"};
+            std::string irq = names.irq ? names.irq(r.a)
+                                        : "irq" + std::to_string(r.a);
+            instant(c, "fabric",
+                    irq + " " + (r.b < 3 ? kinds[r.b] : "?"), r.tick);
+            break;
+          }
           case TelemetryChannel::SleepState: {
             // Awake (0) is the baseline; only sleep stints get boxes.
             Stint &s = sleep[c];

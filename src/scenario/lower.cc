@@ -345,6 +345,12 @@ lower(const Scenario &sc)
 
         if (coordinator && i == *coordinator)
             ns.macCoordinator = true;
+        // Fabric links: a per-node override replaces the [events] base
+        // set wholesale (links = none disarms the fabric entirely).
+        if (o.links)
+            ns.links = *o.links;
+        else if (sc.events)
+            ns.links = sc.events->links;
         // Sleep policy: an explicit per-node override always wins; the
         // [sleep] default skips the sink and the beacon coordinator,
         // which must stay awake to serve the rest of the network.

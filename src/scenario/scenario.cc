@@ -229,6 +229,79 @@ parseRoutesKey(const Cursor &at, Scenario &sc, const std::string &key,
         at.fail("unknown key '" + key + "' in [routes]");
 }
 
+/** One `source -> sink` fabric link. */
+fabric::Link
+parseLink(const Cursor &at, const std::string &key, const std::string &text)
+{
+    auto arrow = text.find("->");
+    if (arrow == std::string::npos) {
+        at.fail("'" + key + "' entries are 'source -> sink', got '" + text +
+                "'");
+    }
+    std::string src = trim(text.substr(0, arrow));
+    std::string dst = trim(text.substr(arrow + 2));
+    auto source = fabric::parseSource(src);
+    if (!source)
+        at.fail("'" + key + "': unknown event source '" + src + "'");
+    auto sink = fabric::parseSink(dst);
+    if (!sink)
+        at.fail("'" + key + "': unknown event sink '" + dst + "'");
+    return {*source, *sink};
+}
+
+/**
+ * The fabric routes by interrupt request line, so two links on the same
+ * line (e.g. adc.done and adc.threshold) can never both be armed —
+ * reject at the declaring line rather than at network construction.
+ */
+void
+checkNewLink(const Cursor &at, const std::string &key,
+             const std::vector<fabric::Link> &prior, const fabric::Link &link)
+{
+    for (const fabric::Link &p : prior) {
+        if (fabric::sourceIrq(p.source) == fabric::sourceIrq(link.source)) {
+            at.fail("'" + key + "': '" +
+                    std::string(fabric::sourceName(link.source)) +
+                    "' routes the same request line as the earlier '" +
+                    fabric::sourceName(p.source) + "' link");
+        }
+    }
+}
+
+void
+parseEventsKey(const Cursor &at, Scenario &sc, const std::string &key,
+               const std::string &value)
+{
+    Scenario::Events &e = *sc.events;
+    if (key == "link") {
+        fabric::Link link = parseLink(at, key, value);
+        checkNewLink(at, key, e.links, link);
+        e.links.push_back(link);
+    } else
+        at.fail("unknown key '" + key + "' in [events]");
+}
+
+/** Comma-separated link list for [node N] `links`; "none" = empty. */
+std::vector<fabric::Link>
+parseLinkList(const Cursor &at, const std::string &key,
+              const std::string &value)
+{
+    std::vector<fabric::Link> links;
+    if (value == "none")
+        return links;
+    std::istringstream list(value);
+    std::string item;
+    while (std::getline(list, item, ',')) {
+        item = trim(item);
+        if (item.empty())
+            at.fail("'" + key + "' has an empty entry");
+        fabric::Link link = parseLink(at, key, item);
+        checkNewLink(at, key, links, link);
+        links.push_back(link);
+    }
+    return links;
+}
+
 ulp::sleep::Policy
 parseSleepPolicy(const Cursor &at, const std::string &key,
                  const std::string &value)
@@ -344,7 +417,9 @@ parseNodeKey(const Cursor &at, NodeOverride &o, const std::string &key,
         o.sleepOn = parseDouble(at, key, value);
         if (!(*o.sleepOn > 0.0))
             at.fail("'sleep-on' must be positive (seconds)");
-    } else
+    } else if (key == "links")
+        o.links = parseLinkList(at, key, value);
+    else
         at.fail("unknown key '" + key + "' in [node N]");
 }
 
@@ -569,6 +644,28 @@ validateParsed(Cursor &at, const Scenario &sc,
         }
         (void)o;
     }
+    // Fabric links: the msgproc.tx sink forwards the event's datum as
+    // the message payload, so it needs a datum-carrying source.
+    {
+        auto checkLinks = [&](const std::string &where,
+                              const std::vector<fabric::Link> &links) {
+            for (const fabric::Link &l : links) {
+                if (l.sink == fabric::Sink::MsgProcTx &&
+                    !fabric::sourceCarriesDatum(l.source)) {
+                    at.fail(where + " link '" + fabric::linkName(l) +
+                            "': msgproc.tx needs a datum-carrying source "
+                            "(adc.done, adc.threshold, filter.pass or "
+                            "filter.fail)");
+                }
+            }
+        };
+        if (sc.events)
+            checkLinks("[events]", sc.events->links);
+        for (const auto &[index, o] : sc.overrides) {
+            if (o.links)
+                checkLinks("[node " + std::to_string(index) + "]", *o.links);
+        }
+    }
     if (sc.mac && sc.mac->mode == ulp::sleep::MacMode::Beacon) {
         const Scenario::Mac &m = *sc.mac;
         if (m.sfOrder > m.beaconOrder) {
@@ -644,6 +741,7 @@ parseScenario(const std::string &text, const std::string &filename)
         Radio,
         Mac,
         Routes,
+        Events,
         Sleep,
         Lifecycle,
         Node,
@@ -682,7 +780,11 @@ parseScenario(const std::string &text, const std::string &filename)
                     sc.mac.emplace();
             } else if (sec == "routes")
                 section = Section::Routes;
-            else if (sec == "sleep") {
+            else if (sec == "events") {
+                section = Section::Events;
+                if (!sc.events)
+                    sc.events.emplace();
+            } else if (sec == "sleep") {
                 section = Section::Sleep;
                 if (!sc.sleep)
                     sc.sleep.emplace();
@@ -742,6 +844,9 @@ parseScenario(const std::string &text, const std::string &filename)
             break;
           case Section::Routes:
             parseRoutesKey(at, sc, key, value);
+            break;
+          case Section::Events:
+            parseEventsKey(at, sc, key, value);
             break;
           case Section::Sleep:
             parseSleepKey(at, sc, key, value);
@@ -841,6 +946,12 @@ printScenario(const Scenario &sc)
     os << "mode = " << routeModeName(sc.routes.mode) << "\n"
        << "min-prob = " << formatDouble(sc.routes.minProb) << "\n";
 
+    if (sc.events) {
+        os << "\n[events]\n";
+        for (const fabric::Link &l : sc.events->links)
+            os << "link = " << fabric::linkName(l) << "\n";
+    }
+
     if (sc.sleep) {
         const Scenario::Sleep &s = *sc.sleep;
         os << "\n[sleep]\n"
@@ -915,6 +1026,17 @@ printScenario(const Scenario &sc)
             os << "sleep-period = " << formatDouble(*o.sleepPeriod) << "\n";
         if (o.sleepOn)
             os << "sleep-on = " << formatDouble(*o.sleepOn) << "\n";
+        if (o.links) {
+            os << "links = ";
+            if (o.links->empty())
+                os << "none";
+            for (std::size_t i = 0; i < o.links->size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << fabric::linkName((*o.links)[i]);
+            }
+            os << "\n";
+        }
     }
 
     if (sc.fault) {
@@ -961,7 +1083,11 @@ applyScenarioKey(Scenario &sc, const std::string &dottedKey,
         parseMacKey(at, sc, key, value);
     } else if (section == "routes")
         parseRoutesKey(at, sc, key, value);
-    else if (section == "sleep") {
+    else if (section == "events") {
+        if (!sc.events)
+            sc.events.emplace();
+        parseEventsKey(at, sc, key, value);
+    } else if (section == "sleep") {
         if (!sc.sleep)
             sc.sleep.emplace();
         parseSleepKey(at, sc, key, value);

@@ -10,10 +10,11 @@
  *
  * Syntax:
  *   - sections in brackets: [scenario], [nodes], [radio], [mac]
- *     (CSMA-CA vs beacon-enabled 802.15.4), [routes], [sleep]
- *     (duty-cycled sleep policies), [lifecycle] (node churn and route
- *     repair), [node N] (per-node overrides; duplicate headers are an
- *     error), [fault], [trace]
+ *     (CSMA-CA vs beacon-enabled 802.15.4), [routes], [events]
+ *     (event-fabric links: `link = adc.threshold -> msgproc.tx`),
+ *     [sleep] (duty-cycled sleep policies), [lifecycle] (node churn and
+ *     route repair), [node N] (per-node overrides; duplicate headers are
+ *     an error), [fault], [trace]
  *   - `key = value` assignments; '#' and ';' start comments
  *   - unknown sections and unknown keys are errors, not warnings
  *   - every diagnostic carries "file:line:"
@@ -53,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/links.hh"
 #include "net/spatial.hh"
 #include "sleep/policy.hh"
 
@@ -125,6 +127,9 @@ struct NodeOverride
     std::optional<ulp::sleep::Policy> sleepPolicy;
     std::optional<double> sleepPeriod; ///< seconds
     std::optional<double> sleepOn;     ///< seconds
+    /** Replaces the [events] base set wholesale; empty = no links
+     *  (`links = none`). */
+    std::optional<std::vector<fabric::Link>> links;
 
     bool operator==(const NodeOverride &) const = default;
 };
@@ -193,6 +198,16 @@ struct Scenario
 
         bool operator==(const Routes &) const = default;
     } routes;
+
+    // --- [events] ---------------------------------------------------------
+    struct Events
+    {
+        /** Fabric links, in declaration order (repeated `link =` keys). */
+        std::vector<fabric::Link> links;
+
+        bool operator==(const Events &) const = default;
+    };
+    std::optional<Events> events;
 
     // --- [sleep] ----------------------------------------------------------
     struct Sleep

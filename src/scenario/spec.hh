@@ -1,19 +1,17 @@
 /**
  * @file
- * The lowered network description: the single configuration surface
- * behind which the three historical ones — `core::Network::Config`'s
- * per-node lambdas, `core::NodeConfig`, and `core::apps::AppParams` —
- * are collapsed. A NodeSpec is one node, fully resolved: its hardware
+ * The lowered network description: the single configuration surface in
+ * front of `core::Network` (the historical per-node-lambda Config shim
+ * is gone). A NodeSpec is one node, fully resolved: its hardware
  * configuration, its application (by scenario name or as a prebuilt
  * image), its position, and its routing-CAM preload. A NetworkSpec is
  * the whole network plus the kernel/channel parameters.
  *
  * Everything here is plain data with a small fluent builder — no
  * lambdas, no deferred resolution — so a spec can be compared, printed,
- * and handed to `core::Network`'s primary constructor. The scenario
- * parser (scenario/scenario.hh) lowers its declarative form into this;
- * the legacy `Network::Config` constructor lowers its lambdas into this
- * too, which is what makes old and new paths behaviorally identical.
+ * and handed to `core::Network`'s constructor. The scenario parser
+ * (scenario/scenario.hh) lowers its declarative form into this; tests
+ * and benches build specs directly with the builder.
  *
  * Header-only on purpose: core/network.cc consumes it while
  * scenario/lower.cc produces it, and keeping it free of a .cc file keeps
@@ -32,6 +30,7 @@
 #include "core/apps.hh"
 #include "core/message_processor.hh"
 #include "core/node_config.hh"
+#include "fabric/links.hh"
 #include "net/channel.hh"
 #include "net/spatial.hh"
 #include "sim/telemetry.hh"
@@ -63,10 +62,17 @@ struct NodeSpec
     std::vector<core::MessageProcessor::Route> routes;
 
     /**
-     * Escape hatch for the legacy Config path and tests: a prebuilt
-     * application image used verbatim instead of `app`/`params`.
+     * Escape hatch for tests and benches: a prebuilt application image
+     * used verbatim instead of `app`/`params`.
      */
     std::optional<core::apps::NodeApp> prebuiltApp;
+
+    /**
+     * Event-fabric links armed on this node ([events] section plus
+     * per-node overrides). The fabric's threshold comparator uses
+     * params.threshold.
+     */
+    std::vector<fabric::Link> links;
 
     /** Resolved sleep policy (scenario [sleep] + per-node overrides);
      *  driven by sleep::SleepController, not by the node itself. */
@@ -120,6 +126,12 @@ struct NodeSpec
         prebuiltApp = std::move(a);
         return *this;
     }
+    NodeSpec &
+    withLink(fabric::Source source, fabric::Sink sink)
+    {
+        links.push_back({source, sink});
+        return *this;
+    }
 
     /** Resolve the application image this node boots. */
     core::apps::NodeApp
@@ -152,7 +164,11 @@ struct NetworkSpec
      */
     std::optional<net::SpatialConfig> spatial;
 
-    /** Optional per-shard telemetry sink factory (see Network::Config). */
+    /**
+     * Optional per-shard telemetry sink factory (obs::EventLog::sink
+     * wrapped in a lambda). Installed on each shard's Simulation before
+     * any node is constructed, so every component registers.
+     */
     std::function<sim::TelemetrySink *(unsigned)> telemetrySink;
 
     /** Network-wide MAC selection ([mac] section). With MacMode::Beacon

@@ -26,6 +26,8 @@
  *   Energy: payload = bit_cast<uint64_t>(cumulative joules), periodic
  *   SleepState: a = new sleep state, b = old (0 awake, 1 light sleep,
  *           2 deep sleep, 3 radio MAC sleep between superframes)
+ *   Fabric: a = irq code, b = 0 linked-delivered / 1 sink-busy drop /
+ *           2 threshold-filtered, payload = fabric sink id
  */
 
 #ifndef ULP_SIM_TELEMETRY_HH
@@ -48,6 +50,7 @@ enum class TelemetryChannel : std::uint8_t {
     Probe,     ///< every other probe milestone
     Energy,    ///< periodic cumulative-energy samples
     SleepState, ///< node/radio sleep-policy transitions
+    Fabric,     ///< event-fabric routed deliveries/drops
     NumChannels,
 };
 
@@ -86,6 +89,8 @@ telemetryChannelName(TelemetryChannel channel)
         return "energy";
       case TelemetryChannel::SleepState:
         return "sleep";
+      case TelemetryChannel::Fabric:
+        return "fabric";
       case TelemetryChannel::NumChannels:
         break;
     }

@@ -29,26 +29,23 @@ using namespace ulp;
 namespace {
 
 /** Same workload as test_parallel's oracle: app v1 near saturation. */
-core::Network::Config
-oracleConfig(unsigned nodes, unsigned threads)
+scenario::NetworkSpec
+oracleSpec(unsigned nodes, unsigned threads)
 {
-    core::Network::Config cfg;
-    cfg.numNodes = nodes;
-    cfg.threads = threads;
-    cfg.channelSeed = 42;
-    cfg.nodeConfig = [](unsigned i) {
+    scenario::NetworkSpec spec;
+    spec.threads = threads;
+    spec.channelSeed = 42;
+    for (unsigned i = 0; i < nodes; ++i) {
         core::NodeConfig nc;
         nc.address = static_cast<std::uint16_t>(1 + i);
         nc.seed = 1000 + i;
         nc.sensorSignal = [](sim::Tick) { return 200; };
-        return nc;
-    };
-    cfg.nodeApp = [](unsigned i) {
         core::apps::AppParams params;
         params.samplePeriodCycles = 2500 + 37 * i;
-        return core::apps::buildApp1(params);
-    };
-    return cfg;
+        spec.addNode().withConfig(nc).withPrebuiltApp(
+            core::apps::buildApp1(params));
+    }
+    return spec;
 }
 
 std::string
@@ -71,9 +68,9 @@ runTraced(unsigned nodes, unsigned threads, double seconds,
     ecfg.channelMask = mask;
     obs::EventLog log(ecfg, threads);
 
-    core::Network::Config cfg = oracleConfig(nodes, threads);
-    cfg.telemetrySink = [&log](unsigned s) { return &log.sink(s); };
-    core::Network network(cfg);
+    scenario::NetworkSpec spec = oracleSpec(nodes, threads);
+    spec.telemetrySink = [&log](unsigned s) { return &log.sink(s); };
+    core::Network network(spec);
     for (unsigned s = 0; s < threads; ++s)
         log.attachSampler(s, network.shardSimulation(s));
     network.runForSeconds(seconds);
@@ -182,9 +179,9 @@ TEST(ObsEventLog, RingOverflowDropsAreCountedNotFatal)
     ecfg.streaming = false;   // nothing drains during the run
     obs::EventLog log(ecfg, 1);
 
-    core::Network::Config cfg = oracleConfig(4, 1);
-    cfg.telemetrySink = [&log](unsigned s) { return &log.sink(s); };
-    core::Network network(cfg);
+    scenario::NetworkSpec spec = oracleSpec(4, 1);
+    spec.telemetrySink = [&log](unsigned s) { return &log.sink(s); };
+    core::Network network(spec);
     network.runForSeconds(0.05);
     log.finish();
 
@@ -257,8 +254,8 @@ TEST(ObsEnergy, ShardedEnergyTotalsMatchSequentialBitwise)
     const unsigned nodes = 16;
     const double seconds = 0.05;
 
-    core::Network seq(oracleConfig(nodes, 1));
-    core::Network par(oracleConfig(nodes, 4));
+    core::Network seq(oracleSpec(nodes, 1));
+    core::Network par(oracleSpec(nodes, 4));
     seq.runForSeconds(seconds);
     par.runForSeconds(seconds);
 

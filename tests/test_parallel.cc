@@ -36,32 +36,29 @@ using namespace ulp;
 namespace {
 
 /** The bench workload: app v1 nodes near channel saturation. */
-core::Network::Config
-benchConfig(unsigned nodes, unsigned threads)
+scenario::NetworkSpec
+benchSpec(unsigned nodes, unsigned threads)
 {
-    core::Network::Config cfg;
-    cfg.numNodes = nodes;
-    cfg.threads = threads;
-    cfg.channelSeed = 42;
-    cfg.nodeConfig = [](unsigned i) {
+    scenario::NetworkSpec spec;
+    spec.threads = threads;
+    spec.channelSeed = 42;
+    for (unsigned i = 0; i < nodes; ++i) {
         core::NodeConfig nc;
         nc.address = static_cast<std::uint16_t>(1 + i);
         nc.seed = 1000 + i;
         nc.sensorSignal = [](sim::Tick) { return 200; };
-        return nc;
-    };
-    cfg.nodeApp = [](unsigned i) {
         core::apps::AppParams params;
         params.samplePeriodCycles = 2500 + 37 * i;
-        return core::apps::buildApp1(params);
-    };
-    return cfg;
+        spec.addNode().withConfig(nc).withPrebuiltApp(
+            core::apps::buildApp1(params));
+    }
+    return spec;
 }
 
 core::Network::Counters
 runBenchNetwork(unsigned nodes, unsigned threads, double seconds)
 {
-    core::Network network(benchConfig(nodes, threads));
+    core::Network network(benchSpec(nodes, threads));
     network.runForSeconds(seconds);
     return network.counters();
 }
@@ -164,8 +161,8 @@ TEST(ParallelNetwork, RepeatedParallelRunsAreDeterministic)
 
 TEST(ParallelNetwork, MergedStatsByteIdentical)
 {
-    core::Network seq(benchConfig(16, 1));
-    core::Network par(benchConfig(16, 4));
+    core::Network seq(benchSpec(16, 1));
+    core::Network par(benchSpec(16, 4));
     seq.runForSeconds(0.05);
     par.runForSeconds(0.05);
 
@@ -225,15 +222,18 @@ TEST(ParallelNetwork, ChurnedNodesReviveOnTheirHomeShard)
     EXPECT_EQ(k1, k4);
 }
 
-TEST(ParallelNetwork, ConfigValidation)
+TEST(ParallelNetwork, SpecValidation)
 {
-    core::Network::Config cfg = benchConfig(2, 4);
-    EXPECT_THROW(core::Network{cfg}, sim::FatalError); // threads > nodes
-    cfg = benchConfig(2, 0);
-    EXPECT_THROW(core::Network{cfg}, sim::FatalError);
-    cfg = benchConfig(4, 2);
-    cfg.nodeApp = nullptr;
-    EXPECT_THROW(core::Network{cfg}, sim::FatalError);
+    scenario::NetworkSpec spec = benchSpec(2, 4);
+    EXPECT_THROW(core::Network{spec}, sim::FatalError); // threads > nodes
+    spec = benchSpec(2, 0);
+    EXPECT_THROW(core::Network{spec}, sim::FatalError);
+    spec = scenario::NetworkSpec{};                     // zero nodes
+    EXPECT_THROW(core::Network{spec}, sim::FatalError);
+    spec = benchSpec(4, 2);
+    spec.nodes[0].prebuiltApp.reset();
+    spec.nodes[0].app = "no-such-app";                  // buildByName fatal
+    EXPECT_THROW(core::Network{spec}, sim::FatalError);
 }
 
 // --------------------------------------------------------------------------

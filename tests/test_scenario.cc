@@ -6,8 +6,6 @@
  *  - parse/print round-trip identity and line-numbered diagnostics
  *  - deterministic placement (grid geometry, seeded uniform draws)
  *  - lowering conventions: addresses, seeds, stagger, BFS route trees
- *  - the legacy Network::Config lambdas and a hand-built NodeSpec list
- *    drive byte-identical simulations
  *  - end-to-end multi-hop: a 3-node relay chain delivers distant
  *    packets to the sink through the routing CAM
  *  - the K = 1/2/4 oracle on a 64-node spatial multi-hop network:
@@ -365,55 +363,6 @@ TEST(ScenarioLower, ExplicitRouteCycleIsFatal)
     sc.overrides[1].nextHop = 2;
     sc.overrides[2].nextHop = 1;
     EXPECT_THROW(scenario::lower(sc), sim::FatalError);
-}
-
-// ---------------------------------------------------------------------------
-// Configuration-path equivalence.
-// ---------------------------------------------------------------------------
-
-TEST(ScenarioSpec, LegacyConfigAndNodeSpecRunIdentically)
-{
-    // The lambda Config front end and a hand-built NodeSpec list must
-    // drive byte-identical simulations — same counters, same stats.
-    core::Network::Config cfg;
-    cfg.numNodes = 8;
-    cfg.channelSeed = 42;
-    cfg.nodeConfig = [](unsigned i) {
-        core::NodeConfig nc;
-        nc.address = static_cast<std::uint16_t>(1 + i);
-        nc.seed = 1000 + i;
-        nc.sensorSignal = [](sim::Tick) { return 200; };
-        return nc;
-    };
-    cfg.nodeApp = [](unsigned i) {
-        core::apps::AppParams params;
-        params.samplePeriodCycles = 2500 + 37 * i;
-        return core::apps::buildApp1(params);
-    };
-
-    scenario::NetworkSpec spec;
-    spec.channelSeed = 42;
-    for (unsigned i = 0; i < 8; ++i) {
-        core::NodeConfig nc;
-        nc.address = static_cast<std::uint16_t>(1 + i);
-        nc.seed = 1000 + i;
-        nc.sensorSignal = [](sim::Tick) { return 200; };
-        core::apps::AppParams params;
-        params.samplePeriodCycles = 2500 + 37 * i;
-        spec.addNode().withConfig(nc).withApp("app1").withParams(params);
-    }
-
-    core::Network legacy(cfg);
-    core::Network direct(spec);
-    legacy.runForSeconds(0.05);
-    direct.runForSeconds(0.05);
-    EXPECT_EQ(legacy.counters(), direct.counters());
-    EXPECT_GT(legacy.counters().framesSent, 0u);
-
-    std::ostringstream a, b;
-    legacy.dumpStats(a);
-    direct.dumpStats(b);
-    EXPECT_EQ(a.str(), b.str());
 }
 
 // ---------------------------------------------------------------------------

@@ -12,14 +12,13 @@
  * per-node apps and overrides, the radio model, multi-hop routes toward
  * a sink, fault campaigns, trace output — see scenario/scenario.hh.
  *
- * The older flag-based interface (--app/--nodes/--period/...) still
- * works: the flags are lowered into an in-memory scenario and run
- * through the same engine. The Mica2 baseline platform remains
- * flag-only (`--platform=mica2`).
+ * The old flag-based node front end (--app/--nodes/--period/... without
+ * a subcommand) is gone: those runs are scenario files now, and the
+ * driver points anyone who tries at `ulpsim run`. The Mica2 baseline
+ * platform remains flag-only (`--platform=mica2`).
  *
  * Examples:
  *   ulpsim run examples/multihop_grid.ini --threads=4 --stats
- *   ulpsim --app=app2 --period=1000 --threshold=100 --seconds=10 --power
  *   ulpsim --platform=mica2 --app=app1 --seconds=2
  */
 
@@ -97,7 +96,8 @@ usage(int code)
         "campaign\n"
         "  ulpsim campaign report <store.jsonl>    aggregate a results "
         "store\n"
-        "  ulpsim [flags]                          legacy flag interface\n"
+        "  ulpsim --platform=mica2 [flags]         Mica2 baseline "
+        "(flag-only)\n"
         "\n"
         "run overrides:\n"
         "  --threads=K --seconds=S --seed=N --stats --power\n"
@@ -114,31 +114,26 @@ usage(int code)
         "  --check=PATH         gate against a baseline (exit 1 on drift)\n"
         "  --tolerance=T        relative band for --check (default 0.1)\n"
         "\n"
-        "legacy flags:\n"
-        "  --platform=node|mica2   which full-system model (default node)\n"
-        "  --app=app1|app2|app3|app4|blink|sense|sink\n"
-        "  --nodes=N               simulate N nodes on one broadcast "
-        "channel (node platform)\n"
-        "  --threads=K             shard the network across K worker "
-        "threads (node platform, K <= N; statistics are identical for "
-        "every K)\n"
+        "mica2 flags:\n"
+        "  --platform=mica2        select the Mica2 baseline platform\n"
+        "  --app=app1|app2|app3|app4|blink|sense\n"
         "  --period=N              sampling period in system cycles "
         "(default 1000 = 100 Hz)\n"
         "  --threshold=N           filter threshold (app2+)\n"
-        "  --dest=N                data destination address\n"
         "  --seconds=S             simulated duration (default 10)\n"
         "  --signal=const:V | sine:AMP,PERIOD_S | ramp:PER_SECOND\n"
         "  --noise=STDDEV          gaussian sensor noise\n"
         "  --seed=N                deterministic seed\n"
-        "  --power                 print the power breakdown (1 node)\n"
+        "  --power                 print the power breakdown\n"
         "  --stats                 dump the full statistics tree\n"
         "  --trace=FLAGS           comma-separated trace categories "
         "(EP,Bus,IrqBus,Timer,MsgProc,Radio,Mcu,Sram,Power,All)\n"
-        "  --trace-out=DIR         write a binary telemetry trace to DIR "
-        "(node platform; analyze with ulptrace)\n"
-        "  --trace-channels=LIST   comma-separated telemetry channels "
-        "(%s or all; default all)\n"
-        "  --help\n",
+        "  --help\n"
+        "\n"
+        "trace channels for --trace-channels: %s or all\n"
+        "\n"
+        "The flag-based node front end is retired: node-platform runs are\n"
+        "scenario files now (`ulpsim run <scenario.ini>`).\n",
         obs::allChannelNames().c_str());
     std::exit(code);
 }
@@ -223,23 +218,19 @@ validate(const Options &opt)
     std::string kind = opt.signal.substr(0, opt.signal.find(':'));
     if (kind != "const" && kind != "sine" && kind != "ramp")
         complain("unknown signal spec '" + opt.signal + "'");
-    if (opt.nodes == 0)
-        complain("--nodes must be at least 1");
-    if (opt.threads == 0)
-        complain("--threads must be at least 1");
-    if (opt.nodes > 1 && opt.platform != "node")
-        complain("--nodes requires --platform=node");
-    if (opt.threads > 1 && opt.platform != "node")
-        complain("--threads requires --platform=node");
-    if (opt.threads > opt.nodes) {
-        complain("--threads=" + std::to_string(opt.threads) +
-                 " exceeds --nodes=" + std::to_string(opt.nodes) +
-                 " (at most one thread per node)");
-    }
+    if (opt.nodes > 1)
+        complain("--nodes belongs to the retired flag front end; declare "
+                 "[nodes] count in a scenario file and `ulpsim run` it");
+    if (opt.threads > 1)
+        complain("--threads without a subcommand belongs to the retired "
+                 "flag front end; use `ulpsim run <scenario.ini> "
+                 "--threads=K`");
     if (!(opt.seconds > 0.0))
         complain("--seconds must be positive");
-    if (!opt.traceOut.empty() && opt.platform != "node")
-        complain("--trace-out requires --platform=node");
+    if (!opt.traceOut.empty())
+        complain("--trace-out without a subcommand belongs to the retired "
+                 "flag front end; use `ulpsim run <scenario.ini> "
+                 "--trace-out=DIR`");
     if (opt.traceChannels != "all" && opt.traceOut.empty())
         complain("--trace-channels requires --trace-out");
     if (opt.traceEnergyPeriod != 0.0 && opt.traceOut.empty())
@@ -261,31 +252,6 @@ validate(const Options &opt)
     usage(2);
 }
 
-/** Lower the legacy node-platform flags into an in-memory scenario. */
-scenario::Scenario
-scenarioFromFlags(const Options &opt)
-{
-    scenario::Scenario sc;
-    sc.name = opt.app;
-    sc.seconds = opt.seconds;
-    sc.seed = opt.seed;
-    sc.threads = opt.threads;
-    sc.nodes.count = opt.nodes;
-    sc.nodes.app = opt.app;
-    sc.nodes.period = opt.period;
-    sc.nodes.threshold = opt.threshold;
-    sc.nodes.dest = opt.dest;
-    sc.nodes.signal = opt.signal;
-    sc.nodes.noise = opt.noise;
-    sc.routes.mode = scenario::RouteMode::None;
-    if (!opt.traceOut.empty()) {
-        sc.trace = {opt.traceOut, opt.traceChannels};
-        if (opt.traceEnergyPeriod > 0.0)
-            sc.trace->energyPeriod = opt.traceEnergyPeriod;
-    }
-    return sc;
-}
-
 std::string
 readFile(const std::string &path)
 {
@@ -300,7 +266,7 @@ readFile(const std::string &path)
 /**
  * Execute a lowered scenario: build the network, wire the optional
  * fault campaign and telemetry trace, run, and report. One runner for
- * every front end — scenario files and legacy flags take the same path.
+ * every scenario entry point (run, campaign workers).
  */
 int
 runScenario(const scenario::Scenario &sc, bool stats, bool power)
@@ -394,6 +360,16 @@ runScenario(const scenario::Scenario &sc, bool stats, bool power)
                 static_cast<unsigned long long>(c.epIsrs));
     std::printf("uC wakeups:        %llu\n",
                 static_cast<unsigned long long>(c.mcuWakeups));
+    const bool anyLinks =
+        std::any_of(low.spec.nodes.begin(), low.spec.nodes.end(),
+                    [](const scenario::NodeSpec &n) {
+                        return !n.links.empty();
+                    });
+    if (anyLinks) {
+        std::printf("fabric linked:     %llu (busy drops %llu)\n",
+                    static_cast<unsigned long long>(c.fabricLinked),
+                    static_cast<unsigned long long>(c.fabricDrops));
+    }
     if (low.sink) {
         const core::MessageProcessor &mp = network.node(*low.sink).msgProc();
         std::printf("packets at sink:   %llu (origins %zu, max depth %u)\n",
@@ -752,15 +728,17 @@ main(int argc, char **argv)
 
         Options opt = parse(argc, argv, 1, nullptr);
         validate(opt);
-        if (!opt.trace.empty())
-            sim::Trace::enableFromString(opt.trace);
         if (opt.platform == "node") {
             std::fprintf(stderr,
-                         "ulpsim: note: flag-based node runs are "
-                         "deprecated; prefer `ulpsim run <scenario.ini>` "
-                         "(dump one with print-scenario)\n");
-            return runScenario(scenarioFromFlags(opt), opt.stats, opt.power);
+                         "ulpsim: the flag-based node front end has been "
+                         "removed; write a scenario file and `ulpsim run "
+                         "<scenario.ini>` instead (`ulpsim print-scenario` "
+                         "dumps the canonical form, and the [events] "
+                         "section declares fabric links)\n");
+            return 2;
         }
+        if (!opt.trace.empty())
+            sim::Trace::enableFromString(opt.trace);
         return runMica2(opt);
     } catch (const sim::SimError &e) {
         std::fprintf(stderr, "%s\n", e.what());
